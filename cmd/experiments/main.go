@@ -1,0 +1,346 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Table IV, Fig. 5, Fig. 6, Fig. 7) plus the ablation
+// study and the Section II baseline comparison, over the simulated flow.
+//
+// Usage:
+//
+//	experiments [flags] <table4|fig5|fig6|fig7|ablation|baselines|all>
+//
+// With -data, a previously built dataset is reused; otherwise one is built
+// at -scale / -points. Output files are written under -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"insightalign/internal/dataset"
+	"insightalign/internal/experiments"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "existing dataset.gob (built if empty)")
+		scale    = flag.Float64("scale", 0.15, "suite gate-count scale when building")
+		points   = flag.Int("points", 176, "datapoints per design when building")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		outDir   = flag.String("out", "results", "output directory")
+		quick    = flag.Bool("quick", false, "reduced training budget (smoke run)")
+		iters    = flag.Int("iters", 10, "online fine-tuning iterations")
+		budget   = flag.Int("budget", 30, "baseline evaluation budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table4|fig5|fig6|fig7|figs|ablation|baselines|transfer|intentions|all>")
+		os.Exit(2)
+	}
+	what := flag.Arg(0)
+	if err := run(what, *dataPath, *scale, *points, *seed, *outDir, *quick, *iters, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func emitFig5SVGs(emit func(string, string) error, series []experiments.Fig5Series) error {
+	for _, s := range series {
+		svg, err := experiments.Fig5SVG(s)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5_"+s.Design+".svg", svg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(what, dataPath string, scale float64, points int, seed int64, outDir string, quick bool, iters, budget int) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var ds *dataset.Dataset
+	var err error
+	if dataPath != "" {
+		f, err2 := os.Open(dataPath)
+		if err2 != nil {
+			return err2
+		}
+		ds, err = dataset.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d datapoints from %s\n", len(ds.Points), dataPath)
+	} else {
+		opts := dataset.DefaultBuildOptions()
+		opts.Scale = scale
+		opts.PointsPerDesign = points
+		opts.Seed = seed
+		fmt.Printf("building dataset (scale %g, %d points/design)...\n", scale, points)
+		t0 := time.Now()
+		ds, err = dataset.Build(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %d datapoints in %v\n", len(ds.Points), time.Since(t0))
+		// Persist for reuse.
+		f, err2 := os.Create(filepath.Join(outDir, "dataset.gob"))
+		if err2 == nil {
+			_ = ds.Save(f)
+			f.Close()
+		}
+	}
+
+	cfg := experiments.Default()
+	if quick {
+		cfg = experiments.Quick()
+	}
+	cfg.OnlineIterations = iters
+	env, err := experiments.NewEnv(ds, cfg)
+	if err != nil {
+		return err
+	}
+
+	needT4 := map[string]bool{"table4": true, "fig5": true, "fig6": true, "fig7": true, "baselines": true, "figs": true, "all": true}
+	var t4 *experiments.Table4Result
+	if needT4[what] {
+		fmt.Println("running Table IV (4-fold CV offline alignment)...")
+		t0 := time.Now()
+		t4, err = env.RunTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table IV complete in %v\n", time.Since(t0))
+	}
+
+	emit := func(name, content string) error {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
+	switch what {
+	case "table4":
+		fmt.Print(t4.Format())
+		return emit("table4.txt", t4.Format())
+	case "fig5":
+		series, err := env.RunFig5(t4, nil)
+		if err != nil {
+			return err
+		}
+		if err := emitFig5SVGs(emit, series); err != nil {
+			return err
+		}
+		return emit("fig5.csv", experiments.FormatFig5(series))
+	case "fig6":
+		var results []*experiments.OnlineResult
+		for _, d := range []string{"D10", "D6"} {
+			fmt.Printf("online fine-tuning %s (%d iterations)...\n", d, cfg.OnlineIterations)
+			r, err := env.RunOnline(t4, d)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		out := experiments.FormatFig6(results)
+		fmt.Print(out)
+		for _, r := range results {
+			svg, err := experiments.Fig6SVG(r)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig6_"+r.Design+".svg", svg); err != nil {
+				return err
+			}
+		}
+		return emit("fig6.csv", out)
+	case "fig7":
+		r, err := env.RunOnline(t4, "D10")
+		if err != nil {
+			return err
+		}
+		svg, err := experiments.Fig7SVG(env, r)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig7.svg", svg); err != nil {
+			return err
+		}
+		return emit("fig7.csv", env.FormatFig7(r))
+	case "figs":
+		// Every figure in one pass over a single Table IV run.
+		if err := emit("table4.txt", t4.Format()); err != nil {
+			return err
+		}
+		series, err := env.RunFig5(t4, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5.csv", experiments.FormatFig5(series)); err != nil {
+			return err
+		}
+		if err := emitFig5SVGs(emit, series); err != nil {
+			return err
+		}
+		var results []*experiments.OnlineResult
+		for _, d := range []string{"D10", "D6"} {
+			fmt.Printf("online fine-tuning %s...\n", d)
+			r, err := env.RunOnline(t4, d)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := emit("fig6.csv", experiments.FormatFig6(results)); err != nil {
+			return err
+		}
+		for _, r := range results {
+			svg, err := experiments.Fig6SVG(r)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig6_"+r.Design+".svg", svg); err != nil {
+				return err
+			}
+		}
+		if err := emit("fig7.csv", env.FormatFig7(results[0])); err != nil {
+			return err
+		}
+		if svg, err := experiments.Fig7SVG(env, results[0]); err != nil {
+			return err
+		} else if err := emit("fig7.svg", svg); err != nil {
+			return err
+		}
+		trs, iaBest, err := env.RunBaselines(t4, "D6", budget, nil)
+		if err != nil {
+			return err
+		}
+		if svg, err := experiments.BaselinesSVG("D6", trs, iaBest); err == nil {
+			if err := emit("baselines.svg", svg); err != nil {
+				return err
+			}
+		}
+		return emit("baselines.csv", experiments.FormatBaselines("D6", trs, iaBest, cfg.BeamK))
+	case "ablation":
+		fmt.Println("running ablation (this trains 5 model variants)...")
+		ab, err := env.RunAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(ab.Format())
+		return emit("ablation.txt", ab.Format())
+	case "baselines":
+		trs, iaBest, err := env.RunBaselines(t4, "D6", budget, nil)
+		if err != nil {
+			return err
+		}
+		out := experiments.FormatBaselines("D6", trs, iaBest, cfg.BeamK)
+		fmt.Print(out)
+		if svg, err := experiments.BaselinesSVG("D6", trs, iaBest); err == nil {
+			if err := emit("baselines.svg", svg); err != nil {
+				return err
+			}
+		}
+		return emit("baselines.csv", out)
+	case "transfer":
+		fmt.Println("running transfer curve (trains one model per archive size)...")
+		points, err := env.RunTransferCurve(nil)
+		if err != nil {
+			return err
+		}
+		out := experiments.FormatTransferCurve(points)
+		fmt.Print(out)
+		return emit("transfer.csv", out)
+	case "intentions":
+		fmt.Println("running intention sweep (trains one model per intention)...")
+		rows, err := env.RunIntentionSweep()
+		if err != nil {
+			return err
+		}
+		out := experiments.FormatIntentionSweep(rows)
+		fmt.Print(out)
+		return emit("intentions.txt", out)
+	case "all":
+		if err := emit("table4.txt", t4.Format()); err != nil {
+			return err
+		}
+		fmt.Print(t4.Format())
+		series, err := env.RunFig5(t4, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5.csv", experiments.FormatFig5(series)); err != nil {
+			return err
+		}
+		if err := emitFig5SVGs(emit, series); err != nil {
+			return err
+		}
+		var results []*experiments.OnlineResult
+		for _, d := range []string{"D10", "D6"} {
+			fmt.Printf("online fine-tuning %s...\n", d)
+			r, err := env.RunOnline(t4, d)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := emit("fig6.csv", experiments.FormatFig6(results)); err != nil {
+			return err
+		}
+		for _, r := range results {
+			svg, err := experiments.Fig6SVG(r)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig6_"+r.Design+".svg", svg); err != nil {
+				return err
+			}
+		}
+		if err := emit("fig7.csv", env.FormatFig7(results[0])); err != nil {
+			return err
+		}
+		if svg, err := experiments.Fig7SVG(env, results[0]); err != nil {
+			return err
+		} else if err := emit("fig7.svg", svg); err != nil {
+			return err
+		}
+		fmt.Println("running ablation...")
+		ab, err := env.RunAblation()
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation.txt", ab.Format()); err != nil {
+			return err
+		}
+		fmt.Print(ab.Format())
+		trs, iaBest, err := env.RunBaselines(t4, "D6", budget, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("baselines.csv", experiments.FormatBaselines("D6", trs, iaBest, cfg.BeamK)); err != nil {
+			return err
+		}
+		fmt.Println("running transfer curve...")
+		points, err := env.RunTransferCurve(nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("transfer.csv", experiments.FormatTransferCurve(points)); err != nil {
+			return err
+		}
+		fmt.Println("running intention sweep...")
+		rows, err := env.RunIntentionSweep()
+		if err != nil {
+			return err
+		}
+		return emit("intentions.txt", experiments.FormatIntentionSweep(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+}

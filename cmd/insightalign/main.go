@@ -1,0 +1,479 @@
+// Command insightalign is the user-facing CLI of the InsightAlign
+// reproduction: build the offline dataset, train the recommender, produce
+// zero-shot recommendations, run online fine-tuning, and inspect the model
+// architecture and catalogs.
+//
+// Usage:
+//
+//	insightalign datagen   -out dataset.gob [-scale 0.25] [-points 176] [-seed 1]
+//	insightalign train     -data dataset.gob -out model.bin [-epochs 8] [-pairs 400] [-holdout D4,D6]
+//	insightalign recommend -data dataset.gob -model model.bin -design D4 [-k 5] [-evaluate]
+//	insightalign finetune  -data dataset.gob -model model.bin -design D10 [-iters 10]
+//	insightalign arch
+//	insightalign report    -design D1 [-recipes a,b] [-heatmap] [-paths N] [-verilog out.v]
+//	insightalign explain   -data dataset.gob -model model.bin -design D4
+//	insightalign export    -data dataset.gob -out dataset.csv [-insights]
+//	insightalign merge     -a one.gob -b two.gob -out merged.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"insightalign"
+	"insightalign/internal/core"
+	"insightalign/internal/dataset"
+	"insightalign/internal/experiments"
+	"insightalign/internal/flow"
+	"insightalign/internal/insight"
+	"insightalign/internal/recipe"
+	"insightalign/internal/sta"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datagen":
+		err = cmdDatagen(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
+	case "finetune":
+		err = cmdFinetune(os.Args[2:])
+	case "arch":
+		err = cmdArch()
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: insightalign <command> [flags]
+
+commands:
+  datagen    build the offline (insight, recipe set, QoR) dataset
+  train      run offline QoR alignment (Algorithm 1)
+  recommend  beam-search top-K recipe sets for a design
+  finetune   online fine-tuning loop for one design
+  arch       print the Table III architecture, recipes and insight schema
+  report     run the flow on a suite design and print the full tool report
+  explain    attribute a trained model's recipe choices to insight features
+  export     export a dataset as CSV for external analysis
+  merge      merge two dataset archives (same scale) into one`)
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	out := fs.String("out", "dataset.gob", "output path")
+	scale := fs.Float64("scale", 0.25, "suite gate-count scale")
+	points := fs.Int("points", 176, "datapoints per design")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	opts := insightalign.DefaultDatasetOptions()
+	opts.Scale = *scale
+	opts.PointsPerDesign = *points
+	opts.Seed = *seed
+	fmt.Printf("building dataset: 17 designs x %d points at scale %g...\n", *points, *scale)
+	ds, err := insightalign.BuildDataset(opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d datapoints to %s\n", len(ds.Points), *out)
+	return nil
+}
+
+func loadData(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(f)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "dataset.gob", "dataset path")
+	out := fs.String("out", "model.bin", "model output path")
+	epochs := fs.Int("epochs", 8, "training epochs")
+	pairs := fs.Int("pairs", 400, "max preference pairs per design per epoch")
+	lambda := fs.Float64("lambda", 2, "MDPO margin scale")
+	seed := fs.Int64("seed", 1, "random seed")
+	holdout := fs.String("holdout", "", "comma-separated designs to exclude from training")
+	fs.Parse(args)
+
+	ds, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	train := ds.Points
+	if *holdout != "" {
+		train, _ = ds.Split(splitList(*holdout))
+	}
+	cfg := insightalign.DefaultModelConfig()
+	cfg.Seed = *seed
+	model, err := insightalign.NewRecommender(cfg)
+	if err != nil {
+		return err
+	}
+	topt := insightalign.DefaultTrainOptions()
+	topt.Epochs = *epochs
+	topt.MaxPairsPerDesign = *pairs
+	topt.Lambda = *lambda
+	topt.Seed = *seed
+	topt.Progress = func(epoch int, es core.EpochStats) {
+		fmt.Printf("epoch %d: %d pairs, loss %.4f, pair accuracy %.3f\n",
+			epoch, es.Pairs, es.MeanLoss, es.PairAccuracy)
+	}
+	if _, err := model.AlignmentTrain(train, topt); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := insightalign.SaveModel(f, model); err != nil {
+		return err
+	}
+	fmt.Printf("wrote model to %s\n", *out)
+	return nil
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	data := fs.String("data", "dataset.gob", "dataset path")
+	modelPath := fs.String("model", "model.bin", "model path")
+	design := fs.String("design", "", "design name (e.g. D4)")
+	k := fs.Int("k", 5, "beam width / number of recommendations")
+	evaluate := fs.Bool("evaluate", false, "run the flow on each recommendation")
+	fs.Parse(args)
+	if *design == "" {
+		return fmt.Errorf("-design is required")
+	}
+	ds, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	iv, ok := ds.InsightOf(*design)
+	if !ok {
+		return fmt.Errorf("design %s not in dataset", *design)
+	}
+	cands := model.BeamSearch(iv.Slice(), *k)
+	fmt.Printf("top-%d recipe sets for %s:\n", *k, *design)
+	for i, c := range cands {
+		fmt.Printf("#%d logprob %.3f  recipes:", i+1, c.LogProb)
+		for _, r := range recipe.Catalog() {
+			if c.Set[r.ID] {
+				fmt.Printf(" %s", r.Name)
+			}
+		}
+		fmt.Println()
+	}
+	if !*evaluate {
+		return nil
+	}
+	env, err := experiments.NewEnv(ds, experiments.Default())
+	if err != nil {
+		return err
+	}
+	sets := make([]recipe.Set, len(cands))
+	for i, c := range cands {
+		sets[i] = c.Set
+	}
+	evals, err := env.EvaluateSets(*design, sets, 12345)
+	if err != nil {
+		return err
+	}
+	best, _ := ds.BestKnown(*design)
+	fmt.Printf("\n%-4s %12s %12s %9s\n", "#", "TNS(ns)", "Power(mW)", "QoR")
+	for i, ev := range evals {
+		fmt.Printf("#%-3d %12.4g %12.4g %9.3f\n", i+1, ev.Metrics.TNSns, ev.Metrics.PowerMW, ev.QoR)
+	}
+	fmt.Printf("best known: TNS %.4g ns, power %.4g mW, QoR %.3f\n",
+		best.Metrics.TNSns, best.Metrics.PowerMW, best.QoR)
+	return nil
+}
+
+func cmdFinetune(args []string) error {
+	fs := flag.NewFlagSet("finetune", flag.ExitOnError)
+	data := fs.String("data", "dataset.gob", "dataset path")
+	modelPath := fs.String("model", "model.bin", "model path")
+	design := fs.String("design", "", "design name")
+	iters := fs.Int("iters", 10, "online iterations")
+	fs.Parse(args)
+	if *design == "" {
+		return fmt.Errorf("-design is required")
+	}
+	ds, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(ds, experiments.Default())
+	if err != nil {
+		return err
+	}
+	iv, _ := ds.InsightOf(*design)
+	st, err := ds.StatsOf(*design)
+	if err != nil {
+		return err
+	}
+	runner := insightalign.NewFlowRunner(env.Designs[*design])
+	tuner, err := insightalign.NewTuner(model, runner, iv, st, ds.Intention, insightalign.DefaultTunerOptions())
+	if err != nil {
+		return err
+	}
+	best, _ := ds.BestKnown(*design)
+	fmt.Printf("online fine-tuning %s (best known QoR %.3f)\n", *design, best.QoR)
+	fmt.Printf("%-5s %12s %12s %9s %9s\n", "iter", "power(mW)", "TNS(ns)", "bestQoR", "avgTopK")
+	for i := 0; i < *iters; i++ {
+		rec, err := tuner.Iterate()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5d %12.4g %12.4g %9.3f %9.3f\n",
+			rec.Iteration, rec.PowerOfBest, rec.TNSOfBest, rec.BestQoR, rec.AvgTopK)
+	}
+	return nil
+}
+
+func cmdArch() error {
+	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Model architecture (Table III):")
+	fmt.Println(model.ArchitectureTable())
+	fmt.Printf("Recipe catalog (Table II): %d recipes\n", len(recipe.Catalog()))
+	for _, r := range recipe.Catalog() {
+		fmt.Printf("  %2d %-26s [%s] %s\n", r.ID, r.Name, r.Category, r.Description)
+	}
+	fmt.Printf("\nInsight schema (Table I): %d features\n", insight.Dim)
+	names := insight.FeatureNames()
+	if len(names) == 0 {
+		fmt.Println("  (feature names populate after the first extraction; run datagen)")
+	}
+	for i, n := range names {
+		fmt.Printf("  %2d %s\n", i, n)
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	design := fs.String("design", "D1", "suite design name")
+	scale := fs.Float64("scale", 0.15, "suite gate-count scale")
+	recipes := fs.String("recipes", "", "comma-separated recipe names to apply")
+	heatmap := fs.Bool("heatmap", false, "print the placement congestion heatmap")
+	paths := fs.Int("paths", 0, "print the N worst timing paths")
+	verilog := fs.String("verilog", "", "also write structural Verilog to this path")
+	seed := fs.Int64("seed", 1, "flow run seed")
+	fs.Parse(args)
+
+	suite, err := insightalign.Suite(*scale)
+	if err != nil {
+		return err
+	}
+	var target *insightalign.Design
+	for _, d := range suite {
+		if d.Name == *design {
+			target = d
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("design %s not in suite (D1..D17)", *design)
+	}
+	var set insightalign.RecipeSet
+	for _, name := range splitList(*recipes) {
+		r, ok := recipe.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown recipe %q (see 'insightalign arch')", name)
+		}
+		set[r.ID] = true
+	}
+	params := insightalign.ApplyRecipes(insightalign.DefaultFlowParams(), set)
+	runner := insightalign.NewFlowRunner(target)
+	m, tr, err := runner.Run(params, *seed)
+	if err != nil {
+		return err
+	}
+	if err := flow.WriteReport(os.Stdout, m, tr); err != nil {
+		return err
+	}
+	if *heatmap {
+		fmt.Println()
+		if err := tr.Placement.WriteHeatmap(os.Stdout, tr.Design); err != nil {
+			return err
+		}
+	}
+	if *paths > 0 {
+		fmt.Println()
+		ps, err := sta.ReportPaths(tr.Design, tr.Route, tr.CTS, *paths)
+		if err != nil {
+			return err
+		}
+		for i, p := range ps {
+			fmt.Printf("-- path %d --\n%s\n", i+1, p)
+		}
+	}
+	if *verilog != "" {
+		f, err := os.Create(*verilog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := target.WriteVerilog(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *verilog)
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	data := fs.String("data", "dataset.gob", "dataset path")
+	modelPath := fs.String("model", "model.bin", "model path")
+	design := fs.String("design", "", "design name")
+	top := fs.Int("top", 4, "influential features per recipe")
+	fs.Parse(args)
+	if *design == "" {
+		return fmt.Errorf("-design is required")
+	}
+	ds, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	iv, ok := ds.InsightOf(*design)
+	if !ok {
+		return fmt.Errorf("design %s not in dataset", *design)
+	}
+	atts := model.Explain(iv.Slice(), *top)
+	fmt.Printf("design %s:\n%s", *design, core.FormatExplanation(atts))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	data := fs.String("data", "dataset.gob", "dataset path")
+	out := fs.String("out", "dataset.csv", "CSV output path")
+	insights := fs.Bool("insights", false, "include the 72 insight columns")
+	fs.Parse(args)
+	ds, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f, *insights); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(ds.Points), *out)
+	for _, s := range ds.Summarize() {
+		fmt.Printf("  %-4s %4d points, QoR [%.2f, %.2f], mean power %.4g mW, mean TNS %.4g ns\n",
+			s.Design, s.Points, s.WorstQoR, s.BestQoR, s.MeanPower, s.MeanTNS)
+	}
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	a := fs.String("a", "", "first dataset")
+	b := fs.String("b", "", "second dataset")
+	out := fs.String("out", "merged.gob", "output path")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		return fmt.Errorf("-a and -b are required")
+	}
+	dsA, err := loadData(*a)
+	if err != nil {
+		return err
+	}
+	dsB, err := loadData(*b)
+	if err != nil {
+		return err
+	}
+	if err := dsA.Merge(dsB); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dsA.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("merged: %d points over %d designs -> %s\n", len(dsA.Points), len(dsA.Designs), *out)
+	return nil
+}
+
+func loadModel(path string) (*insightalign.Recommender, error) {
+	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := insightalign.LoadModel(f, model); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

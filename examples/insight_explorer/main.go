@@ -1,0 +1,72 @@
+// Insight explorer: run the probe iteration on several suite designs and
+// print their design insight vectors side by side — the Table I analyses
+// that let InsightAlign discover design similarity and transfer recipes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insightalign"
+)
+
+func main() {
+	designs, err := insightalign.Suite(0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A contrast set: easy low-power MCU, timing-critical crypto block,
+	// congestion-heavy interconnect.
+	pick := map[string]bool{"D4": true, "D6": true, "D17": true}
+
+	type probed struct {
+		name string
+		iv   insightalign.Insight
+	}
+	var results []probed
+	for _, d := range designs {
+		if !pick[d.Name] {
+			continue
+		}
+		runner := insightalign.NewFlowRunner(d)
+		m, tr, err := runner.Run(insightalign.DefaultFlowParams(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, probed{d.Name, insightalign.ExtractInsight(m, tr)})
+	}
+
+	names := insightalign.InsightFeatureNames()
+	fmt.Printf("%-28s", "insight feature")
+	for _, r := range results {
+		fmt.Printf(" %8s", r.name)
+	}
+	fmt.Println()
+	// Show the expert-analysis features of Table I plus a few structural
+	// descriptors; the full 72-dim vector feeds the model.
+	interesting := map[string]bool{
+		"place_cong_step1_high": true, "place_cong_step3_high": true,
+		"timing_easy": true, "wns_over_period": true,
+		"hold_fix_count_log": true, "weak_cell_pct": true,
+		"seq_power_dominant": true, "leakage_dominant": true,
+		"power_save_opp_postroute": true, "harmful_clock_skew": true,
+		"route_overflow_frac": true, "drc_log": true,
+		"gates_log": true, "hvt_fraction": true, "clock_period_log": true,
+	}
+	for i, n := range names {
+		if !interesting[n] {
+			continue
+		}
+		fmt.Printf("%-28s", n)
+		for _, r := range results {
+			fmt.Printf(" %8.3f", r.iv[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe designs are clearly separable in insight space: D4 is timing-easy")
+	fmt.Println("and leakage-dominant (power recipes help), D6 is timing-critical with")
+	fmt.Println("weak cells on critical paths (sizing recipes help), and D17 is")
+	fmt.Println("congestion-bound (routing recipes help). InsightAlign conditions its")
+	fmt.Println("recipe choices on exactly these signals.")
+}

@@ -1,0 +1,82 @@
+// Online fine-tuning: starting from an offline-aligned model, close the
+// loop with the physical design flow — propose K=5 recipe sets, run them,
+// and update the policy with margin-DPO + PPO — reproducing the Fig. 6/7
+// experiment of the paper at example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insightalign"
+)
+
+func main() {
+	const design = "D10" // the paper's hardest zero-shot case
+
+	opts := insightalign.DefaultDatasetOptions()
+	opts.Scale = 0.05
+	opts.PointsPerDesign = 16
+	fmt.Println("building offline archive...")
+	ds, err := insightalign.BuildDataset(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline alignment with the target design held out (zero-shot start).
+	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, _ := ds.Split([]string{design})
+	topt := insightalign.DefaultTrainOptions()
+	topt.Epochs = 3
+	topt.MaxPairsPerDesign = 120
+	fmt.Println("offline alignment...")
+	if _, err := model.AlignmentTrain(train, topt); err != nil {
+		log.Fatal(err)
+	}
+
+	// Online loop against the flow.
+	designs, err := insightalign.Suite(opts.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target *insightalign.Design
+	for _, d := range designs {
+		if d.Name == design {
+			target = d
+		}
+	}
+	iv, _ := ds.InsightOf(design)
+	st, err := ds.StatsOf(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := insightalign.NewTuner(model, insightalign.NewFlowRunner(target),
+		iv, st, ds.Intention, insightalign.DefaultTunerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best, _ := ds.BestKnown(design)
+	fmt.Printf("\nonline fine-tuning %s — best known archive QoR %.3f\n", design, best.QoR)
+	fmt.Printf("%-5s %12s %12s %9s %9s\n", "iter", "power(mW)", "TNS(ns)", "bestQoR", "avgTop5")
+	crossed := -1
+	for i := 0; i < 6; i++ {
+		rec, err := tuner.Iterate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5d %12.4g %12.4g %9.3f %9.3f\n",
+			rec.Iteration, rec.PowerOfBest, rec.TNSOfBest, rec.BestQoR, rec.AvgTopK)
+		if crossed < 0 && rec.BestQoR > best.QoR {
+			crossed = i
+		}
+	}
+	if crossed >= 0 {
+		fmt.Printf("\n→ surpassed every known recipe set at iteration %d (Fig. 7's claim)\n", crossed)
+	} else {
+		fmt.Println("\n→ did not cross the best-known bar yet; run more iterations")
+	}
+}

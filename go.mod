@@ -1,0 +1,3 @@
+module insightalign
+
+go 1.22

@@ -1,0 +1,218 @@
+package insightalign_test
+
+import (
+	"bytes"
+	"testing"
+
+	"insightalign"
+)
+
+// The facade test exercises the whole public API surface end to end at tiny
+// scale: suite generation, flow runs, recipes, insights, dataset, training,
+// recommendation, persistence, online tuning, and baselines.
+
+func tinyDataset(t *testing.T) *insightalign.Dataset {
+	t.Helper()
+	opts := insightalign.DefaultDatasetOptions()
+	opts.Scale = 0.05
+	opts.PointsPerDesign = 8
+	ds, err := insightalign.BuildDataset(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSuiteAndSpecs(t *testing.T) {
+	specs := insightalign.SuiteSpecs(0.05)
+	if len(specs) != 17 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	designs, err := insightalign.Suite(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 17 {
+		t.Fatalf("got %d designs", len(designs))
+	}
+	if designs[0].Name != "D1" || designs[16].Name != "D17" {
+		t.Fatal("suite order wrong")
+	}
+}
+
+func TestGenerateDesignAndFlow(t *testing.T) {
+	d, err := insightalign.GenerateDesign(insightalign.DesignSpec{
+		Name: "api", Seed: 1, Gates: 200, SeqFraction: 0.25, Depth: 8,
+		TechName: "N28", ClockTightness: 1.1, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.3, ShortPathFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := insightalign.NewFlowRunner(d)
+	m, tr, err := runner.Run(insightalign.DefaultFlowParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerMW <= 0 {
+		t.Fatal("no power")
+	}
+	iv := insightalign.ExtractInsight(m, tr)
+	if len(iv.Slice()) != insightalign.InsightDim {
+		t.Fatal("wrong insight width")
+	}
+	if len(insightalign.InsightFeatureNames()) != insightalign.InsightDim {
+		t.Fatal("feature names missing")
+	}
+}
+
+func TestRecipesAndApply(t *testing.T) {
+	rs := insightalign.Recipes()
+	if len(rs) != insightalign.NumRecipes {
+		t.Fatalf("catalog size %d", len(rs))
+	}
+	var s insightalign.RecipeSet
+	s[0] = true
+	p := insightalign.ApplyRecipes(insightalign.DefaultFlowParams(), s)
+	if p == insightalign.DefaultFlowParams() {
+		t.Fatal("recipe had no effect")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndZeroShot(t *testing.T) {
+	ds := tinyDataset(t)
+	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split([]string{"D8"})
+	if len(test) != 8 {
+		t.Fatalf("holdout has %d points", len(test))
+	}
+	topt := insightalign.DefaultTrainOptions()
+	topt.Epochs = 2
+	topt.MaxPairsPerDesign = 50
+	stats, err := model.AlignmentTrain(train, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalPairs == 0 {
+		t.Fatal("no pairs")
+	}
+	iv, ok := ds.InsightOf("D8")
+	if !ok {
+		t.Fatal("no insight")
+	}
+	cands := model.BeamSearch(iv.Slice(), 5)
+	if len(cands) != 5 {
+		t.Fatal("wrong candidate count")
+	}
+
+	// Persistence round trip through the facade.
+	var buf bytes.Buffer
+	if err := insightalign.SaveModel(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := insightalign.LoadModel(&buf, clone); err != nil {
+		t.Fatal(err)
+	}
+	c2 := clone.BeamSearch(iv.Slice(), 5)
+	for i := range cands {
+		if cands[i].Set != c2[i].Set {
+			t.Fatal("loaded model recommends differently")
+		}
+	}
+}
+
+func TestDatasetPersistenceFacade(t *testing.T) {
+	ds := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := insightalign.LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(ds.Points) {
+		t.Fatal("round trip lost points")
+	}
+}
+
+func TestQoRFacade(t *testing.T) {
+	in := insightalign.DefaultIntention()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds := tinyDataset(t)
+	st, err := ds.StatsOf("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ds.PointsOf("D1")
+	s := insightalign.ScoreQoR(pts[0].Metrics, st, in)
+	if s != pts[0].QoR {
+		t.Fatalf("facade score %g != dataset score %g", s, pts[0].QoR)
+	}
+}
+
+func TestTunerFacade(t *testing.T) {
+	ds := tinyDataset(t)
+	designs, err := insightalign.Suite(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *insightalign.Design
+	for _, x := range designs {
+		if x.Name == "D16" {
+			d = x
+		}
+	}
+	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := ds.InsightOf("D16")
+	st, err := ds.StatsOf("D16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := insightalign.DefaultTunerOptions()
+	opt.K = 2
+	opt.MDPOPairsPerIter = 10
+	tuner, err := insightalign.NewTuner(model, insightalign.NewFlowRunner(d), iv, st, ds.Intention, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tuner.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Evaluations) != 2 {
+		t.Fatal("wrong evaluation count")
+	}
+}
+
+func TestBaselineFacade(t *testing.T) {
+	for _, name := range []string{"random", "bo", "aco"} {
+		opt, err := insightalign.NewBaseline(name, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := opt.Propose(3)
+		if len(sets) != 3 {
+			t.Fatalf("%s proposed %d sets", name, len(sets))
+		}
+		opt.Observe(sets[0], 1.0)
+	}
+	if _, err := insightalign.NewBaseline("bogus", 1, 8); err == nil {
+		t.Fatal("expected error")
+	}
+}

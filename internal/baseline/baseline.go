@@ -1,0 +1,454 @@
+// Package baseline implements the black-box flow-tuning comparators
+// surveyed in Section II of the paper: pure random search, Bayesian
+// optimization with a Gaussian-process surrogate and expected-improvement
+// acquisition (the BO family [2]-[5]), and ant colony optimization (ACO
+// [6]). All optimize recipe-set selection under the same evaluation budget
+// as InsightAlign, but without design insights — which is exactly the
+// comparison that motivates the paper.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insightalign/internal/recipe"
+)
+
+// Optimizer proposes recipe sets and learns from observed QoR scores
+// (higher is better).
+type Optimizer interface {
+	// Name identifies the method.
+	Name() string
+	// Propose returns k recipe sets to evaluate next.
+	Propose(k int) []recipe.Set
+	// Observe feeds back the QoR of an evaluated set.
+	Observe(s recipe.Set, qorScore float64)
+}
+
+// observation is a shared evaluated-point record.
+type observation struct {
+	set recipe.Set
+	q   float64
+}
+
+// ---------------------------------------------------------------------------
+// Random search
+
+// Random proposes uniformly random recipe sets (with a size cap matching
+// the dataset sampler) and never repeats an evaluated set.
+type Random struct {
+	rng  *rand.Rand
+	maxK int
+	seen map[recipe.Set]bool
+}
+
+// NewRandom creates a random-search baseline.
+func NewRandom(seed int64, maxRecipesPerSet int) *Random {
+	return &Random{
+		rng:  rand.New(rand.NewSource(seed)),
+		maxK: maxRecipesPerSet,
+		seen: map[recipe.Set]bool{},
+	}
+}
+
+// Name implements Optimizer.
+func (r *Random) Name() string { return "random" }
+
+// Propose implements Optimizer.
+func (r *Random) Propose(k int) []recipe.Set {
+	out := make([]recipe.Set, 0, k)
+	for len(out) < k {
+		var s recipe.Set
+		n := r.rng.Intn(r.maxK + 1)
+		perm := r.rng.Perm(recipe.N)
+		for i := 0; i < n; i++ {
+			s[perm[i]] = true
+		}
+		if r.seen[s] {
+			continue
+		}
+		r.seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Observe implements Optimizer.
+func (r *Random) Observe(s recipe.Set, _ float64) { r.seen[s] = true }
+
+// ---------------------------------------------------------------------------
+// Bayesian optimization
+
+// BayesOpt fits a Gaussian process over recipe bit-vectors with a linear +
+// RBF(Hamming) kernel — the linear term is a Bayesian per-recipe effect
+// model (which bits help), the RBF term captures interaction residuals —
+// and proposes candidates by expected improvement over a random candidate
+// pool plus mutations of the best.
+type BayesOpt struct {
+	rng       *rand.Rand
+	maxK      int
+	obs       []observation
+	seen      map[recipe.Set]bool
+	LengthSq  float64 // RBF length scale squared (in Hamming distance)
+	LinWeight float64 // per-bit linear kernel weight
+	NoiseVar  float64
+	PoolSize  int
+	MutateTop int
+}
+
+// NewBayesOpt creates a BO baseline with standard hyperparameters.
+func NewBayesOpt(seed int64, maxRecipesPerSet int) *BayesOpt {
+	return &BayesOpt{
+		rng:       rand.New(rand.NewSource(seed)),
+		maxK:      maxRecipesPerSet,
+		seen:      map[recipe.Set]bool{},
+		LengthSq:  16,
+		LinWeight: 1.0,
+		NoiseVar:  0.05,
+		PoolSize:  160,
+		MutateTop: 40,
+	}
+}
+
+// Name implements Optimizer.
+func (b *BayesOpt) Name() string { return "bayesopt" }
+
+// Observe implements Optimizer.
+func (b *BayesOpt) Observe(s recipe.Set, q float64) {
+	b.obs = append(b.obs, observation{s, q})
+	b.seen[s] = true
+}
+
+func hamming(a, c recipe.Set) float64 {
+	d := 0.0
+	for i := range a {
+		if a[i] != c[i] {
+			d++
+		}
+	}
+	return d
+}
+
+func (b *BayesOpt) kernel(a, c recipe.Set) float64 {
+	d := hamming(a, c)
+	lin := 0.0
+	for i := range a {
+		if a[i] && c[i] {
+			lin++
+		}
+	}
+	return b.LinWeight*lin + math.Exp(-d*d/(2*b.LengthSq))
+}
+
+// posterior returns the GP posterior mean and variance at x.
+func (b *BayesOpt) posterior(x recipe.Set) (mu, va float64) {
+	n := len(b.obs)
+	if n == 0 {
+		return 0, 1
+	}
+	// Build K + σ²I and solve via Cholesky.
+	K := make([]float64, n*n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b.obs[i].q
+		for j := 0; j <= i; j++ {
+			v := b.kernel(b.obs[i].set, b.obs[j].set)
+			if i == j {
+				v += b.NoiseVar
+			}
+			K[i*n+j] = v
+			K[j*n+i] = v
+		}
+	}
+	L, ok := cholesky(K, n)
+	if !ok {
+		return 0, 1
+	}
+	alpha := choleskySolve(L, n, y)
+	kx := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kx[i] = b.kernel(x, b.obs[i].set)
+	}
+	mu = dot(kx, alpha)
+	v := choleskySolveLower(L, n, kx)
+	va = b.kernel(x, x) - dot(v, v)
+	if va < 1e-9 {
+		va = 1e-9
+	}
+	return mu, va
+}
+
+// Propose implements Optimizer: maximize expected improvement over a
+// candidate pool.
+func (b *BayesOpt) Propose(k int) []recipe.Set {
+	pool := b.candidatePool()
+	if len(b.obs) == 0 {
+		if len(pool) > k {
+			pool = pool[:k]
+		}
+		for _, s := range pool {
+			b.seen[s] = true
+		}
+		return pool
+	}
+	best := math.Inf(-1)
+	for _, o := range b.obs {
+		if o.q > best {
+			best = o.q
+		}
+	}
+	type scored struct {
+		s  recipe.Set
+		ei float64
+	}
+	var cands []scored
+	for _, s := range pool {
+		mu, va := b.posterior(s)
+		sd := math.Sqrt(va)
+		z := (mu - best) / sd
+		ei := (mu-best)*normCDF(z) + sd*normPDF(z)
+		cands = append(cands, scored{s, ei})
+	}
+	// Selection of the k best by EI.
+	out := make([]recipe.Set, 0, k)
+	for len(out) < k && len(cands) > 0 {
+		bi := 0
+		for i := range cands {
+			if cands[i].ei > cands[bi].ei {
+				bi = i
+			}
+		}
+		out = append(out, cands[bi].s)
+		b.seen[cands[bi].s] = true
+		cands = append(cands[:bi], cands[bi+1:]...)
+	}
+	return out
+}
+
+func (b *BayesOpt) candidatePool() []recipe.Set {
+	var pool []recipe.Set
+	seen := map[recipe.Set]bool{}
+	addUnique := func(s recipe.Set) {
+		if !b.seen[s] && !seen[s] {
+			seen[s] = true
+			pool = append(pool, s)
+		}
+	}
+	for i := 0; i < b.PoolSize; i++ {
+		var s recipe.Set
+		n := b.rng.Intn(b.maxK + 1)
+		perm := b.rng.Perm(recipe.N)
+		for j := 0; j < n; j++ {
+			s[perm[j]] = true
+		}
+		addUnique(s)
+	}
+	// Mutations of the best observed sets exploit locality.
+	if len(b.obs) > 0 {
+		bi := 0
+		for i := range b.obs {
+			if b.obs[i].q > b.obs[bi].q {
+				bi = i
+			}
+		}
+		for i := 0; i < b.MutateTop; i++ {
+			s := b.obs[bi].set
+			flips := 1 + b.rng.Intn(3)
+			for f := 0; f < flips; f++ {
+				j := b.rng.Intn(recipe.N)
+				s[j] = !s[j]
+			}
+			addUnique(s)
+		}
+	}
+	return pool
+}
+
+// ---------------------------------------------------------------------------
+// Ant colony optimization
+
+// ACO maintains a pheromone level per recipe; ants select each recipe with
+// probability equal to its pheromone. Updates follow the MAX-MIN ant
+// system: trails evaporate toward the best solutions found (a mix of
+// best-so-far and best-of-wave), with floor/ceiling bounds that preserve
+// exploration. This concentrates sampling on the best recipe subset even
+// when absolute qualities are negative.
+type ACO struct {
+	rng         *rand.Rand
+	pheromone   [recipe.N]float64
+	Evaporation float64
+	seen        map[recipe.Set]bool
+	wave        []observation
+	best        observation
+	hasBest     bool
+}
+
+// NewACO creates an ACO baseline with uniform initial pheromone.
+func NewACO(seed int64) *ACO {
+	a := &ACO{
+		rng:         rand.New(rand.NewSource(seed)),
+		Evaporation: 0.15,
+		seen:        map[recipe.Set]bool{},
+	}
+	for i := range a.pheromone {
+		a.pheromone[i] = 0.15 // initial selection probability
+	}
+	return a
+}
+
+// Name implements Optimizer.
+func (a *ACO) Name() string { return "aco" }
+
+// Propose implements Optimizer.
+func (a *ACO) Propose(k int) []recipe.Set {
+	out := make([]recipe.Set, 0, k)
+	for tries := 0; len(out) < k && tries < 50*k; tries++ {
+		var s recipe.Set
+		for i := range s {
+			s[i] = a.rng.Float64() < a.pheromone[i]
+		}
+		if a.seen[s] || containsSet(out, s) {
+			continue
+		}
+		out = append(out, s)
+	}
+	for len(out) < k { // degenerate pheromone: random fill
+		var s recipe.Set
+		for i := range s {
+			s[i] = a.rng.Intn(2) == 1
+		}
+		if !a.seen[s] && !containsSet(out, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Observe implements Optimizer: accumulate a wave, then move trails toward
+// the best-so-far and best-of-wave solutions.
+func (a *ACO) Observe(s recipe.Set, q float64) {
+	a.seen[s] = true
+	a.wave = append(a.wave, observation{s, q})
+	if !a.hasBest || q > a.best.q {
+		a.best = observation{s, q}
+		a.hasBest = true
+	}
+	if len(a.wave) < 5 {
+		return
+	}
+	waveBest := a.wave[0]
+	for _, o := range a.wave[1:] {
+		if o.q > waveBest.q {
+			waveBest = o
+		}
+	}
+	for i := range a.pheromone {
+		target := 0.0
+		// 70% pull toward the best-so-far, 30% toward the wave winner.
+		if a.best.set[i] {
+			target += 0.7
+		}
+		if waveBest.set[i] {
+			target += 0.3
+		}
+		a.pheromone[i] = (1-a.Evaporation)*a.pheromone[i] + a.Evaporation*target
+		if a.pheromone[i] < 0.02 {
+			a.pheromone[i] = 0.02
+		}
+		if a.pheromone[i] > 0.95 {
+			a.pheromone[i] = 0.95
+		}
+	}
+	a.wave = a.wave[:0]
+}
+
+// ---------------------------------------------------------------------------
+// numerics
+
+func cholesky(K []float64, n int) ([]float64, bool) {
+	L := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := K[i*n+j]
+			for p := 0; p < j; p++ {
+				sum -= L[i*n+p] * L[j*n+p]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				L[i*n+i] = math.Sqrt(sum)
+			} else {
+				L[i*n+j] = sum / L[j*n+j]
+			}
+		}
+	}
+	return L, true
+}
+
+// choleskySolve solves (L Lᵀ) x = y.
+func choleskySolve(L []float64, n int, y []float64) []float64 {
+	z := choleskySolveLower(L, n, y)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for j := i + 1; j < n; j++ {
+			sum -= L[j*n+i] * x[j]
+		}
+		x[i] = sum / L[i*n+i]
+	}
+	return x
+}
+
+// choleskySolveLower solves L z = y.
+func choleskySolveLower(L []float64, n int, y []float64) []float64 {
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := y[i]
+		for j := 0; j < i; j++ {
+			sum -= L[i*n+j] * z[j]
+		}
+		z[i] = sum / L[i*n+i]
+	}
+	return z
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+func containsSet(xs []recipe.Set, s recipe.Set) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// NewByName constructs a baseline optimizer by method name.
+func NewByName(name string, seed int64, maxRecipesPerSet int) (Optimizer, error) {
+	switch name {
+	case "random":
+		return NewRandom(seed, maxRecipesPerSet), nil
+	case "bayesopt", "bo":
+		return NewBayesOpt(seed, maxRecipesPerSet), nil
+	case "aco":
+		return NewACO(seed), nil
+	default:
+		return nil, fmt.Errorf("baseline: unknown optimizer %q", name)
+	}
+}

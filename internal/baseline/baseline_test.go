@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insightalign/internal/recipe"
+)
+
+// syntheticObjective rewards a hidden target subset: QoR = overlap − extras.
+func syntheticObjective(target recipe.Set) func(recipe.Set) float64 {
+	return func(s recipe.Set) float64 {
+		q := 0.0
+		for i := range s {
+			switch {
+			case s[i] && target[i]:
+				q += 1
+			case s[i] && !target[i]:
+				q -= 0.4
+			}
+		}
+		return q
+	}
+}
+
+// drive runs an optimizer against an objective and returns the best score.
+func drive(o Optimizer, f func(recipe.Set) float64, waves, perWave int) float64 {
+	best := math.Inf(-1)
+	for w := 0; w < waves; w++ {
+		for _, s := range o.Propose(perWave) {
+			q := f(s)
+			o.Observe(s, q)
+			if q > best {
+				best = q
+			}
+		}
+	}
+	return best
+}
+
+func targetSet() recipe.Set {
+	var t recipe.Set
+	t[2], t[7], t[19], t[33] = true, true, true, true
+	return t
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"random", "bayesopt", "bo", "aco"} {
+		o, err := NewByName(name, 1, 8)
+		if err != nil || o == nil {
+			t.Fatalf("NewByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := NewByName("bogus", 1, 8); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestRandomProposesDistinct(t *testing.T) {
+	r := NewRandom(1, 8)
+	seen := map[recipe.Set]bool{}
+	for w := 0; w < 10; w++ {
+		for _, s := range r.Propose(5) {
+			if seen[s] {
+				t.Fatalf("random proposed duplicate %s", s)
+			}
+			seen[s] = true
+			if s.Count() > 8 {
+				t.Fatalf("random exceeded size cap: %d", s.Count())
+			}
+		}
+	}
+}
+
+func TestBayesOptBeatsRandomOnStructuredObjective(t *testing.T) {
+	f := syntheticObjective(targetSet())
+	// Average over seeds to damp luck.
+	boTotal, rndTotal := 0.0, 0.0
+	for seed := int64(0); seed < 6; seed++ {
+		boTotal += drive(NewBayesOpt(seed, 8), f, 8, 5)
+		rndTotal += drive(NewRandom(seed, 8), f, 8, 5)
+	}
+	if boTotal <= rndTotal {
+		t.Fatalf("BO (%g) should beat random (%g) on a structured objective", boTotal, rndTotal)
+	}
+}
+
+func TestACOConcentratesPheromone(t *testing.T) {
+	target := targetSet()
+	f := syntheticObjective(target)
+	a := NewACO(3)
+	drive(a, f, 20, 5)
+	// Pheromone on target recipes should exceed the mean of non-targets.
+	tSum, tN, oSum, oN := 0.0, 0, 0.0, 0
+	for i := range a.pheromone {
+		if target[i] {
+			tSum += a.pheromone[i]
+			tN++
+		} else {
+			oSum += a.pheromone[i]
+			oN++
+		}
+	}
+	if tSum/float64(tN) <= oSum/float64(oN) {
+		t.Fatalf("target pheromone %g not above background %g", tSum/float64(tN), oSum/float64(oN))
+	}
+}
+
+func TestACOImprovesOverWaves(t *testing.T) {
+	// Learning signature: the MEAN quality of late-wave proposals should
+	// exceed that of the first waves as pheromone concentrates on the
+	// target recipes.
+	f := syntheticObjective(targetSet())
+	a := NewACO(4)
+	meanOf := func(waves int) float64 {
+		sum, n := 0.0, 0
+		for w := 0; w < waves; w++ {
+			for _, s := range a.Propose(5) {
+				q := f(s)
+				a.Observe(s, q)
+				sum += q
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	early := meanOf(4)
+	meanOf(12) // burn-in
+	late := meanOf(4)
+	if late <= early {
+		t.Fatalf("ACO proposals did not improve: early mean %g, late mean %g", early, late)
+	}
+}
+
+func TestGPPosteriorInterpolates(t *testing.T) {
+	b := NewBayesOpt(5, 8)
+	var s1, s2 recipe.Set
+	s1[0] = true
+	s2[1], s2[2], s2[3], s2[4], s2[5] = true, true, true, true, true
+	b.Observe(s1, 2.0)
+	b.Observe(s2, -1.0)
+	mu1, va1 := b.posterior(s1)
+	if math.Abs(mu1-2.0) > 0.3 {
+		t.Fatalf("posterior at observed point %g, want ≈2", mu1)
+	}
+	if va1 > 0.5 {
+		t.Fatalf("variance at observed point should be small, got %g", va1)
+	}
+	// A far-away point reverts toward the prior with high variance.
+	var far recipe.Set
+	for i := 20; i < 40; i++ {
+		far[i] = true
+	}
+	muF, vaF := b.posterior(far)
+	if vaF <= va1 {
+		t.Fatal("far point should be more uncertain than observed point")
+	}
+	if math.Abs(muF) > 1.0 {
+		t.Fatalf("far point mean %g should revert toward prior 0", muF)
+	}
+}
+
+func TestCholeskyNumerics(t *testing.T) {
+	// Solve a known SPD system: K = [[4,2],[2,3]], y = [1, 2].
+	K := []float64{4, 2, 2, 3}
+	L, ok := cholesky(K, 2)
+	if !ok {
+		t.Fatal("cholesky failed on SPD matrix")
+	}
+	x := choleskySolve(L, 2, []float64{1, 2})
+	// Verify K x = y.
+	if math.Abs(4*x[0]+2*x[1]-1) > 1e-9 || math.Abs(2*x[0]+3*x[1]-2) > 1e-9 {
+		t.Fatalf("cholesky solve wrong: %v", x)
+	}
+	// Non-SPD must fail.
+	if _, ok := cholesky([]float64{1, 2, 2, 1}, 2); ok {
+		t.Fatal("cholesky should reject non-SPD")
+	}
+}
+
+func TestNormFunctions(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Fatal("normCDF(0) != 0.5")
+	}
+	if normCDF(5) < 0.999 || normCDF(-5) > 0.001 {
+		t.Fatal("normCDF tails wrong")
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatal("normPDF(0) wrong")
+	}
+}
+
+func TestProposalsUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_ = rng
+	for _, name := range []string{"random", "bo", "aco"} {
+		o, _ := NewByName(name, 7, 8)
+		seen := map[recipe.Set]bool{}
+		for w := 0; w < 5; w++ {
+			sets := o.Propose(4)
+			for _, s := range sets {
+				if seen[s] {
+					t.Errorf("%s proposed duplicate across waves", name)
+				}
+				seen[s] = true
+				o.Observe(s, 0.1)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"insightalign/internal/insight"
+	"insightalign/internal/recipe"
+)
+
+// RecipeAttribution explains one recipe decision: the marginal selection
+// probability and the insight features that most influence it.
+type RecipeAttribution struct {
+	RecipeID    int
+	RecipeName  string
+	Probability float64
+	// TopFeatures are the most influential insight features by absolute
+	// sensitivity dP/dfeature (central finite differences).
+	TopFeatures []FeatureInfluence
+}
+
+// FeatureInfluence is one insight feature's effect on a recipe decision.
+type FeatureInfluence struct {
+	Feature     string
+	Sensitivity float64
+}
+
+// Explain computes, for each recipe, the selection probability under a
+// greedy decode and the insight features that drive it — the "why did the
+// model pick this recipe for this design" view that makes the recommender
+// auditable by physical design engineers.
+func (m *Model) Explain(iv []float64, topFeatures int) []RecipeAttribution {
+	names := insight.FeatureNames()
+	if len(names) != m.Cfg.InsightDim {
+		names = make([]string, m.Cfg.InsightDim)
+		for i := range names {
+			names[i] = fmt.Sprintf("iv%d", i)
+		}
+	}
+	greedy := m.greedyDecode(iv)
+	base := m.SelectionProbs(iv, greedy)
+	catalog := recipe.Catalog()
+
+	const eps = 0.05
+	// Sensitivities per (feature, recipe) via central differences on the
+	// teacher-forced probabilities along the greedy sequence.
+	sens := make([][]float64, m.Cfg.InsightDim)
+	pert := append([]float64(nil), iv...)
+	for f := 0; f < m.Cfg.InsightDim; f++ {
+		orig := pert[f]
+		pert[f] = orig + eps
+		plus := m.SelectionProbs(pert, greedy)
+		pert[f] = orig - eps
+		minus := m.SelectionProbs(pert, greedy)
+		pert[f] = orig
+		row := make([]float64, m.Cfg.NumRecipes)
+		for r := range row {
+			row[r] = (plus[r] - minus[r]) / (2 * eps)
+		}
+		sens[f] = row
+	}
+
+	out := make([]RecipeAttribution, 0, m.Cfg.NumRecipes)
+	for r := 0; r < m.Cfg.NumRecipes; r++ {
+		att := RecipeAttribution{RecipeID: r, Probability: base[r]}
+		if r < len(catalog) {
+			att.RecipeName = catalog[r].Name
+		}
+		infl := make([]FeatureInfluence, 0, m.Cfg.InsightDim)
+		for f := 0; f < m.Cfg.InsightDim; f++ {
+			infl = append(infl, FeatureInfluence{Feature: names[f], Sensitivity: sens[f][r]})
+		}
+		sort.Slice(infl, func(i, j int) bool {
+			return abs(infl[i].Sensitivity) > abs(infl[j].Sensitivity)
+		})
+		if topFeatures > len(infl) {
+			topFeatures = len(infl)
+		}
+		att.TopFeatures = infl[:topFeatures]
+		out = append(out, att)
+	}
+	return out
+}
+
+// greedyDecode returns the argmax decision sequence.
+func (m *Model) greedyDecode(iv []float64) []int {
+	seq := make([]int, 0, m.Cfg.NumRecipes)
+	for t := 0; t < m.Cfg.NumRecipes; t++ {
+		if m.StepProb(iv, seq) >= 0.5 {
+			seq = append(seq, 1)
+		} else {
+			seq = append(seq, 0)
+		}
+	}
+	return seq
+}
+
+// FormatExplanation renders the attributions of the selected (p ≥ 0.5)
+// recipes as a readable report.
+func FormatExplanation(atts []RecipeAttribution) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "recipe selection explanation (greedy decode):")
+	for _, a := range atts {
+		if a.Probability < 0.5 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-26s p=%.2f  driven by:", a.RecipeName, a.Probability)
+		for _, fi := range a.TopFeatures {
+			fmt.Fprintf(&b, " %s(%+.2f)", fi.Feature, fi.Sensitivity)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

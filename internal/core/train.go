@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insightalign/internal/dataset"
+	"insightalign/internal/nn"
+	"insightalign/internal/tensor"
+)
+
+// Loss selects the alignment objective; used by the ablation experiments.
+type Loss string
+
+// Alignment losses.
+const (
+	// LossMDPO is the paper's margin-based DPO (Eq. 2).
+	LossMDPO Loss = "mdpo"
+	// LossDPO is standard DPO (Eq. 1) with a uniform reference policy —
+	// no preference-magnitude margin.
+	LossDPO Loss = "dpo"
+)
+
+// TrainOptions configure offline QoR alignment (Algorithm 1).
+type TrainOptions struct {
+	// Loss selects the pairwise objective (default LossMDPO).
+	Loss Loss
+	// Beta is the DPO sharpness β used by LossDPO.
+	Beta float64
+	// Lambda is the margin scale λ of Eq. 2 (the paper uses 2).
+	Lambda float64
+	// LR is the Adam learning rate.
+	LR float64
+	// Epochs is the number of passes over the sampled pair set.
+	Epochs int
+	// MaxPairsPerDesign subsamples the O(points²) pair set per design per
+	// epoch; 0 uses every pair.
+	MaxPairsPerDesign int
+	// MinQoRGap skips near-tie pairs whose preference is mostly noise.
+	MinQoRGap float64
+	// ClipNorm caps the gradient norm per update (0 disables).
+	ClipNorm float64
+	// Seed drives pair subsampling and shuffling.
+	Seed int64
+	// CosineLR anneals the learning rate from LR to ~0 over Epochs with a
+	// half-cosine schedule.
+	CosineLR bool
+	// ValidationFrac, if positive, holds out that fraction of pairs each
+	// epoch to measure validation pair accuracy.
+	ValidationFrac float64
+	// Patience, with ValidationFrac set, stops training after this many
+	// epochs without validation improvement (0 disables early stopping).
+	Patience int
+	// Progress, if non-nil, receives per-epoch statistics.
+	Progress func(epoch int, stats EpochStats)
+}
+
+// DefaultTrainOptions returns the paper's hyperparameters with practical
+// optimization defaults.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Loss:              LossMDPO,
+		Beta:              0.5,
+		Lambda:            2,
+		LR:                3e-4,
+		Epochs:            8,
+		MaxPairsPerDesign: 400,
+		MinQoRGap:         0.05,
+		ClipNorm:          5,
+		Seed:              1,
+	}
+}
+
+// EpochStats summarize one alignment epoch.
+type EpochStats struct {
+	Pairs        int
+	MeanLoss     float64
+	ZeroLossFrac float64 // pairs already satisfying the margin
+	// PairAccuracy is the fraction of pairs where the model assigns the
+	// winner a higher likelihood than the loser.
+	PairAccuracy float64
+	// ValAccuracy is the held-out pair accuracy (0 without validation).
+	ValAccuracy float64
+}
+
+// TrainStats summarize a full alignment run.
+type TrainStats struct {
+	Epochs     []EpochStats
+	FinalLoss  float64
+	TotalPairs int
+}
+
+// pair is one oriented preference comparison.
+type pair struct {
+	insight []float64
+	winBits []int
+	losBits []int
+	gap     float64 // QoR(win) − QoR(los) > 0
+}
+
+// buildPairs enumerates (and optionally subsamples) preference pairs per
+// design from the training points, per Algorithm 1 line 7.
+func buildPairs(points []dataset.Point, maxPerDesign int, minGap float64, rng *rand.Rand) []pair {
+	byDesign := map[string][]dataset.Point{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byDesign[p.DesignName]; !ok {
+			order = append(order, p.DesignName)
+		}
+		byDesign[p.DesignName] = append(byDesign[p.DesignName], p)
+	}
+	var pairs []pair
+	for _, name := range order {
+		pts := byDesign[name]
+		var all []pair
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				gap := pts[i].QoR - pts[j].QoR
+				w, l := pts[i], pts[j]
+				if gap < 0 {
+					w, l, gap = pts[j], pts[i], -gap
+				}
+				if gap < minGap {
+					continue
+				}
+				all = append(all, pair{
+					insight: w.Insight.Slice(),
+					winBits: w.Set.Bits(),
+					losBits: l.Set.Bits(),
+					gap:     gap,
+				})
+			}
+		}
+		if maxPerDesign > 0 && len(all) > maxPerDesign {
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+			all = all[:maxPerDesign]
+		}
+		pairs = append(pairs, all...)
+	}
+	return pairs
+}
+
+// pairLoss evaluates the pairwise alignment loss for one oriented pair.
+// LossMDPO is Eq. 2: max(0, λ·ΔQoR − (log π(R_w|I) − log π(R_l|I))); the
+// uniform reference policy's log-ratio terms cancel. LossDPO is Eq. 1:
+// −log σ(β·(log π(R_w|I) − log π(R_l|I))).
+func (m *Model) pairLoss(p pair, opt TrainOptions) *tensor.Tensor {
+	lw := m.LogProb(p.insight, p.winBits)
+	ll := m.LogProb(p.insight, p.losBits)
+	diff := lw.Sub(ll)
+	if opt.Loss == LossDPO {
+		return diff.Scale(opt.Beta).LogSigmoid().Neg()
+	}
+	margin := tensor.Scalar(opt.Lambda * p.gap)
+	return margin.Sub(diff).Hinge()
+}
+
+// AlignmentTrain runs offline QoR alignment (Algorithm 1, ALIGNMENTTRAIN):
+// per-pair stochastic updates of the margin-based DPO loss with Adam.
+func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*TrainStats, error) {
+	if opt.Lambda <= 0 {
+		return nil, fmt.Errorf("core: Lambda must be positive")
+	}
+	if opt.Loss == LossDPO && opt.Beta <= 0 {
+		return nil, fmt.Errorf("core: Beta must be positive for DPO loss")
+	}
+	if opt.Epochs < 1 {
+		return nil, fmt.Errorf("core: Epochs must be >= 1")
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: no training points")
+	}
+	if opt.ValidationFrac < 0 || opt.ValidationFrac >= 1 {
+		return nil, fmt.Errorf("core: ValidationFrac %g out of [0,1)", opt.ValidationFrac)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	adam := nn.NewAdam(m.Params(), opt.LR)
+	adam.ClipNorm = opt.ClipNorm
+
+	stats := &TrainStats{}
+	bestVal, sinceBest := -1.0, 0
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.CosineLR && opt.Epochs > 1 {
+			adam.SetLR(opt.LR * 0.5 * (1 + math.Cos(math.Pi*float64(epoch)/float64(opt.Epochs-1))))
+		}
+		pairs := buildPairs(points, opt.MaxPairsPerDesign, opt.MinQoRGap, rng)
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("core: no preference pairs (MinQoRGap too large?)")
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		var valPairs []pair
+		if opt.ValidationFrac > 0 {
+			nVal := int(float64(len(pairs)) * opt.ValidationFrac)
+			if nVal > 0 && nVal < len(pairs) {
+				valPairs, pairs = pairs[:nVal], pairs[nVal:]
+			}
+		}
+
+		es := EpochStats{Pairs: len(pairs)}
+		ln2 := math.Log(2)
+		for _, p := range pairs {
+			adam.ZeroGrad()
+			loss := m.pairLoss(p, opt)
+			v := loss.Item()
+			es.MeanLoss += v
+			if v == 0 {
+				es.ZeroLossFrac++
+			}
+			// Winner already more likely than loser?
+			switch opt.Loss {
+			case LossDPO:
+				if v < ln2 {
+					es.PairAccuracy++
+				}
+			default:
+				if v < opt.Lambda*p.gap {
+					es.PairAccuracy++
+				}
+			}
+			if v > 0 {
+				loss.Backward()
+				adam.Step()
+			}
+		}
+		es.MeanLoss /= float64(es.Pairs)
+		es.ZeroLossFrac /= float64(es.Pairs)
+		es.PairAccuracy /= float64(es.Pairs)
+		if len(valPairs) > 0 {
+			correct := 0
+			for _, p := range valPairs {
+				lw := m.LogProb(p.insight, p.winBits).Item()
+				ll := m.LogProb(p.insight, p.losBits).Item()
+				if lw > ll {
+					correct++
+				}
+			}
+			es.ValAccuracy = float64(correct) / float64(len(valPairs))
+		}
+		stats.Epochs = append(stats.Epochs, es)
+		stats.TotalPairs += es.Pairs
+		stats.FinalLoss = es.MeanLoss
+		if opt.Progress != nil {
+			opt.Progress(epoch, es)
+		}
+		if err := nn.CheckFinite(m); err != nil {
+			return nil, fmt.Errorf("core: parameters diverged at epoch %d: %w", epoch, err)
+		}
+		if len(valPairs) > 0 && opt.Patience > 0 {
+			if es.ValAccuracy > bestVal {
+				bestVal, sinceBest = es.ValAccuracy, 0
+			} else if sinceBest++; sinceBest >= opt.Patience {
+				break // early stop: validation accuracy plateaued
+			}
+		}
+	}
+	return stats, nil
+}

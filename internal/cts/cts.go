@@ -1,0 +1,236 @@
+// Package cts implements a recursive-partitioning clock tree synthesizer
+// (an H-tree/DME hybrid): sinks are split by median along the longer
+// dimension until a leaf buffer can drive them, buffers are inserted at
+// internal nodes, and per-sink insertion latencies are balanced toward a
+// skew target by delay padding. Skew, latency, buffer count, and switched
+// capacitance feed the timing and power engines.
+package cts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"insightalign/internal/netlist"
+	"insightalign/internal/placer"
+)
+
+// Options are the CTS knobs exposed to flow recipes (Table II: "Adjust
+// clock-tree synthesis hyperparameters for tradeoffs among timing, skew and
+// latency").
+type Options struct {
+	// SkewTargetPS is the target global skew; balancing below it costs
+	// padding buffers (power).
+	SkewTargetPS float64
+	// BufferDrive is the drive strength of inserted clock buffers.
+	BufferDrive int
+	// MaxFanout limits sinks (or child nodes) per buffer.
+	MaxFanout int
+	// LatencyEffort in [0,1] spends buffer upsizing to cut insertion delay.
+	LatencyEffort float64
+	// UsefulSkew permits residual skew to stay unbalanced when it is
+	// cheap, trading skew for power (harmful skew may leak into timing).
+	UsefulSkew bool
+}
+
+// DefaultOptions returns a balanced flow default.
+func DefaultOptions() Options {
+	return Options{SkewTargetPS: 15, BufferDrive: 2, MaxFanout: 12, LatencyEffort: 0.5}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.SkewTargetPS <= 0 {
+		return fmt.Errorf("cts: SkewTargetPS %g must be positive", o.SkewTargetPS)
+	}
+	if o.BufferDrive != 1 && o.BufferDrive != 2 && o.BufferDrive != 4 {
+		return fmt.Errorf("cts: BufferDrive %d must be 1, 2 or 4", o.BufferDrive)
+	}
+	if o.MaxFanout < 2 || o.MaxFanout > 64 {
+		return fmt.Errorf("cts: MaxFanout %d out of [2,64]", o.MaxFanout)
+	}
+	return nil
+}
+
+// Result is a synthesized clock tree.
+type Result struct {
+	// LatencyPS maps DFF cell ID → clock insertion latency.
+	LatencyPS map[int]float64
+	// SkewPS is max − min latency after balancing.
+	SkewPS float64
+	// AvgLatencyPS is the mean insertion latency.
+	AvgLatencyPS float64
+	// Buffers is the number of inserted clock buffers (incl. padding).
+	Buffers int
+	// PaddingBuffers counts buffers inserted purely for skew balancing.
+	PaddingBuffers int
+	// WirelengthUM is the total clock routing length.
+	WirelengthUM float64
+	// SwitchedCapFF is the total capacitance toggled every clock edge
+	// (wire + buffer + sink clock pins), consumed by the power engine.
+	SwitchedCapFF float64
+}
+
+// Synthesize builds a clock tree for the flip-flops of nl at their placed
+// locations.
+func Synthesize(nl *netlist.Netlist, pl *placer.Result, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	tech := nl.Tech
+	sinks := nl.Seqs
+	res := &Result{LatencyPS: make(map[int]float64, len(sinks))}
+	if len(sinks) == 0 {
+		return res, nil
+	}
+
+	// Per-stage buffer delay: a clock buffer is a Buf cell of the chosen
+	// drive; latency effort upsizes effective drive.
+	drive := float64(opt.BufferDrive) * (1 + opt.LatencyEffort)
+	bufDelay := tech.GateDelayPS * netlist.Buf.DelayFactor() / math.Sqrt(drive)
+	bufCap := tech.InputCapFF * (0.8 + 0.2*float64(opt.BufferDrive))
+
+	type item struct {
+		id   int
+		x, y float64
+	}
+	items := make([]item, len(sinks))
+	for i, id := range sinks {
+		items[i] = item{id, pl.X[id], pl.Y[id]}
+	}
+
+	// wireDelay approximates Elmore delay of a clock segment of length d µm.
+	wireDelay := func(d float64) float64 {
+		return 0.5*tech.WireRPerUM*tech.WireCPerFFUM*d*d*1e-3 + 0.005*d
+	}
+	// stageDelay is the load-dependent delay of one buffer stage: unequal
+	// leaf loads and wire caps are what create natural skew in the tree.
+	stageDelay := func(loadFF float64) float64 {
+		return bufDelay * (0.6 + loadFF/(drive*8*tech.InputCapFF))
+	}
+
+	var build func(part []item) (cx, cy, latency float64)
+	build = func(part []item) (float64, float64, float64) {
+		cx, cy := 0.0, 0.0
+		for _, it := range part {
+			cx += it.x
+			cy += it.y
+		}
+		cx /= float64(len(part))
+		cy /= float64(len(part))
+
+		if len(part) <= opt.MaxFanout {
+			// Leaf buffer at the centroid drives all sinks directly. Its
+			// delay depends on the total load it sees.
+			res.Buffers++
+			res.SwitchedCapFF += bufCap
+			loadFF := 0.0
+			for _, it := range part {
+				d := math.Abs(it.x-cx) + math.Abs(it.y-cy)
+				loadFF += tech.WireCPerFFUM*d + nl.Cells[it.id].InputCap(tech)
+			}
+			sd := stageDelay(loadFF)
+			maxLat := 0.0
+			for _, it := range part {
+				d := math.Abs(it.x-cx) + math.Abs(it.y-cy)
+				lat := sd + wireDelay(d)
+				res.LatencyPS[it.id] += lat
+				res.WirelengthUM += d
+				res.SwitchedCapFF += tech.WireCPerFFUM * d
+				if lat > maxLat {
+					maxLat = lat
+				}
+			}
+			return cx, cy, maxLat
+		}
+
+		// Split by median along the longer dimension.
+		minX, maxX := part[0].x, part[0].x
+		minY, maxY := part[0].y, part[0].y
+		for _, it := range part {
+			minX = math.Min(minX, it.x)
+			maxX = math.Max(maxX, it.x)
+			minY = math.Min(minY, it.y)
+			maxY = math.Max(maxY, it.y)
+		}
+		if maxX-minX >= maxY-minY {
+			sort.Slice(part, func(i, j int) bool { return part[i].x < part[j].x })
+		} else {
+			sort.Slice(part, func(i, j int) bool { return part[i].y < part[j].y })
+		}
+		mid := len(part) / 2
+		lx, ly, llat := build(part[:mid])
+		rx, ry, rlat := build(part[mid:])
+
+		// This node buffers both children; its delay depends on the wire
+		// and child-buffer load.
+		res.Buffers++
+		res.SwitchedCapFF += bufCap
+		dl := math.Abs(lx-cx) + math.Abs(ly-cy)
+		dr := math.Abs(rx-cx) + math.Abs(ry-cy)
+		res.WirelengthUM += dl + dr
+		res.SwitchedCapFF += tech.WireCPerFFUM * (dl + dr)
+		sd := stageDelay(tech.WireCPerFFUM*(dl+dr) + 2*bufCap)
+		addL := sd + wireDelay(dl)
+		addR := sd + wireDelay(dr)
+		for _, it := range part[:mid] {
+			res.LatencyPS[it.id] += addL
+		}
+		for _, it := range part[mid:] {
+			res.LatencyPS[it.id] += addR
+		}
+		return cx, cy, math.Max(llat+addL, rlat+addR)
+	}
+	build(items)
+
+	// Skew balancing: pad fast sinks up toward (max − target).
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for _, l := range res.LatencyPS {
+		minLat = math.Min(minLat, l)
+		maxLat = math.Max(maxLat, l)
+	}
+	skew := maxLat - minLat
+	if skew > opt.SkewTargetPS && !opt.UsefulSkew {
+		floor := maxLat - opt.SkewTargetPS
+		// Padding uses small delay cells, finer-grained than tree buffers.
+		// Iterate sinks in slice order: float accumulation must be
+		// deterministic across runs.
+		padDelay := bufDelay * 0.3
+		for _, id := range sinks {
+			l := res.LatencyPS[id]
+			if l < floor {
+				// Pad toward the floor, but never beyond the slowest sink:
+				// overshooting would create new skew instead of removing it.
+				n := int(math.Ceil((floor - l) / padDelay))
+				if maxN := int((maxLat - l) / padDelay); n > maxN {
+					n = maxN
+				}
+				if n <= 0 {
+					continue
+				}
+				res.LatencyPS[id] = l + float64(n)*padDelay
+				res.PaddingBuffers += n
+				res.Buffers += n
+				res.SwitchedCapFF += bufCap * float64(n)
+			}
+		}
+		minLat, maxLat = math.Inf(1), math.Inf(-1)
+		for _, l := range res.LatencyPS {
+			minLat = math.Min(minLat, l)
+			maxLat = math.Max(maxLat, l)
+		}
+	}
+	res.SkewPS = maxLat - minLat
+
+	sum := 0.0
+	for _, id := range sinks {
+		sum += res.LatencyPS[id]
+	}
+	res.AvgLatencyPS = sum / float64(len(res.LatencyPS))
+
+	// Sink clock-pin capacitance switches every edge too.
+	for _, id := range sinks {
+		res.SwitchedCapFF += nl.Cells[id].InputCap(tech)
+	}
+	return res, nil
+}

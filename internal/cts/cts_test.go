@@ -1,0 +1,167 @@
+package cts
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/netlist"
+	"insightalign/internal/placer"
+)
+
+func placedDesign(t *testing.T) (*netlist.Netlist, *placer.Result) {
+	t.Helper()
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: "c", Seed: 21, Gates: 500, SeqFraction: 0.3, Depth: 9,
+		TechName: "N28", ClockTightness: 1.0, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.3, ShortPathFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := placer.Place(nl, placer.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, pl
+}
+
+func TestSynthesizeBasic(t *testing.T) {
+	nl, pl := placedDesign(t)
+	res, err := Synthesize(nl, pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LatencyPS) != len(nl.Seqs) {
+		t.Fatalf("latency entries %d, want %d", len(res.LatencyPS), len(nl.Seqs))
+	}
+	for id, l := range res.LatencyPS {
+		if l <= 0 || math.IsNaN(l) {
+			t.Fatalf("sink %d latency %g", id, l)
+		}
+	}
+	if res.Buffers == 0 {
+		t.Fatal("no buffers inserted")
+	}
+	if res.WirelengthUM <= 0 || res.SwitchedCapFF <= 0 {
+		t.Fatal("wirelength / cap should be positive")
+	}
+}
+
+func TestSkewTargetMet(t *testing.T) {
+	nl, pl := placedDesign(t)
+	opt := DefaultOptions()
+	opt.SkewTargetPS = 10
+	res, err := Synthesize(nl, pl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding is quantized to buffer delays, so allow one stage of slop.
+	if res.SkewPS > opt.SkewTargetPS+8 {
+		t.Fatalf("skew %g well above target %g", res.SkewPS, opt.SkewTargetPS)
+	}
+}
+
+func TestTighterSkewCostsBuffers(t *testing.T) {
+	nl, pl := placedDesign(t)
+	loose := DefaultOptions()
+	loose.SkewTargetPS = 60
+	tight := DefaultOptions()
+	tight.SkewTargetPS = 5
+	a, _ := Synthesize(nl, pl, loose)
+	b, _ := Synthesize(nl, pl, tight)
+	if b.SkewPS > a.SkewPS {
+		t.Fatalf("tight target should reduce skew: tight=%g loose=%g", b.SkewPS, a.SkewPS)
+	}
+	if b.Buffers <= a.Buffers {
+		t.Fatalf("tight skew should cost buffers: tight=%d loose=%d", b.Buffers, a.Buffers)
+	}
+	if b.SwitchedCapFF <= a.SwitchedCapFF {
+		t.Fatal("tight skew should switch more capacitance")
+	}
+}
+
+func TestLatencyEffortReducesLatency(t *testing.T) {
+	nl, pl := placedDesign(t)
+	lazy := DefaultOptions()
+	lazy.LatencyEffort = 0
+	eager := DefaultOptions()
+	eager.LatencyEffort = 1
+	a, _ := Synthesize(nl, pl, lazy)
+	b, _ := Synthesize(nl, pl, eager)
+	if b.AvgLatencyPS >= a.AvgLatencyPS {
+		t.Fatalf("latency effort should cut latency: eager=%g lazy=%g", b.AvgLatencyPS, a.AvgLatencyPS)
+	}
+}
+
+func TestUsefulSkewSkipsPadding(t *testing.T) {
+	nl, pl := placedDesign(t)
+	opt := DefaultOptions()
+	opt.SkewTargetPS = 2 // would require heavy padding
+	opt.UsefulSkew = true
+	res, _ := Synthesize(nl, pl, opt)
+	if res.PaddingBuffers != 0 {
+		t.Fatalf("useful-skew mode inserted %d padding buffers", res.PaddingBuffers)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Options{
+		{SkewTargetPS: 0, BufferDrive: 2, MaxFanout: 8},
+		{SkewTargetPS: 10, BufferDrive: 3, MaxFanout: 8},
+		{SkewTargetPS: 10, BufferDrive: 2, MaxFanout: 1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSinks(t *testing.T) {
+	nl, pl := placedDesign(t)
+	nl2 := *nl
+	nl2.Seqs = nil
+	res, err := Synthesize(&nl2, pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LatencyPS) != 0 || res.Buffers != 0 {
+		t.Fatal("empty sink set should produce empty tree")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nl, pl := placedDesign(t)
+	a, _ := Synthesize(nl, pl, DefaultOptions())
+	b, _ := Synthesize(nl, pl, DefaultOptions())
+	if a.SkewPS != b.SkewPS || a.Buffers != b.Buffers || a.WirelengthUM != b.WirelengthUM {
+		t.Fatal("CTS not deterministic")
+	}
+	for id, l := range a.LatencyPS {
+		if b.LatencyPS[id] != l {
+			t.Fatalf("latency differs for sink %d", id)
+		}
+	}
+}
+
+func TestMaxFanoutAffectsTreeDepth(t *testing.T) {
+	nl, pl := placedDesign(t)
+	wide := DefaultOptions()
+	wide.MaxFanout = 40
+	narrow := DefaultOptions()
+	narrow.MaxFanout = 3
+	a, _ := Synthesize(nl, pl, wide)
+	b, _ := Synthesize(nl, pl, narrow)
+	if b.Buffers <= a.Buffers {
+		t.Fatalf("narrow fanout should need more buffers: narrow=%d wide=%d", b.Buffers, a.Buffers)
+	}
+	// Latency is not monotone in fanout: wide leaves carry huge loads,
+	// narrow trees have many stages. Both must simply be positive and
+	// differ, showing the knob actually changes the tree.
+	if a.AvgLatencyPS <= 0 || b.AvgLatencyPS <= 0 || a.AvgLatencyPS == b.AvgLatencyPS {
+		t.Fatalf("fanout knob had no latency effect: narrow=%g wide=%g", b.AvgLatencyPS, a.AvgLatencyPS)
+	}
+}

@@ -1,0 +1,364 @@
+// Package dataset builds and manages the offline alignment dataset of the
+// paper: (design insight, recipe set, QoR) datapoints collected by running
+// the physical design flow with varied recipe combinations over the
+// benchmark suite (the paper uses 3,000 datapoints from 17 designs), plus
+// the k-fold cross-validation splitter used for zero-shot evaluation.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"insightalign/internal/flow"
+	"insightalign/internal/insight"
+	"insightalign/internal/netlist"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+)
+
+// Point is one offline datapoint.
+type Point struct {
+	DesignName string
+	Insight    insight.Vector
+	Set        recipe.Set
+	Metrics    flow.Metrics
+	// QoR is the compound score of Eq. 4, normalized per design.
+	QoR float64
+}
+
+// Dataset is an offline archive of flow runs.
+type Dataset struct {
+	Points    []Point
+	Designs   []string // design order
+	Intention qor.Intention
+	// Built records the options the dataset was constructed with, so
+	// downstream consumers can regenerate the matching design suite.
+	Built BuildOptions
+}
+
+// BuildOptions parameterize dataset construction.
+type BuildOptions struct {
+	// Scale multiplies suite gate counts (1.0 = default suite).
+	Scale float64
+	// PointsPerDesign is the number of recipe sets evaluated per design
+	// (the paper's ≈200 known recipe sets; 3,000 / 17 ≈ 176 by default).
+	PointsPerDesign int
+	// MaxRecipesPerSet bounds sampled recipe set sizes.
+	MaxRecipesPerSet int
+	// Seed drives sampling and flow noise.
+	Seed int64
+	// Workers bounds parallel flow evaluation (0 = NumCPU).
+	Workers int
+	// Intention is the QoR objective (zero value = paper default).
+	Intention qor.Intention
+}
+
+// DefaultBuildOptions matches the paper's experimental setup at laptop
+// scale.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Scale:            0.25,
+		PointsPerDesign:  176,
+		MaxRecipesPerSet: 8,
+		Seed:             1,
+	}
+}
+
+// SampleSet draws a random recipe set: usually a size in [0, maxK], with a
+// 25% heavy tail up to 3·maxK. Density variation matters — the model must
+// see sparse and dense combinations, and the archive must contain strong
+// dense sets for the Win% comparison to be meaningful.
+func SampleSet(rng *rand.Rand, maxK int) recipe.Set {
+	var s recipe.Set
+	k := rng.Intn(maxK + 1)
+	if rng.Float64() < 0.25 {
+		k = maxK + rng.Intn(2*maxK+1)
+	}
+	if k > recipe.N {
+		k = recipe.N
+	}
+	perm := rng.Perm(recipe.N)
+	for i := 0; i < k; i++ {
+		s[perm[i]] = true
+	}
+	return s
+}
+
+// Build constructs the offline dataset by running the flow for every
+// sampled recipe set on every suite design. Designs evaluate in parallel;
+// results are deterministic for a fixed (Scale, Seed).
+func Build(opts BuildOptions) (*Dataset, error) {
+	if opts.PointsPerDesign < 2 {
+		return nil, fmt.Errorf("dataset: PointsPerDesign %d too small", opts.PointsPerDesign)
+	}
+	if opts.MaxRecipesPerSet < 1 || opts.MaxRecipesPerSet > recipe.N {
+		return nil, fmt.Errorf("dataset: MaxRecipesPerSet %d out of range", opts.MaxRecipesPerSet)
+	}
+	intention := opts.Intention
+	if len(intention.Terms) == 0 {
+		intention = qor.Default()
+	}
+	if err := intention.Validate(); err != nil {
+		return nil, err
+	}
+	suite, err := netlist.GenerateSuite(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	perDesign := make([][]Point, len(suite))
+	errs := make([]error, len(suite))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for di, design := range suite {
+		wg.Add(1)
+		go func(di int, design *netlist.Netlist) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pts, err := buildDesign(design, opts, int64(di))
+			perDesign[di], errs[di] = pts, err
+		}(di, design)
+	}
+	wg.Wait()
+	for di, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dataset: design %s: %w", suite[di].Name, err)
+		}
+	}
+
+	ds := &Dataset{Intention: intention, Built: opts}
+	for di, pts := range perDesign {
+		ds.Designs = append(ds.Designs, suite[di].Name)
+		ds.Points = append(ds.Points, pts...)
+	}
+	if err := ds.Rescore(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// buildDesign evaluates one design: a probe run with default parameters
+// produces the design's insight vector, then PointsPerDesign sampled recipe
+// sets produce datapoints sharing that insight.
+func buildDesign(design *netlist.Netlist, opts BuildOptions, designIdx int64) ([]Point, error) {
+	runner := flow.NewRunner(design)
+	rng := rand.New(rand.NewSource(opts.Seed*1000003 + designIdx*7919))
+
+	probeMetrics, probeTrace, err := runner.Run(flow.DefaultParams(), rng.Int63())
+	if err != nil {
+		return nil, fmt.Errorf("probe run: %w", err)
+	}
+	iv := insight.Extract(probeMetrics, probeTrace)
+
+	pts := make([]Point, 0, opts.PointsPerDesign)
+	// The default (empty) recipe set is always in the archive: it is the
+	// probe run itself.
+	pts = append(pts, Point{
+		DesignName: design.Name, Insight: iv, Set: recipe.Set{}, Metrics: *probeMetrics,
+	})
+	seen := map[recipe.Set]bool{{}: true}
+	for len(pts) < opts.PointsPerDesign {
+		s := SampleSet(rng, opts.MaxRecipesPerSet)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		params := recipe.ApplySet(flow.DefaultParams(), s)
+		m, _, err := runner.Run(params, rng.Int63())
+		if err != nil {
+			return nil, fmt.Errorf("recipe set %s: %w", s, err)
+		}
+		pts = append(pts, Point{DesignName: design.Name, Insight: iv, Set: s, Metrics: *m})
+	}
+	return pts, nil
+}
+
+// Rescore recomputes every point's QoR with per-design normalization
+// statistics (Eq. 4). Call after mutating Points or Intention.
+func (d *Dataset) Rescore() error {
+	for _, name := range d.Designs {
+		idx := d.indicesOf(name)
+		if len(idx) == 0 {
+			continue
+		}
+		ms := make([]flow.Metrics, len(idx))
+		for i, j := range idx {
+			ms[i] = d.Points[j].Metrics
+		}
+		scores, _, err := qor.ScoreAll(ms, d.Intention)
+		if err != nil {
+			return err
+		}
+		for i, j := range idx {
+			d.Points[j].QoR = scores[i]
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) indicesOf(design string) []int {
+	var idx []int
+	for i := range d.Points {
+		if d.Points[i].DesignName == design {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// PointsOf returns the datapoints of one design.
+func (d *Dataset) PointsOf(design string) []Point {
+	var out []Point
+	for _, p := range d.Points {
+		if p.DesignName == design {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// InsightOf returns the (probe) insight vector of a design.
+func (d *Dataset) InsightOf(design string) (insight.Vector, bool) {
+	for _, p := range d.Points {
+		if p.DesignName == design {
+			return p.Insight, true
+		}
+	}
+	return insight.Vector{}, false
+}
+
+// StatsOf computes the per-design QoR normalization statistics, used to
+// score new (recommended) recipe sets on the same scale as the archive.
+func (d *Dataset) StatsOf(design string) (qor.Stats, error) {
+	pts := d.PointsOf(design)
+	ms := make([]flow.Metrics, len(pts))
+	for i, p := range pts {
+		ms[i] = p.Metrics
+	}
+	return qor.ComputeStats(ms, d.Intention)
+}
+
+// BestKnown returns the highest-QoR datapoint of a design.
+func (d *Dataset) BestKnown(design string) (Point, bool) {
+	best := Point{QoR: -1e18}
+	found := false
+	for _, p := range d.PointsOf(design) {
+		if p.QoR > best.QoR {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Folds partitions designs into k groups with approximately equal datapoint
+// counts (the paper's 4-fold cross-validation) using greedy size balancing.
+// The assignment is deterministic for a fixed seed.
+func (d *Dataset) Folds(k int, seed int64) [][]string {
+	type dc struct {
+		name  string
+		count int
+	}
+	counts := make([]dc, 0, len(d.Designs))
+	for _, name := range d.Designs {
+		counts = append(counts, dc{name, len(d.indicesOf(name))})
+	}
+	// Shuffle then sort by descending count for greedy balance; the
+	// shuffle breaks ties by seed (the paper uses random groups).
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(counts), func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+	sort.SliceStable(counts, func(i, j int) bool { return counts[i].count > counts[j].count })
+	folds := make([][]string, k)
+	sizes := make([]int, k)
+	for _, c := range counts {
+		best := 0
+		for f := 1; f < k; f++ {
+			if sizes[f] < sizes[best] {
+				best = f
+			}
+		}
+		folds[best] = append(folds[best], c.name)
+		sizes[best] += c.count
+	}
+	return folds
+}
+
+// Split returns the points partitioned into train (designs not in holdout)
+// and test (designs in holdout).
+func (d *Dataset) Split(holdout []string) (train, test []Point) {
+	hold := map[string]bool{}
+	for _, h := range holdout {
+		hold[h] = true
+	}
+	for _, p := range d.Points {
+		if hold[p.DesignName] {
+			test = append(test, p)
+		} else {
+			train = append(train, p)
+		}
+	}
+	return train, test
+}
+
+// Save writes the dataset in gob format.
+func (d *Dataset) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Merge combines another archive into d: same-design points append (with
+// duplicate recipe sets skipped), new designs are added, and all QoR scores
+// are recomputed under d's intention. The build options must agree on
+// Scale so the archives describe the same suite.
+func (d *Dataset) Merge(other *Dataset) error {
+	if other == nil || len(other.Points) == 0 {
+		return nil
+	}
+	if d.Built.Scale != 0 && other.Built.Scale != 0 && d.Built.Scale != other.Built.Scale {
+		return fmt.Errorf("dataset: cannot merge scale %g into scale %g", other.Built.Scale, d.Built.Scale)
+	}
+	seen := map[string]map[recipe.Set]bool{}
+	for _, p := range d.Points {
+		if seen[p.DesignName] == nil {
+			seen[p.DesignName] = map[recipe.Set]bool{}
+		}
+		seen[p.DesignName][p.Set] = true
+	}
+	known := map[string]bool{}
+	for _, name := range d.Designs {
+		known[name] = true
+	}
+	for _, p := range other.Points {
+		if seen[p.DesignName][p.Set] {
+			continue
+		}
+		if !known[p.DesignName] {
+			known[p.DesignName] = true
+			d.Designs = append(d.Designs, p.DesignName)
+		}
+		if seen[p.DesignName] == nil {
+			seen[p.DesignName] = map[recipe.Set]bool{}
+		}
+		seen[p.DesignName][p.Set] = true
+		d.Points = append(d.Points, p)
+	}
+	return d.Rescore()
+}

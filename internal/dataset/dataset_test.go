@@ -1,0 +1,329 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+)
+
+// tinyOptions builds a fast dataset for tests: small designs, few points.
+func tinyOptions() BuildOptions {
+	return BuildOptions{
+		Scale:            0.05,
+		PointsPerDesign:  8,
+		MaxRecipesPerSet: 6,
+		Seed:             3,
+	}
+}
+
+func buildTiny(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Build(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildShape(t *testing.T) {
+	ds := buildTiny(t)
+	if len(ds.Designs) != 17 {
+		t.Fatalf("got %d designs, want 17", len(ds.Designs))
+	}
+	if len(ds.Points) != 17*8 {
+		t.Fatalf("got %d points, want %d", len(ds.Points), 17*8)
+	}
+	for _, name := range ds.Designs {
+		pts := ds.PointsOf(name)
+		if len(pts) != 8 {
+			t.Fatalf("design %s has %d points", name, len(pts))
+		}
+		// All points of a design share the probe insight vector.
+		for _, p := range pts[1:] {
+			if p.Insight != pts[0].Insight {
+				t.Fatalf("design %s has varying insight vectors", name)
+			}
+		}
+	}
+}
+
+func TestQoRZeroMeanPerDesign(t *testing.T) {
+	ds := buildTiny(t)
+	for _, name := range ds.Designs {
+		sum := 0.0
+		for _, p := range ds.PointsOf(name) {
+			sum += p.QoR
+		}
+		if sum > 1e-6 || sum < -1e-6 {
+			t.Fatalf("design %s QoR not zero-mean: %g", name, sum)
+		}
+	}
+}
+
+func TestDistinctSetsPerDesign(t *testing.T) {
+	ds := buildTiny(t)
+	for _, name := range ds.Designs {
+		seen := map[recipe.Set]bool{}
+		for _, p := range ds.PointsOf(name) {
+			if seen[p.Set] {
+				t.Fatalf("design %s has duplicate recipe set %s", name, p.Set)
+			}
+			seen[p.Set] = true
+		}
+		if !seen[recipe.Set{}] {
+			t.Fatalf("design %s missing the default (empty) recipe set", name)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("point counts differ")
+	}
+	for i := range a.Points {
+		if a.Points[i].Set != b.Points[i].Set || a.Points[i].QoR != b.Points[i].QoR {
+			t.Fatalf("point %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBestKnown(t *testing.T) {
+	ds := buildTiny(t)
+	for _, name := range ds.Designs {
+		best, ok := ds.BestKnown(name)
+		if !ok {
+			t.Fatalf("no best for %s", name)
+		}
+		for _, p := range ds.PointsOf(name) {
+			if p.QoR > best.QoR {
+				t.Fatalf("BestKnown missed a better point for %s", name)
+			}
+		}
+	}
+	if _, ok := ds.BestKnown("nonexistent"); ok {
+		t.Fatal("BestKnown should miss unknown design")
+	}
+}
+
+func TestFoldsBalanced(t *testing.T) {
+	ds := buildTiny(t)
+	folds := ds.Folds(4, 7)
+	if len(folds) != 4 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[string]bool{}
+	for _, f := range folds {
+		for _, name := range f {
+			if seen[name] {
+				t.Fatalf("design %s in multiple folds", name)
+			}
+			seen[name] = true
+		}
+	}
+	if len(seen) != 17 {
+		t.Fatalf("folds cover %d designs, want 17", len(seen))
+	}
+	// Equal per-design point counts → fold sizes within one design of
+	// each other times points-per-design.
+	min, max := 1<<30, 0
+	for _, f := range folds {
+		n := 0
+		for _, name := range f {
+			n += len(ds.PointsOf(name))
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 8*2 {
+		t.Fatalf("folds unbalanced: min %d max %d", min, max)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := buildTiny(t)
+	folds := ds.Folds(4, 7)
+	train, test := ds.Split(folds[0])
+	if len(train)+len(test) != len(ds.Points) {
+		t.Fatal("split loses points")
+	}
+	hold := map[string]bool{}
+	for _, h := range folds[0] {
+		hold[h] = true
+	}
+	for _, p := range train {
+		if hold[p.DesignName] {
+			t.Fatal("held-out design leaked into train")
+		}
+	}
+	for _, p := range test {
+		if !hold[p.DesignName] {
+			t.Fatal("non-holdout design in test")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := buildTiny(t)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(ds.Points) || len(back.Designs) != len(ds.Designs) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range ds.Points {
+		if back.Points[i].Set != ds.Points[i].Set || back.Points[i].QoR != ds.Points[i].QoR {
+			t.Fatalf("point %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestInsightOf(t *testing.T) {
+	ds := buildTiny(t)
+	iv, ok := ds.InsightOf("D1")
+	if !ok {
+		t.Fatal("missing D1 insight")
+	}
+	zero := true
+	for _, v := range iv {
+		if v != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		t.Fatal("insight vector is all zeros")
+	}
+	if _, ok := ds.InsightOf("bogus"); ok {
+		t.Fatal("unexpected insight for unknown design")
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	ds := buildTiny(t)
+	st, err := ds.StatsOf("D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Std["power"] <= 0 {
+		t.Fatal("power std should be positive")
+	}
+}
+
+func TestSampleSetRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dense := 0
+	for i := 0; i < 400; i++ {
+		s := SampleSet(rng, 5)
+		if s.Count() > 15 {
+			t.Fatalf("sample has %d recipes, tail bound 15", s.Count())
+		}
+		if s.Count() > 5 {
+			dense++
+		}
+	}
+	if dense == 0 {
+		t.Fatal("dense tail never sampled")
+	}
+	if dense > 200 {
+		t.Fatalf("dense tail too frequent: %d/400", dense)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	o := tinyOptions()
+	o.PointsPerDesign = 1
+	if _, err := Build(o); err == nil {
+		t.Fatal("expected error for tiny PointsPerDesign")
+	}
+	o = tinyOptions()
+	o.MaxRecipesPerSet = 0
+	if _, err := Build(o); err == nil {
+		t.Fatal("expected error for zero MaxRecipesPerSet")
+	}
+	o = tinyOptions()
+	o.Intention = qor.Intention{Terms: []qor.Term{{Metric: "bogus", Weight: 1}}}
+	if _, err := Build(o); err == nil {
+		t.Fatal("expected error for bad intention")
+	}
+}
+
+func TestMergeDatasets(t *testing.T) {
+	a := buildTiny(t)
+	optsB := tinyOptions()
+	optsB.Seed = 77 // different recipe samples, same designs & scale
+	b, err := Build(optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(a.Points)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) <= nA {
+		t.Fatal("merge added nothing")
+	}
+	// No duplicate (design, set) pairs.
+	seen := map[string]map[recipe.Set]bool{}
+	for _, p := range a.Points {
+		if seen[p.DesignName] == nil {
+			seen[p.DesignName] = map[recipe.Set]bool{}
+		}
+		if seen[p.DesignName][p.Set] {
+			t.Fatalf("duplicate (design,set) after merge: %s %s", p.DesignName, p.Set)
+		}
+		seen[p.DesignName][p.Set] = true
+	}
+	// QoR rescored: per-design zero-mean.
+	for _, name := range a.Designs {
+		sum := 0.0
+		for _, p := range a.PointsOf(name) {
+			sum += p.QoR
+		}
+		if sum > 1e-6 || sum < -1e-6 {
+			t.Fatalf("design %s QoR not rescored: %g", name, sum)
+		}
+	}
+	// Merging nil / empty is a no-op.
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeScaleMismatch(t *testing.T) {
+	a := buildTiny(t)
+	optsB := tinyOptions()
+	optsB.Scale = 0.1
+	b, err := Build(optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected scale mismatch error")
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"insightalign/internal/insight"
+)
+
+// WriteCSV exports the dataset as CSV for external analysis: one row per
+// datapoint with design, recipe bitstring, headline metrics, QoR score, and
+// optionally the full insight vector.
+func (d *Dataset) WriteCSV(w io.Writer, includeInsights bool) error {
+	cw := csv.NewWriter(w)
+	header := []string{"design", "recipes", "n_recipes", "tns_ns", "power_mw",
+		"wns_ns", "area_um2", "wirelength_um", "drc", "hold_tns_ns", "qor"}
+	if includeInsights {
+		names := insight.FeatureNames()
+		if len(names) != insight.Dim {
+			// Names populate on first extraction; fall back to indices.
+			names = make([]string, insight.Dim)
+			for i := range names {
+				names[i] = fmt.Sprintf("iv%d", i)
+			}
+		}
+		header = append(header, names...)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, p := range d.Points {
+		row := []string{
+			p.DesignName, p.Set.String(), strconv.Itoa(p.Set.Count()),
+			f(p.Metrics.TNSns), f(p.Metrics.PowerMW), f(p.Metrics.WNSns),
+			f(p.Metrics.AreaUM2), f(p.Metrics.WirelengthUM),
+			strconv.Itoa(p.Metrics.DRCViolations), f(p.Metrics.HoldTNSns), f(p.QoR),
+		}
+		if includeInsights {
+			for _, v := range p.Insight {
+				row = append(row, f(v))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary describes one design's archive slice.
+type Summary struct {
+	Design    string
+	Points    int
+	BestQoR   float64
+	WorstQoR  float64
+	MeanPower float64
+	MeanTNS   float64
+}
+
+// Summarize returns per-design archive statistics in design order.
+func (d *Dataset) Summarize() []Summary {
+	bySet := map[string]*Summary{}
+	for _, p := range d.Points {
+		s := bySet[p.DesignName]
+		if s == nil {
+			s = &Summary{Design: p.DesignName, BestQoR: p.QoR, WorstQoR: p.QoR}
+			bySet[p.DesignName] = s
+		}
+		s.Points++
+		if p.QoR > s.BestQoR {
+			s.BestQoR = p.QoR
+		}
+		if p.QoR < s.WorstQoR {
+			s.WorstQoR = p.QoR
+		}
+		s.MeanPower += p.Metrics.PowerMW
+		s.MeanTNS += p.Metrics.TNSns
+	}
+	var out []Summary
+	for _, name := range d.Designs {
+		if s := bySet[name]; s != nil {
+			s.MeanPower /= float64(s.Points)
+			s.MeanTNS /= float64(s.Points)
+			out = append(out, *s)
+		}
+	}
+	return out
+}

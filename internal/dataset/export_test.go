@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"insightalign/internal/insight"
+)
+
+func TestWriteCSV(t *testing.T) {
+	ds := buildTiny(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ds.Points)+1 {
+		t.Fatalf("csv has %d rows, want %d", len(rows), len(ds.Points)+1)
+	}
+	if rows[0][0] != "design" || rows[0][len(rows[0])-1] != "qor" {
+		t.Fatalf("header wrong: %v", rows[0])
+	}
+	if len(rows[1]) != 11 {
+		t.Fatalf("row has %d columns, want 11", len(rows[1]))
+	}
+}
+
+func TestWriteCSVWithInsights(t *testing.T) {
+	ds := buildTiny(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 11+insight.Dim {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), 11+insight.Dim)
+	}
+	// Recipe bitstring column round-trips.
+	if !strings.ContainsAny(rows[1][1], "01") || len(rows[1][1]) != 40 {
+		t.Fatalf("recipes column malformed: %q", rows[1][1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := buildTiny(t)
+	sums := ds.Summarize()
+	if len(sums) != 17 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	for i, s := range sums {
+		if s.Design != ds.Designs[i] {
+			t.Fatal("summaries not in design order")
+		}
+		if s.Points != 8 {
+			t.Fatalf("%s has %d points", s.Design, s.Points)
+		}
+		if s.BestQoR < s.WorstQoR {
+			t.Fatal("best < worst")
+		}
+		if s.MeanPower <= 0 {
+			t.Fatal("mean power missing")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"insightalign/internal/core"
+	"insightalign/internal/dataset"
+	"insightalign/internal/insight"
+	"insightalign/internal/recipe"
+)
+
+// AblationRow is one variant's zero-shot quality on the fold-0 holdout.
+type AblationRow struct {
+	Variant    string
+	MeanRecQoR float64 // mean best-of-K recommended QoR over holdout designs
+	MeanWinPct float64
+}
+
+// AblationResult collects the design-choice study: alignment loss variants
+// (margin-DPO vs. plain DPO vs. supervised imitation), the value of the
+// insight vector (zeroed-insight control), and a beam width sweep.
+type AblationResult struct {
+	LossRows []AblationRow
+	BeamRows []AblationRow // variant = "K=..."
+}
+
+// RunAblation evaluates the design choices the paper motivates, on fold 0
+// of the cross-validation split (training on the other folds).
+func (e *Env) RunAblation() (*AblationResult, error) {
+	folds := e.Data.Folds(e.Cfg.Folds, e.Cfg.Seed)
+	holdout := folds[0]
+	train, _ := e.Data.Split(holdout)
+
+	res := &AblationResult{}
+
+	// --- Loss variants ---
+	type variant struct {
+		name  string
+		setup func() (*core.Model, error)
+	}
+	newModel := func(seed int64) (*core.Model, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		return core.New(cfg)
+	}
+	variants := []variant{
+		{"margin-DPO (paper)", func() (*core.Model, error) {
+			m, err := newModel(e.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			topt := e.Cfg.Train
+			topt.Loss = core.LossMDPO
+			_, err = m.AlignmentTrain(train, topt)
+			return m, err
+		}},
+		{"plain DPO", func() (*core.Model, error) {
+			m, err := newModel(e.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			topt := e.Cfg.Train
+			topt.Loss = core.LossDPO
+			_, err = m.AlignmentTrain(train, topt)
+			return m, err
+		}},
+		{"supervised imitation", func() (*core.Model, error) {
+			m, err := newModel(e.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sopt := core.DefaultSupervisedOptions()
+			sopt.Epochs = e.Cfg.Train.Epochs
+			sopt.Seed = e.Cfg.Train.Seed
+			_, err = m.SupervisedTrain(train, sopt)
+			return m, err
+		}},
+		{"no insights (zeroed)", func() (*core.Model, error) {
+			m, err := newModel(e.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			zeroed := zeroInsights(train)
+			topt := e.Cfg.Train
+			_, err = m.AlignmentTrain(zeroed, topt)
+			return m, err
+		}},
+	}
+	for _, v := range variants {
+		model, err := v.setup()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+		}
+		zeroIV := strings.HasPrefix(v.name, "no insights")
+		row, err := e.scoreModel(model, holdout, e.Cfg.BeamK, zeroIV)
+		if err != nil {
+			return nil, err
+		}
+		row.Variant = v.name
+		res.LossRows = append(res.LossRows, row)
+	}
+
+	// --- Beam width sweep on the margin-DPO model ---
+	mdpoModel, err := newModel(e.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mdpoModel.AlignmentTrain(train, e.Cfg.Train); err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 5, 10} {
+		row, err := e.scoreModel(mdpoModel, holdout, k, false)
+		if err != nil {
+			return nil, err
+		}
+		row.Variant = fmt.Sprintf("K=%d", k)
+		res.BeamRows = append(res.BeamRows, row)
+	}
+	return res, nil
+}
+
+// scoreModel evaluates a trained model zero-shot on the holdout designs.
+func (e *Env) scoreModel(model *core.Model, holdout []string, beamK int, zeroInsight bool) (AblationRow, error) {
+	var row AblationRow
+	for _, design := range holdout {
+		iv, _ := e.Data.InsightOf(design)
+		query := iv.Slice()
+		if zeroInsight {
+			query = make([]float64, insight.Dim)
+		}
+		cands := model.BeamSearch(query, beamK)
+		sets := make([]recipe.Set, len(cands))
+		for i, c := range cands {
+			sets[i] = c.Set
+		}
+		evals, err := e.EvaluateSets(design, sets, e.Cfg.Seed*2027+int64(designOrder(design)))
+		if err != nil {
+			return row, err
+		}
+		best := evals[0]
+		for _, ev := range evals[1:] {
+			if ev.QoR > best.QoR {
+				best = ev
+			}
+		}
+		known := e.Data.PointsOf(design)
+		wins := 0
+		for _, kp := range known {
+			if best.QoR > kp.QoR {
+				wins++
+			}
+		}
+		row.MeanRecQoR += best.QoR
+		row.MeanWinPct += 100 * float64(wins) / float64(len(known))
+	}
+	n := float64(len(holdout))
+	row.MeanRecQoR /= n
+	row.MeanWinPct /= n
+	return row, nil
+}
+
+// zeroInsights copies points with zeroed insight vectors (the control that
+// measures how much the insight channel contributes).
+func zeroInsights(points []dataset.Point) []dataset.Point {
+	out := make([]dataset.Point, len(points))
+	for i, p := range points {
+		p.Insight = insight.Vector{}
+		out[i] = p
+	}
+	return out
+}
+
+// Format renders the ablation tables.
+func (a *AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: alignment objective (fold-0 holdout, zero-shot)")
+	fmt.Fprintf(&b, "%-24s %12s %10s\n", "variant", "mean RecQoR", "mean Win%")
+	for _, r := range a.LossRows {
+		fmt.Fprintf(&b, "%-24s %12.3f %10.1f\n", r.Variant, r.MeanRecQoR, r.MeanWinPct)
+	}
+	fmt.Fprintln(&b, "\nAblation: beam width (margin-DPO model)")
+	fmt.Fprintf(&b, "%-24s %12s %10s\n", "variant", "mean RecQoR", "mean Win%")
+	for _, r := range a.BeamRows {
+		fmt.Fprintf(&b, "%-24s %12.3f %10.1f\n", r.Variant, r.MeanRecQoR, r.MeanWinPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"insightalign/internal/dataset"
+)
+
+// Shared tiny environment: building datasets and training is the expensive
+// part, so all tests share one Table IV run.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	t4Val   *Table4Result
+	envErr  error
+)
+
+func sharedEnv(t *testing.T) (*Env, *Table4Result) {
+	t.Helper()
+	envOnce.Do(func() {
+		opts := dataset.DefaultBuildOptions()
+		opts.Scale = 0.05
+		opts.PointsPerDesign = 12
+		ds, err := dataset.Build(opts)
+		if err != nil {
+			envErr = err
+			return
+		}
+		cfg := Quick()
+		cfg.Train.Epochs = 2
+		cfg.Train.MaxPairsPerDesign = 60
+		env, err := NewEnv(ds, cfg)
+		if err != nil {
+			envErr = err
+			return
+		}
+		t4, err := env.RunTable4()
+		if err != nil {
+			envErr = err
+			return
+		}
+		envVal, t4Val = env, t4
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal, t4Val
+}
+
+func TestTable4Shape(t *testing.T) {
+	_, t4 := sharedEnv(t)
+	if len(t4.Rows) != 17 {
+		t.Fatalf("Table IV has %d rows, want 17", len(t4.Rows))
+	}
+	for i, r := range t4.Rows {
+		if r.Design == "" || r.BestKnownPower <= 0 || r.RecPower <= 0 {
+			t.Fatalf("row %d incomplete: %+v", i, r)
+		}
+		if r.WinPct < 0 || r.WinPct > 100 {
+			t.Fatalf("row %d Win%% out of range: %g", i, r.WinPct)
+		}
+	}
+	// Rows must be in D1..D17 order.
+	for i := 1; i < len(t4.Rows); i++ {
+		if designOrder(t4.Rows[i].Design) <= designOrder(t4.Rows[i-1].Design) {
+			t.Fatal("rows not in design order")
+		}
+	}
+	// The paper's core claim at reduced fidelity: zero-shot recommendations
+	// beat most known recipe sets on average. Even the tiny test config
+	// should clear a meaningful bar.
+	if t4.MeanWinPct() < 60 {
+		t.Fatalf("mean Win%% = %g, expected transfer to beat 60%%", t4.MeanWinPct())
+	}
+}
+
+func TestTable4RecPointsAndModels(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	for _, name := range env.Data.Designs {
+		if len(t4.RecPoints[name]) != env.Cfg.BeamK {
+			t.Fatalf("design %s has %d rec points, want %d", name, len(t4.RecPoints[name]), env.Cfg.BeamK)
+		}
+		if t4.Models[name] == nil {
+			t.Fatalf("design %s missing fold model", name)
+		}
+	}
+}
+
+func TestTable4Format(t *testing.T) {
+	_, t4 := sharedEnv(t)
+	s := t4.Format()
+	for _, want := range []string{"Table IV", "Design", "Win%", "D1", "D17", "mean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	series, err := env.RunFig5(t4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("Fig 5 has %d series, want 4 (D4, D6, D11, D14)", len(series))
+	}
+	for _, s := range series {
+		if len(s.KnownTNS) == 0 || len(s.RecTNS) == 0 {
+			t.Fatalf("series %s empty", s.Design)
+		}
+		if len(s.KnownTNS) != len(s.KnownPwr) || len(s.RecTNS) != len(s.RecPwr) {
+			t.Fatalf("series %s length mismatch", s.Design)
+		}
+	}
+	out := FormatFig5(series)
+	if !strings.Contains(out, "known,") || !strings.Contains(out, "rec,") {
+		t.Fatal("Fig 5 output missing series rows")
+	}
+}
+
+func TestFig5UnknownDesign(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	if _, err := env.RunFig5(t4, []string{"D99"}); err == nil {
+		t.Fatal("expected error for unknown design")
+	}
+}
+
+func TestOnlineFig6Fig7(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	res, err := env.RunOnline(t4, "D10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != env.Cfg.OnlineIterations {
+		t.Fatalf("got %d online records, want %d", len(res.Records), env.Cfg.OnlineIterations)
+	}
+	// Best-so-far must be monotone (Fig. 6 shape).
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].BestQoR < res.Records[i-1].BestQoR-1e-12 {
+			t.Fatal("online best QoR decreased")
+		}
+	}
+	f6 := FormatFig6([]*OnlineResult{res})
+	if !strings.Contains(f6, "design D10") || !strings.Contains(f6, "iter,") {
+		t.Fatal("Fig 6 output malformed")
+	}
+	f7 := env.FormatFig7(res)
+	if !strings.Contains(f7, "known,") || !strings.Contains(f7, "online,") {
+		t.Fatal("Fig 7 output malformed")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	trs, iaBest, err := env.RunBaselines(t4, "D8", 10, []string{"random", "aco"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 {
+		t.Fatalf("got %d trajectories", len(trs))
+	}
+	for _, tr := range trs {
+		if len(tr.BestSoFar) != 10 {
+			t.Fatalf("%s trajectory has %d entries, want 10", tr.Method, len(tr.BestSoFar))
+		}
+		for i := 1; i < len(tr.BestSoFar); i++ {
+			if tr.BestSoFar[i] < tr.BestSoFar[i-1] {
+				t.Fatalf("%s best-so-far decreased", tr.Method)
+			}
+		}
+	}
+	out := FormatBaselines("D8", trs, iaBest, env.Cfg.BeamK)
+	if !strings.Contains(out, "random") || !strings.Contains(out, "InsightAlign") {
+		t.Fatal("baseline output malformed")
+	}
+}
+
+func TestLowerLeftScore(t *testing.T) {
+	s := Fig5Series{
+		Design:   "X",
+		KnownTNS: []float64{10, 12, 8, 11}, KnownPwr: []float64{5, 6, 4, 5.5},
+		RecTNS: []float64{2, 3}, RecPwr: []float64{2, 2.5},
+	}
+	if s.LowerLeftScore() <= 0 {
+		t.Fatal("clearly lower-left recommendations should score positive")
+	}
+	worse := Fig5Series{
+		Design:   "Y",
+		KnownTNS: []float64{2, 3, 2.5}, KnownPwr: []float64{2, 2.2, 2.4},
+		RecTNS: []float64{10}, RecPwr: []float64{9},
+	}
+	if worse.LowerLeftScore() >= 0 {
+		t.Fatal("upper-right recommendations should score negative")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	env, _ := sharedEnv(t)
+	ab, err := env.RunAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.LossRows) != 4 {
+		t.Fatalf("got %d loss variants, want 4", len(ab.LossRows))
+	}
+	if len(ab.BeamRows) != 4 {
+		t.Fatalf("got %d beam rows, want 4", len(ab.BeamRows))
+	}
+	// Wider beams can only improve best-of-K (same model, superset search).
+	if ab.BeamRows[3].MeanRecQoR < ab.BeamRows[0].MeanRecQoR-0.3 {
+		t.Errorf("K=10 (%g) should not be much worse than K=1 (%g)",
+			ab.BeamRows[3].MeanRecQoR, ab.BeamRows[0].MeanRecQoR)
+	}
+	out := ab.Format()
+	if !strings.Contains(out, "margin-DPO") || !strings.Contains(out, "K=5") {
+		t.Fatal("ablation output malformed")
+	}
+}
+
+func TestFigureSVGs(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	series, err := env.RunFig5(t4, []string{"D4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := Fig5SVG(series[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "D4") || !strings.Contains(svg, "recommended") {
+		t.Fatal("Fig5 SVG malformed")
+	}
+	res, err := env.RunOnline(t4, "D16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg6, err := Fig6SVG(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg6, "best so far") || !strings.Contains(svg6, "stroke-dasharray") {
+		t.Fatal("Fig6 SVG missing trajectory or reference line")
+	}
+	svg7, err := Fig7SVG(env, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg7, "known") {
+		t.Fatal("Fig7 SVG missing known cloud")
+	}
+	trs, iaBest, err := env.RunBaselines(t4, "D16", 6, []string{"random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgB, err := BaselinesSVG("D16", trs, iaBest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svgB, "random") {
+		t.Fatal("baselines SVG missing series")
+	}
+}
+
+func TestParetoOf(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	series, err := env.RunFig5(t4, []string{"D4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := env.ParetoOf(series[0], t4.RecPoints["D4"])
+	if st.Total != env.Cfg.BeamK {
+		t.Fatalf("Total = %d", st.Total)
+	}
+	if st.KnownFrontSize < 1 {
+		t.Fatal("archive must have a Pareto front")
+	}
+	if st.OnOrBeyondFront < 0 || st.OnOrBeyondFront > st.Total {
+		t.Fatalf("OnOrBeyondFront = %d out of range", st.OnOrBeyondFront)
+	}
+}

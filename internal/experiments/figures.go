@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"insightalign/internal/plot"
+)
+
+// Fig5SVG renders one design's power-TNS scatter (known cloud vs zero-shot
+// recommendations) as the paper's Fig. 5 panels.
+func Fig5SVG(s Fig5Series) (string, error) {
+	return plot.Figure{
+		Title:  fmt.Sprintf("Fig. 5 — %s: zero-shot recommendations vs known recipe sets", s.Design),
+		XLabel: "TNS (ns)",
+		YLabel: "total power (mW)",
+		Series: []plot.Series{
+			{Name: "known", X: s.KnownTNS, Y: s.KnownPwr, Color: "#1f77b4"},
+			{Name: "recommended", X: s.RecTNS, Y: s.RecPwr, Color: "#d62728"},
+		},
+	}.SVG()
+}
+
+// Fig6SVG renders one design's online fine-tuning QoR trajectory with the
+// best-known archive score as a reference line.
+func Fig6SVG(r *OnlineResult) (string, error) {
+	var iters, bestQ, avgQ []float64
+	for _, rec := range r.Records {
+		iters = append(iters, float64(rec.Iteration))
+		bestQ = append(bestQ, rec.BestQoR)
+		avgQ = append(avgQ, rec.AvgTopK)
+	}
+	ref := r.BestKnownQoR
+	return plot.Figure{
+		Title:  fmt.Sprintf("Fig. 6 — %s: online fine-tuning trajectory", r.Design),
+		XLabel: "iteration",
+		YLabel: "QoR score",
+		Lines:  true,
+		HLine:  &ref,
+		Series: []plot.Series{
+			{Name: "best so far", X: iters, Y: bestQ, Color: "#d62728"},
+			{Name: "avg top-K", X: iters, Y: avgQ, Color: "#1f77b4"},
+		},
+	}.SVG()
+}
+
+// Fig7SVG renders the progressive online scatter: known cloud plus one
+// series per online iteration (later iterations drift lower-left).
+func Fig7SVG(e *Env, r *OnlineResult) (string, error) {
+	fig := plot.Figure{
+		Title:  fmt.Sprintf("Fig. 7 — %s: progressive QoR during online fine-tuning", r.Design),
+		XLabel: "TNS (ns)",
+		YLabel: "total power (mW)",
+	}
+	var kx, ky []float64
+	for _, kp := range e.Data.PointsOf(r.Design) {
+		kx = append(kx, kp.Metrics.TNSns)
+		ky = append(ky, kp.Metrics.PowerMW)
+	}
+	fig.Series = append(fig.Series, plot.Series{Name: "known", X: kx, Y: ky, Color: "#9fb8d0"})
+	// Early iterations dark, late iterations light (the paper's coloring).
+	shades := []string{"#67000d", "#a50f15", "#cb181d", "#ef3b2c", "#fb6a4a", "#fc9272", "#fcbba1"}
+	n := len(r.Records)
+	for i, rec := range r.Records {
+		var xs, ys []float64
+		for _, ev := range rec.Evaluations {
+			xs = append(xs, ev.Metrics.TNSns)
+			ys = append(ys, ev.Metrics.PowerMW)
+		}
+		shade := shades[i*len(shades)/maxI(n, 1)]
+		name := ""
+		if i == 0 || i == n-1 {
+			name = fmt.Sprintf("iter %d", rec.Iteration)
+		}
+		fig.Series = append(fig.Series, plot.Series{Name: name, X: xs, Y: ys, Color: shade})
+	}
+	return fig.SVG()
+}
+
+// BaselinesSVG renders best-so-far trajectories against the InsightAlign
+// zero-shot reference.
+func BaselinesSVG(design string, trs []BaselineTrajectory, iaBest float64) (string, error) {
+	fig := plot.Figure{
+		Title:  fmt.Sprintf("Baselines on %s: best QoR vs evaluation budget", design),
+		XLabel: "flow evaluations",
+		YLabel: "best QoR so far",
+		Lines:  true,
+		HLine:  &iaBest,
+	}
+	for _, tr := range trs {
+		var xs, ys []float64
+		for i, v := range tr.BestSoFar {
+			xs = append(xs, float64(i+1))
+			ys = append(ys, v)
+		}
+		fig.Series = append(fig.Series, plot.Series{Name: tr.Method, X: xs, Y: ys})
+	}
+	return fig.SVG()
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

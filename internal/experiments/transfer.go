@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"insightalign/internal/core"
+	"insightalign/internal/dataset"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+)
+
+// TransferPoint is one point of the transfer curve: zero-shot quality as a
+// function of how many designs the model was trained on.
+type TransferPoint struct {
+	TrainDesigns int
+	MeanRecQoR   float64
+	MeanWinPct   float64
+}
+
+// RunTransferCurve measures how zero-shot quality grows with offline
+// archive breadth — the practical question behind the paper's
+// transferability claim ("how many past projects do I need?"). The fold-0
+// designs are always held out; training uses the first n of the remaining
+// designs, for each n in sizes.
+func (e *Env) RunTransferCurve(sizes []int) ([]TransferPoint, error) {
+	folds := e.Data.Folds(e.Cfg.Folds, e.Cfg.Seed)
+	holdout := folds[0]
+	var trainDesigns []string
+	hold := map[string]bool{}
+	for _, h := range holdout {
+		hold[h] = true
+	}
+	for _, d := range e.Data.Designs {
+		if !hold[d] {
+			trainDesigns = append(trainDesigns, d)
+		}
+	}
+	// Deterministic shuffle so "first n" is an unbiased sample.
+	rng := rand.New(rand.NewSource(e.Cfg.Seed * 97))
+	rng.Shuffle(len(trainDesigns), func(i, j int) {
+		trainDesigns[i], trainDesigns[j] = trainDesigns[j], trainDesigns[i]
+	})
+
+	if len(sizes) == 0 {
+		sizes = []int{1, 3, 6, len(trainDesigns)}
+	}
+	var out []TransferPoint
+	for _, n := range sizes {
+		if n < 1 || n > len(trainDesigns) {
+			return nil, fmt.Errorf("experiments: transfer size %d out of [1,%d]", n, len(trainDesigns))
+		}
+		use := map[string]bool{}
+		for _, d := range trainDesigns[:n] {
+			use[d] = true
+		}
+		var train []dataset.Point
+		for _, p := range e.Data.Points {
+			if use[p.DesignName] {
+				train = append(train, p)
+			}
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = e.Cfg.Seed + int64(n)
+		model, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		topt := e.Cfg.Train
+		topt.Seed = e.Cfg.Seed + int64(n)*13
+		if _, err := model.AlignmentTrain(train, topt); err != nil {
+			return nil, fmt.Errorf("experiments: transfer n=%d: %w", n, err)
+		}
+		row, err := e.scoreModel(model, holdout, e.Cfg.BeamK, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TransferPoint{TrainDesigns: n, MeanRecQoR: row.MeanRecQoR, MeanWinPct: row.MeanWinPct})
+	}
+	return out, nil
+}
+
+// FormatTransferCurve renders the transfer curve as CSV.
+func FormatTransferCurve(points []TransferPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Transfer curve: zero-shot quality vs number of training designs (fold-0 holdout)")
+	fmt.Fprintln(&b, "train_designs,mean_rec_qor,mean_win_pct")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%.3f,%.1f\n", p.TrainDesigns, p.MeanRecQoR, p.MeanWinPct)
+	}
+	return b.String()
+}
+
+// IntentionRow is one QoR intention's zero-shot outcome.
+type IntentionRow struct {
+	Name       string
+	PowerW     float64 // intention weight on power
+	TNSW       float64 // intention weight on TNS
+	MeanPower  float64 // mean power of best recommendations (mW)
+	MeanTNS    float64 // mean TNS of best recommendations (ns)
+	MeanWinPct float64
+}
+
+// RunIntentionSweep retrains and re-evaluates under different QoR
+// intentions, demonstrating that the framework follows the user's tradeoff
+// (the "QoR intentions" flexibility claimed in the paper's abstract). The
+// dataset is rescored per intention; fold-0 designs stay held out.
+func (e *Env) RunIntentionSweep() ([]IntentionRow, error) {
+	intentions := []struct {
+		name   string
+		pw, tw float64
+	}{
+		{"power-heavy (paper)", 0.7, 0.3},
+		{"balanced", 0.5, 0.5},
+		{"timing-heavy", 0.3, 0.7},
+	}
+	folds := e.Data.Folds(e.Cfg.Folds, e.Cfg.Seed)
+	holdout := folds[0]
+
+	origIntention := e.Data.Intention
+	defer func() {
+		e.Data.Intention = origIntention
+		_ = e.Data.Rescore()
+	}()
+
+	var out []IntentionRow
+	for i, in := range intentions {
+		e.Data.Intention = qor.Intention{Terms: []qor.Term{
+			{Metric: "power", Weight: in.pw},
+			{Metric: "tns", Weight: in.tw},
+		}}
+		if err := e.Data.Rescore(); err != nil {
+			return nil, err
+		}
+		train, _ := e.Data.Split(holdout)
+		cfg := core.DefaultConfig()
+		cfg.Seed = e.Cfg.Seed + int64(i)*7
+		model, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		topt := e.Cfg.Train
+		topt.Seed = e.Cfg.Seed + int64(i)*41
+		if _, err := model.AlignmentTrain(train, topt); err != nil {
+			return nil, fmt.Errorf("experiments: intention %s: %w", in.name, err)
+		}
+		row := IntentionRow{Name: in.name, PowerW: in.pw, TNSW: in.tw}
+		for _, design := range holdout {
+			iv, _ := e.Data.InsightOf(design)
+			cands := model.BeamSearch(iv.Slice(), e.Cfg.BeamK)
+			sets := make([]recipe.Set, len(cands))
+			for j, c := range cands {
+				sets[j] = c.Set
+			}
+			evals, err := e.EvaluateSets(design, sets, e.Cfg.Seed*3001+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			best := evals[0]
+			for _, ev := range evals[1:] {
+				if ev.QoR > best.QoR {
+					best = ev
+				}
+			}
+			known := e.Data.PointsOf(design)
+			wins := 0
+			for _, kp := range known {
+				if best.QoR > kp.QoR {
+					wins++
+				}
+			}
+			row.MeanPower += best.Metrics.PowerMW
+			row.MeanTNS += best.Metrics.TNSns
+			row.MeanWinPct += 100 * float64(wins) / float64(len(known))
+		}
+		n := float64(len(holdout))
+		row.MeanPower /= n
+		row.MeanTNS /= n
+		row.MeanWinPct /= n
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatIntentionSweep renders the sweep table.
+func FormatIntentionSweep(rows []IntentionRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Intention sweep: recommendations follow the user's QoR tradeoff (fold-0 holdout)")
+	fmt.Fprintf(&b, "%-22s %6s %6s %12s %12s %10s\n", "intention", "w_pwr", "w_tns", "mean pwr(mW)", "mean TNS(ns)", "mean Win%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6.1f %6.1f %12.4g %12.4g %10.1f\n",
+			r.Name, r.PowerW, r.TNSW, r.MeanPower, r.MeanTNS, r.MeanWinPct)
+	}
+	return b.String()
+}

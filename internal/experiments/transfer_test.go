@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransferCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transfer curve trains multiple models")
+	}
+	env, _ := sharedEnv(t)
+	points, err := env.RunTransferCurve([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.MeanWinPct < 0 || p.MeanWinPct > 100 {
+			t.Fatalf("Win%% out of range: %g", p.MeanWinPct)
+		}
+	}
+	out := FormatTransferCurve(points)
+	if !strings.Contains(out, "train_designs") {
+		t.Fatal("transfer output malformed")
+	}
+}
+
+func TestTransferCurveValidation(t *testing.T) {
+	env, _ := sharedEnv(t)
+	if _, err := env.RunTransferCurve([]int{0}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := env.RunTransferCurve([]int{99}); err == nil {
+		t.Fatal("expected error for n too large")
+	}
+}
+
+func TestIntentionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("intention sweep trains multiple models")
+	}
+	env, _ := sharedEnv(t)
+	rows, err := env.RunIntentionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanPower <= 0 {
+			t.Fatalf("intention %s has no power", r.Name)
+		}
+	}
+	// The dataset's intention must be restored afterwards.
+	if env.Data.Intention.Terms[0].Weight != 0.7 {
+		t.Fatal("intention sweep did not restore the original intention")
+	}
+	out := FormatIntentionSweep(rows)
+	if !strings.Contains(out, "timing-heavy") {
+		t.Fatal("sweep output malformed")
+	}
+}

@@ -1,0 +1,289 @@
+// Package flow orchestrates the full physical design flow over the
+// simulated engines — placement, clock tree synthesis, global routing,
+// timing analysis with repair, leakage recovery, and power analysis — and
+// collects both the final QoR metrics and the per-stage trace that the
+// insight analyzers consume. It is the stand-in for the commercial P&R tool
+// of the paper; recipes act by mutating Params.
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/placer"
+	"insightalign/internal/power"
+	"insightalign/internal/router"
+	"insightalign/internal/sta"
+)
+
+// Params is the complete flow parameter set. Recipes (internal/recipe) are
+// preconfigured bundles of overrides on these fields.
+type Params struct {
+	// Placement.
+	TargetUtil         float64
+	SpreadStrength     float64
+	TimingDrivenWeight float64
+	PlacementPerturb   float64
+	PlaceCongestionEff float64
+	PlacementSteps     int
+	// Timing repair.
+	SetupFixWeight       float64
+	HoldFixWeight        float64
+	UpsizeAggressiveness float64
+	MaxOptPasses         int
+	// Clock tree synthesis.
+	CTSSkewTargetPS  float64
+	CTSBufferDrive   int
+	CTSMaxFanout     int
+	CTSLatencyEffort float64
+	UsefulSkew       bool
+	// Routing.
+	RouteIterations  int
+	CongestionWeight float64
+	DetourPenalty    float64
+	TrackUtil        float64
+	RouteExpansion   int
+	// Power.
+	LeakageRecoveryEffort float64
+	RecoverySlackMarginPS float64
+	ClockGatingEfficiency float64
+}
+
+// DefaultParams returns the tool's default flow configuration — the
+// starting point every recipe perturbs.
+func DefaultParams() Params {
+	return Params{
+		TargetUtil:            0.70,
+		SpreadStrength:        0.6,
+		TimingDrivenWeight:    0.5,
+		PlacementPerturb:      0.02,
+		PlaceCongestionEff:    0.5,
+		PlacementSteps:        3,
+		SetupFixWeight:        0.5,
+		HoldFixWeight:         0.5,
+		UpsizeAggressiveness:  0.3,
+		MaxOptPasses:          2,
+		CTSSkewTargetPS:       15,
+		CTSBufferDrive:        2,
+		CTSMaxFanout:          12,
+		CTSLatencyEffort:      0.5,
+		RouteIterations:       2,
+		CongestionWeight:      1.0,
+		DetourPenalty:         0.5,
+		TrackUtil:             0.85,
+		RouteExpansion:        2,
+		LeakageRecoveryEffort: 0.5,
+		RecoverySlackMarginPS: 30,
+		ClockGatingEfficiency: 0.2,
+	}
+}
+
+// engine option projections.
+
+func (p Params) placerOptions(seed int64) placer.Options {
+	return placer.Options{
+		TargetUtil:       p.TargetUtil,
+		Steps:            p.PlacementSteps,
+		SpreadStrength:   p.SpreadStrength,
+		TimingWeight:     p.TimingDrivenWeight,
+		Perturbation:     p.PlacementPerturb,
+		CongestionEffort: p.PlaceCongestionEff,
+		Seed:             seed,
+	}
+}
+
+func (p Params) ctsOptions() cts.Options {
+	return cts.Options{
+		SkewTargetPS:  p.CTSSkewTargetPS,
+		BufferDrive:   p.CTSBufferDrive,
+		MaxFanout:     p.CTSMaxFanout,
+		LatencyEffort: p.CTSLatencyEffort,
+		UsefulSkew:    p.UsefulSkew,
+	}
+}
+
+func (p Params) routerOptions(seed int64) router.Options {
+	return router.Options{
+		Iterations:       p.RouteIterations,
+		CongestionWeight: p.CongestionWeight,
+		DetourPenalty:    p.DetourPenalty,
+		TrackUtil:        p.TrackUtil,
+		Expansion:        p.RouteExpansion,
+		Seed:             seed,
+	}
+}
+
+func (p Params) staOptions() sta.Options {
+	return sta.Options{
+		SetupFixWeight:       p.SetupFixWeight,
+		HoldFixWeight:        p.HoldFixWeight,
+		UpsizeAggressiveness: p.UpsizeAggressiveness,
+		MaxOptPasses:         p.MaxOptPasses,
+	}
+}
+
+func (p Params) powerOptions() power.Options {
+	return power.Options{
+		LeakageRecoveryEffort: p.LeakageRecoveryEffort,
+		RecoverySlackMarginPS: p.RecoverySlackMarginPS,
+		ClockGatingEfficiency: p.ClockGatingEfficiency,
+	}
+}
+
+// Validate checks the full parameter set by delegating to every engine.
+func (p Params) Validate() error {
+	if err := p.placerOptions(0).Validate(); err != nil {
+		return err
+	}
+	if err := p.ctsOptions().Validate(); err != nil {
+		return err
+	}
+	if err := p.routerOptions(0).Validate(); err != nil {
+		return err
+	}
+	if err := p.staOptions().Validate(); err != nil {
+		return err
+	}
+	return p.powerOptions().Validate()
+}
+
+// Metrics are the signoff QoR numbers of one flow run. TNS and hold TNS
+// are positive magnitudes (lower is better), matching Table IV units.
+type Metrics struct {
+	TNSns         float64
+	WNSns         float64
+	PowerMW       float64
+	LeakageMW     float64
+	AreaUM2       float64
+	WirelengthUM  float64
+	DRCViolations int
+	HoldTNSns     float64
+	HoldFixCells  int
+	SkewPS        float64
+}
+
+// Trace is the complete per-stage observation record of a run — the raw
+// material for design insights.
+type Trace struct {
+	Design    *netlist.Netlist // the flow-private, post-repair netlist copy
+	Placement *placer.Result
+	CTS       *cts.Result
+	Route     *router.Result
+	// TimingRepair is the analysis that drove setup/hold repair.
+	TimingRepair *sta.Result
+	// TimingFinal is the post-leakage-recovery signoff analysis.
+	TimingFinal   *sta.Result
+	Power         *power.Result
+	RecoverySwaps int
+}
+
+// Runner executes flows against one immutable design.
+type Runner struct {
+	design *netlist.Netlist
+	// NoiseSigma is the relative magnitude of run-to-run tool noise
+	// applied to the headline metrics (default 1%).
+	NoiseSigma float64
+}
+
+// NewRunner wraps a design for repeated flow evaluation. The design itself
+// is never mutated; every run works on a private copy.
+func NewRunner(design *netlist.Netlist) *Runner {
+	return &Runner{design: design, NoiseSigma: 0.01}
+}
+
+// Design returns the wrapped design.
+func (r *Runner) Design() *netlist.Netlist { return r.design }
+
+// Run executes the flow with parameters p. runSeed individualizes
+// stochastic stage decisions and measurement noise; the same (p, runSeed)
+// always reproduces the same result.
+func (r *Runner) Run(p Params, runSeed int64) (*Metrics, *Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("flow: %w", err)
+	}
+	// Private copy: repair transforms mutate Drive/VT. Connectivity
+	// slices are shared (never mutated by any engine).
+	nl := cloneForRun(r.design)
+
+	pl, err := placer.Place(nl, p.placerOptions(runSeed))
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: placement: %w", err)
+	}
+	clk, err := cts.Synthesize(nl, pl, p.ctsOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: cts: %w", err)
+	}
+	rt, err := router.Route(nl, pl, p.routerOptions(runSeed+1))
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: routing: %w", err)
+	}
+	timing, err := sta.Analyze(nl, rt, clk, p.staOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: sta: %w", err)
+	}
+	swaps, err := power.RecoverLeakage(nl, timing, p.powerOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: leakage recovery: %w", err)
+	}
+	timingFinal := timing
+	if swaps > 0 {
+		// Swapped cells got slower; sign off with a repair-free pass and
+		// carry the hold-fix bookkeeping forward (the inserted cells stay).
+		timingFinal, err = sta.Analyze(nl, rt, clk, sta.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: signoff sta: %w", err)
+		}
+		timingFinal.HoldFixCells = timing.HoldFixCells
+		timingFinal.HoldFixCapFF = timing.HoldFixCapFF
+		timingFinal.HoldTNSPS = timing.HoldTNSPS
+		timingFinal.HoldWNSPS = timing.HoldWNSPS
+		timingFinal.UpsizedCells = timing.UpsizedCells
+	}
+	pw, err := power.Analyze(nl, rt, clk, timingFinal, p.powerOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: power: %w", err)
+	}
+	pw.RecoverySwaps = swaps
+
+	m := &Metrics{
+		TNSns:         timingFinal.TNSns(),
+		WNSns:         timingFinal.WNSns(),
+		PowerMW:       pw.TotalMW,
+		LeakageMW:     pw.LeakageMW,
+		AreaUM2:       nl.TotalArea(),
+		WirelengthUM:  rt.TotalWirelengthUM,
+		DRCViolations: rt.DRCViolations,
+		HoldTNSns:     timingFinal.HoldTNSPS / 1000,
+		HoldFixCells:  timingFinal.HoldFixCells,
+		SkewPS:        clk.SkewPS,
+	}
+	// Tool noise: industrial flows are not perfectly reproducible across
+	// machines/versions; datapoints carry small measurement noise.
+	if r.NoiseSigma > 0 {
+		nrng := rand.New(rand.NewSource(runSeed ^ 0x5DEECE66D))
+		m.PowerMW *= 1 + nrng.NormFloat64()*r.NoiseSigma
+		m.TNSns *= 1 + nrng.NormFloat64()*r.NoiseSigma
+	}
+
+	tr := &Trace{
+		Design:        nl,
+		Placement:     pl,
+		CTS:           clk,
+		Route:         rt,
+		TimingRepair:  timing,
+		TimingFinal:   timingFinal,
+		Power:         pw,
+		RecoverySwaps: swaps,
+	}
+	return m, tr, nil
+}
+
+// cloneForRun copies the netlist with fresh Cell structs. Fanin/fanout
+// slices are shared with the original — no engine mutates connectivity.
+func cloneForRun(src *netlist.Netlist) *netlist.Netlist {
+	dst := *src
+	dst.Cells = append([]netlist.Cell(nil), src.Cells...)
+	return &dst
+}

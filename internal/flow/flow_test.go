@@ -1,0 +1,175 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/netlist"
+)
+
+func testDesign(t *testing.T, tightness float64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: "f", Seed: 61, Gates: 500, SeqFraction: 0.3, Depth: 11,
+		TechName: "N16", ClockTightness: tightness, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.4, FanoutSkew: 0.4, ShortPathFraction: 0.2, ActivityMean: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestRunBasic(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	m, tr, err := r.Run(DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerMW <= 0 || math.IsNaN(m.PowerMW) {
+		t.Fatalf("PowerMW = %g", m.PowerMW)
+	}
+	if m.TNSns < 0 && math.Abs(m.TNSns) > 1e6 {
+		t.Fatalf("TNSns looks broken: %g", m.TNSns)
+	}
+	if m.AreaUM2 <= 0 || m.WirelengthUM <= 0 {
+		t.Fatal("area / wirelength must be positive")
+	}
+	if tr.Placement == nil || tr.CTS == nil || tr.Route == nil || tr.TimingFinal == nil || tr.Power == nil {
+		t.Fatal("trace incomplete")
+	}
+	if len(tr.Placement.StepCongestion) != DefaultParams().PlacementSteps {
+		t.Fatal("trace missing placement step congestion")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	a, _, err := r.Run(DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.Run(DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same (params, seed) differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunSeedVariesNoise(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	a, _, _ := r.Run(DefaultParams(), 1)
+	b, _, _ := r.Run(DefaultParams(), 2)
+	if a.PowerMW == b.PowerMW {
+		t.Fatal("different seeds should differ at least by noise")
+	}
+}
+
+func TestRunDoesNotMutateDesign(t *testing.T) {
+	design := testDesign(t, 0.8) // tight: triggers upsizing
+	drives := make([]int, len(design.Cells))
+	vts := make([]netlist.VT, len(design.Cells))
+	for i := range design.Cells {
+		drives[i] = design.Cells[i].Drive
+		vts[i] = design.Cells[i].VT
+	}
+	r := NewRunner(design)
+	p := DefaultParams()
+	p.SetupFixWeight = 1
+	p.LeakageRecoveryEffort = 1
+	if _, tr, err := r.Run(p, 3); err != nil {
+		t.Fatal(err)
+	} else if tr.TimingRepair.UpsizedCells == 0 && tr.RecoverySwaps == 0 {
+		t.Log("warning: no mutation happened; test weaker than intended")
+	}
+	for i := range design.Cells {
+		if design.Cells[i].Drive != drives[i] || design.Cells[i].VT != vts[i] {
+			t.Fatalf("Run mutated the shared design at cell %d", i)
+		}
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	p := DefaultParams()
+	p.TargetUtil = 2.0
+	if _, _, err := r.Run(p, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighSetupEffortImprovesTNS(t *testing.T) {
+	design := testDesign(t, 0.78)
+	r := NewRunner(design)
+	r.NoiseSigma = 0
+	lazy := DefaultParams()
+	lazy.SetupFixWeight = 0
+	lazy.UpsizeAggressiveness = 0
+	eager := DefaultParams()
+	eager.SetupFixWeight = 1
+	eager.UpsizeAggressiveness = 1
+	eager.MaxOptPasses = 4
+	a, _, err := r.Run(lazy, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.Run(eager, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TNSns == 0 {
+		t.Skip("design not timing-challenged at this seed")
+	}
+	if b.TNSns >= a.TNSns {
+		t.Fatalf("setup effort should improve TNS: lazy=%g eager=%g", a.TNSns, b.TNSns)
+	}
+}
+
+func TestLeakageRecoveryTradesPowerForTiming(t *testing.T) {
+	design := testDesign(t, 1.5) // relaxed: recovery is nearly free
+	r := NewRunner(design)
+	r.NoiseSigma = 0
+	off := DefaultParams()
+	off.LeakageRecoveryEffort = 0
+	on := DefaultParams()
+	on.LeakageRecoveryEffort = 1
+	a, _, err := r.Run(off, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, trB, err := r.Run(on, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trB.RecoverySwaps == 0 {
+		t.Skip("no recovery swaps at this configuration")
+	}
+	if b.LeakageMW >= a.LeakageMW {
+		t.Fatalf("recovery should cut leakage: off=%g on=%g", a.LeakageMW, b.LeakageMW)
+	}
+}
+
+func TestMetricsUnitsSane(t *testing.T) {
+	// A relaxed design should meet timing with near-zero TNS; a tight one
+	// should not. This pins the unit conventions (TNS as +magnitude, ns).
+	rLoose := NewRunner(testDesign(t, 1.8))
+	rTight := NewRunner(testDesign(t, 0.7))
+	rLoose.NoiseSigma = 0
+	rTight.NoiseSigma = 0
+	a, _, _ := rLoose.Run(DefaultParams(), 1)
+	b, _, _ := rTight.Run(DefaultParams(), 1)
+	if a.TNSns > b.TNSns {
+		t.Fatalf("relaxed TNS %g should not exceed tight TNS %g", a.TNSns, b.TNSns)
+	}
+	if b.TNSns < 0 {
+		t.Fatalf("TNS magnitude convention violated: %g", b.TNSns)
+	}
+}

@@ -1,0 +1,42 @@
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunResult couples one parallel run's outputs.
+type RunResult struct {
+	Metrics *Metrics
+	Trace   *Trace
+	Err     error
+}
+
+// RunMany executes the flow for every (params, seed) pair concurrently —
+// the "N recipe sets per iteration, bounded by available compute" model of
+// Fig. 2 in the paper. Results are returned in input order. workers ≤ 0
+// uses NumCPU.
+func (r *Runner) RunMany(params []Params, seeds []int64, workers int) ([]RunResult, error) {
+	if len(params) != len(seeds) {
+		return nil, fmt.Errorf("flow: %d params but %d seeds", len(params), len(seeds))
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]RunResult, len(params))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range params {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, tr, err := r.Run(params[i], seeds[i])
+			out[i] = RunResult{Metrics: m, Trace: tr, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package flow
+
+import (
+	"testing"
+)
+
+func TestRunManyMatchesRun(t *testing.T) {
+	r := NewRunner(testDesign(t, 0.95))
+	params := []Params{DefaultParams(), DefaultParams(), DefaultParams()}
+	params[1].TargetUtil = 0.6
+	params[2].LeakageRecoveryEffort = 1
+	seeds := []int64{1, 2, 3}
+	results, err := r.RunMany(params, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("run %d: %v", i, res.Err)
+		}
+		m, _, err := r.Run(params[i], seeds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res.Metrics != *m {
+			t.Fatalf("parallel run %d differs from sequential", i)
+		}
+	}
+}
+
+func TestRunManyLengthMismatch(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	if _, err := r.RunMany([]Params{DefaultParams()}, []int64{1, 2}, 0); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	bad := DefaultParams()
+	bad.TargetUtil = 5
+	results, err := r.RunMany([]Params{DefaultParams(), bad}, []int64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal("good run should succeed")
+	}
+	if results[1].Err == nil {
+		t.Fatal("bad params should fail in-slot")
+	}
+}

@@ -1,0 +1,52 @@
+package flow_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insightalign/internal/flow"
+	"insightalign/internal/netlist"
+	"insightalign/internal/recipe"
+)
+
+// Property: the flow produces finite, sane metrics for ANY recipe set —
+// recipes may trade quality but must never crash or corrupt the metrics.
+func TestFlowMetricsSaneForAnyRecipeSetProperty(t *testing.T) {
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: "prop", Seed: 99, Gates: 250, SeqFraction: 0.3, Depth: 9,
+		TechName: "N16", ClockTightness: 0.9, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.4, FanoutSkew: 0.4, ShortPathFraction: 0.2, ActivityMean: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := flow.NewRunner(nl)
+	f := func(raw [recipe.N]bool, seed int16) bool {
+		params := recipe.ApplySet(flow.DefaultParams(), recipe.Set(raw))
+		m, tr, err := runner.Run(params, int64(seed))
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{m.TNSns, m.PowerMW, m.AreaUM2, m.WirelengthUM, m.HoldTNSns, m.SkewPS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		if m.TNSns < 0 || m.PowerMW <= 0 || m.AreaUM2 <= 0 || m.HoldTNSns < 0 {
+			return false
+		}
+		if m.DRCViolations < 0 || m.HoldFixCells < 0 {
+			return false
+		}
+		if tr.Power.TotalMW <= 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

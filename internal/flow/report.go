@@ -1,0 +1,72 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport renders a tool-log-style summary of one flow run: per-stage
+// health, final metrics, and the repair/recovery activity. This is the
+// human-readable companion of the machine-readable Metrics/Trace pair.
+func WriteReport(w io.Writer, m *Metrics, tr *Trace) error {
+	nl := tr.Design
+	st := nl.Stats()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "==== flow report: %s (%s, %.0f ps clock) ====\n",
+		nl.Name, nl.Tech.Name, nl.ClockPeriodPS)
+	fmt.Fprintf(&b, "design    : %d gates, %d registers, depth %d, avg fanout %.2f\n",
+		st.Gates, st.Seqs, st.MaxLevel, st.AvgFanout)
+	fmt.Fprintf(&b, "VT mix    : %.0f%% HVT / %.0f%% SVT / %.0f%% LVT\n",
+		100*st.HVTFraction, 100*(1-st.HVTFraction-st.LVTFraction), 100*st.LVTFraction)
+
+	fmt.Fprintf(&b, "\n-- placement --\n")
+	for i, cs := range tr.Placement.StepCongestion {
+		fmt.Fprintf(&b, "step %d    : congestion %-6s (max util %.2f, %.1f%% bins overflowed)\n",
+			i+1, cs.Level(), cs.MaxUtil, 100*cs.OverflowFrac)
+	}
+	fmt.Fprintf(&b, "die       : %.1f x %.1f um, final avg util %.2f\n",
+		tr.Placement.DieW, tr.Placement.DieH, tr.Placement.FinalUtil)
+
+	fmt.Fprintf(&b, "\n-- clock tree --\n")
+	fmt.Fprintf(&b, "buffers   : %d (%d skew padding), wirelength %.0f um\n",
+		tr.CTS.Buffers, tr.CTS.PaddingBuffers, tr.CTS.WirelengthUM)
+	fmt.Fprintf(&b, "skew      : %.2f ps, avg latency %.2f ps\n", tr.CTS.SkewPS, tr.CTS.AvgLatencyPS)
+
+	fmt.Fprintf(&b, "\n-- routing --\n")
+	fmt.Fprintf(&b, "wirelength: %.0f um, %d detoured nets\n", tr.Route.TotalWirelengthUM, tr.Route.DetouredNets)
+	fmt.Fprintf(&b, "overflow  : total %d, worst edge %d, %.1f%% edges\n",
+		tr.Route.OverflowTotal, tr.Route.MaxEdgeOverflow, 100*tr.Route.OverflowedEdgeFrac)
+	fmt.Fprintf(&b, "DRC est.  : %d violations\n", tr.Route.DRCViolations)
+
+	fmt.Fprintf(&b, "\n-- timing --\n")
+	fmt.Fprintf(&b, "setup     : WNS %.4g ns, TNS %.4g ns, %d failing endpoints\n",
+		m.WNSns, m.TNSns, tr.TimingFinal.FailingEndpoints)
+	fmt.Fprintf(&b, "hold      : %d violations pre-repair, %d fix cells inserted, residual TNS %.4g ns\n",
+		tr.TimingRepair.HoldViolationsBefore, m.HoldFixCells, m.HoldTNSns)
+	fmt.Fprintf(&b, "repair    : %d cells upsized/VT-swapped, weak cells on critical paths %.1f%%\n",
+		tr.TimingRepair.UpsizedCells, tr.TimingFinal.WeakCellPct)
+	if tr.TimingFinal.HarmfulSkewPaths > 0 {
+		fmt.Fprintf(&b, "clock     : %d critical paths with harmful skew\n", tr.TimingFinal.HarmfulSkewPaths)
+	}
+
+	fmt.Fprintf(&b, "\n-- power --\n")
+	pw := tr.Power
+	fmt.Fprintf(&b, "total     : %.4g mW (dyn %.4g, leak %.4g, seq %.4g, clk %.4g, holdfix %.4g)\n",
+		pw.TotalMW, pw.DynamicMW, pw.LeakageMW, pw.SequentialMW, pw.ClockTreeMW, pw.HoldFixMW)
+	fmt.Fprintf(&b, "recovery  : %d HVT swaps\n", tr.RecoverySwaps)
+	if pw.LeakageFraction > 0.30 {
+		fmt.Fprintf(&b, "note      : leakage dominant (%.0f%% of total)\n", 100*pw.LeakageFraction)
+	}
+	if pw.SeqFraction > 0.35 {
+		fmt.Fprintf(&b, "note      : sequential power dominant (%.0f%% of total)\n", 100*pw.SeqFraction)
+	}
+
+	fmt.Fprintf(&b, "\n-- signoff --\n")
+	fmt.Fprintf(&b, "area %.0f um2, wirelength %.0f um, skew %.1f ps, DRC %d\n",
+		m.AreaUM2, m.WirelengthUM, m.SkewPS, m.DRCViolations)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

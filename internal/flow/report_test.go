@@ -1,0 +1,35 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	r := NewRunner(testDesign(t, 0.9))
+	m, tr, err := r.Run(DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, m, tr); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"flow report", "-- placement --", "-- clock tree --", "-- routing --",
+		"-- timing --", "-- power --", "-- signoff --",
+		"congestion", "WNS", "hold", "total",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every placement step appears.
+	for i := 1; i <= DefaultParams().PlacementSteps; i++ {
+		if !strings.Contains(s, "step "+string(rune('0'+i))) {
+			t.Errorf("report missing placement step %d", i)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package insight
+
+// Accumulator maintains a running mean of insight vectors. The paper's
+// framework accumulates insights in non-volatile storage across flow
+// iterations, "providing a progressively generalized view of the design"
+// (Sec. III.B); this is that store.
+type Accumulator struct {
+	sum   Vector
+	count int
+}
+
+// Add folds one freshly extracted insight vector into the store.
+func (a *Accumulator) Add(v Vector) {
+	for i := range v {
+		a.sum[i] += v[i]
+	}
+	a.count++
+}
+
+// Count returns how many vectors have been accumulated.
+func (a *Accumulator) Count() int { return a.count }
+
+// Mean returns the accumulated (averaged) insight view; the zero vector
+// before any Add.
+func (a *Accumulator) Mean() Vector {
+	var out Vector
+	if a.count == 0 {
+		return out
+	}
+	for i := range a.sum {
+		out[i] = a.sum[i] / float64(a.count)
+	}
+	return out
+}

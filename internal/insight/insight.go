@@ -1,0 +1,223 @@
+// Package insight transforms the raw per-stage trace of a flow run into the
+// fixed-width design insight vector of the paper: quantitative encodings of
+// the flow-health analyses a physical design expert would perform (Table I),
+// covering placement congestion per step, timing difficulty, power structure
+// and saving opportunity, clock health, hold-fix pressure, and weak cells on
+// critical paths, plus structural design descriptors. The vector is the
+// conditioning context of the InsightAlign model (Table III: insight
+// embedding input is 1×72).
+package insight
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"insightalign/internal/flow"
+	"insightalign/internal/netlist"
+)
+
+// Dim is the insight vector width (Table III: Insight Embed. input (1,72)).
+const Dim = 72
+
+// Vector is a design insight vector.
+type Vector [Dim]float64
+
+// Feature names, in vector order, published once after the first Extract.
+var (
+	nameOnce     sync.Once
+	featureNames []string
+)
+
+// FeatureNames returns the ordered names of all insight features (empty
+// before the first Extract call).
+func FeatureNames() []string { return append([]string(nil), featureNames...) }
+
+// builder accumulates named features and enforces the fixed width.
+type builder struct {
+	v     Vector
+	i     int
+	names []string
+}
+
+func (b *builder) add(name string, value float64) {
+	if b.i >= Dim {
+		panic(fmt.Sprintf("insight: more than %d features (adding %q)", Dim, name))
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		value = 0
+	}
+	b.v[b.i] = value
+	b.names = append(b.names, name)
+	b.i++
+}
+
+// oneHot3 encodes a {low, medium, high} categorical as three features.
+func (b *builder) oneHot3(prefix, level string) {
+	for _, l := range []string{"low", "medium", "high"} {
+		v := 0.0
+		if l == level {
+			v = 1
+		}
+		b.add(prefix+"_"+l, v)
+	}
+}
+
+func (b *builder) yesNo(name string, yes bool) {
+	v := 0.0
+	if yes {
+		v = 1
+	}
+	b.add(name, v)
+}
+
+// Extract computes the insight vector from one flow run's metrics and trace.
+// The first (probe) iteration of a design produces its zero-shot insights;
+// later iterations refresh them.
+func Extract(m *flow.Metrics, tr *flow.Trace) Vector {
+	b := &builder{}
+	nl := tr.Design
+	tech := nl.Tech
+	st := nl.Stats()
+	T := nl.ClockPeriodPS
+
+	// --- Placement congestion per step (Table I row 1) ---
+	// Always encode exactly 3 steps; extra steps fold into step 3, missing
+	// steps repeat the last observation.
+	steps := tr.Placement.StepCongestion
+	for i := 0; i < 3; i++ {
+		idx := i
+		if idx >= len(steps) {
+			idx = len(steps) - 1
+		}
+		b.oneHot3(fmt.Sprintf("place_cong_step%d", i+1), steps[idx].Level())
+	}
+	last := steps[len(steps)-1]
+	b.add("place_overflow_frac", last.OverflowFrac*10)
+	b.add("place_max_util", last.MaxUtil)
+	b.add("place_avg_util", last.AvgUtil)
+	b.add("place_hotspots_norm", math.Log1p(float64(last.HotspotBins))/5)
+
+	// --- Timing (Table I rows 2, 7, 8) ---
+	// "Easy" reflects the design's intrinsic difficulty: judged before
+	// leakage recovery deliberately spends the slack margin, and with an
+	// expert's tolerance — a couple percent of the period from closure is
+	// still easy.
+	timingEasy := tr.TimingRepair.WNSPS > -0.03*T && tr.TimingRepair.TNSPS < 0.2*T
+	b.yesNo("timing_easy", timingEasy)
+	b.add("wns_over_period", tr.TimingFinal.WNSPS/T)
+	b.add("tns_log", math.Log1p(tr.TimingFinal.TNSPS)/8)
+	b.add("failing_endpoints_frac", safeDiv(float64(tr.TimingFinal.FailingEndpoints), float64(len(nl.Seqs)+len(nl.Outputs))))
+	b.add("max_path_over_period", tr.TimingFinal.MaxPathDelayPS/T)
+	b.add("hold_fix_count_log", math.Log1p(float64(tr.TimingRepair.HoldFixCells))/6)
+	b.add("hold_violation_frac", safeDiv(float64(tr.TimingRepair.HoldViolationsBefore), float64(len(nl.Seqs))))
+	b.add("hold_tns_log", math.Log1p(tr.TimingFinal.HoldTNSPS)/6)
+	b.add("weak_cell_pct", tr.TimingFinal.WeakCellPct/100)
+	b.add("critical_cell_frac", safeDiv(float64(len(tr.TimingFinal.CriticalCells)), float64(st.Gates)))
+	b.add("upsized_frac", safeDiv(float64(tr.TimingRepair.UpsizedCells), float64(st.Gates))*10)
+
+	// --- Power (Table I rows 3-5) ---
+	pw := tr.Power
+	b.yesNo("seq_power_dominant", pw.SeqFraction > 0.35)
+	b.yesNo("leakage_dominant", pw.LeakageFraction > 0.30)
+	// "Good opportunity for power saving during step Y": positive slack
+	// margin combined with a non-HVT population (post-place estimate) and
+	// with leakage-heavy totals (post-route estimate).
+	slackMargin := tr.TimingFinal.WNSPS > 0.05*T
+	b.yesNo("power_save_opp_postplace", slackMargin && st.HVTFraction < 0.6)
+	b.yesNo("power_save_opp_postroute", pw.LeakageFraction > 0.2 && slackMargin)
+	b.add("leakage_frac", pw.LeakageFraction)
+	b.add("seq_power_frac", pw.SeqFraction)
+	b.add("clock_power_frac", safeDiv(pw.ClockTreeMW, pw.TotalMW))
+	b.add("dynamic_power_frac", safeDiv(pw.DynamicMW, pw.TotalMW))
+	b.add("power_per_gate_log", math.Log1p(safeDiv(pw.TotalMW, float64(st.Gates))*1000)/5)
+	b.add("recovery_swaps_frac", safeDiv(float64(tr.RecoverySwaps), float64(st.Gates)))
+	b.add("holdfix_power_frac", safeDiv(pw.HoldFixMW, pw.TotalMW)*10)
+
+	// --- Clock (Table I row 6) ---
+	b.yesNo("harmful_clock_skew", tr.TimingFinal.HarmfulSkewPaths > 0)
+	b.add("harmful_skew_paths_log", math.Log1p(float64(tr.TimingFinal.HarmfulSkewPaths))/4)
+	b.add("skew_over_period", tr.CTS.SkewPS/T*10)
+	b.add("clock_latency_over_period", tr.CTS.AvgLatencyPS/T)
+	b.add("cts_buffers_per_sink", safeDiv(float64(tr.CTS.Buffers), float64(len(nl.Seqs))))
+	b.add("cts_padding_frac", safeDiv(float64(tr.CTS.PaddingBuffers), float64(tr.CTS.Buffers)))
+
+	// --- Routing health ---
+	rt := tr.Route
+	b.add("route_overflow_frac", rt.OverflowedEdgeFrac*5)
+	b.add("route_max_overflow_log", math.Log1p(float64(rt.MaxEdgeOverflow))/5)
+	b.add("drc_log", math.Log1p(float64(rt.DRCViolations))/8)
+	b.add("detoured_frac", safeDiv(float64(rt.DetouredNets), float64(st.Gates)))
+	b.add("avg_edge_util", rt.AvgEdgeUtil)
+	b.add("wirelength_per_gate", safeDiv(rt.TotalWirelengthUM, float64(st.Gates))/20)
+
+	// --- Structural descriptors ---
+	b.add("gates_log", math.Log1p(float64(st.Gates))/12)
+	b.add("seq_fraction", safeDiv(float64(st.Seqs), float64(st.Gates)))
+	b.add("logic_depth_norm", float64(st.MaxLevel)/30)
+	b.add("avg_fanout", st.AvgFanout/4)
+	b.add("max_fanout_log", math.Log1p(float64(st.MaxFanout))/6)
+	b.add("hvt_fraction", st.HVTFraction)
+	b.add("lvt_fraction", st.LVTFraction)
+	b.add("clock_period_log", math.Log1p(T)/8)
+	b.add("area_per_gate", safeDiv(nl.TotalArea(), float64(st.Gates))/5)
+	for _, tn := range []string{"N45", "N28", "N16", "N7"} {
+		b.yesNo("tech_"+tn, tech.Name == tn)
+	}
+	b.add("activity_mean", meanActivityProxy(nl))
+	b.add("gate_delay_norm", tech.GateDelayPS/30)
+
+	// --- Headline metric echoes (normalized, design-relative) ---
+	b.add("metric_tns_log", math.Log1p(m.TNSns*1000)/8)
+	b.add("metric_power_log", math.Log1p(m.PowerMW)/8)
+	b.add("metric_area_log", math.Log1p(m.AreaUM2)/12)
+	b.add("metric_wirelength_log", math.Log1p(m.WirelengthUM)/12)
+	b.add("metric_drc_log", math.Log1p(float64(m.DRCViolations))/8)
+	b.add("metric_holdfix_log", math.Log1p(float64(m.HoldFixCells))/6)
+	b.add("metric_skew_norm", m.SkewPS/T*10)
+
+	// --- Interface and partitioning descriptors ---
+	b.add("inputs_log", math.Log1p(float64(len(nl.Inputs)))/8)
+	b.add("outputs_log", math.Log1p(float64(len(nl.Outputs)))/8)
+	b.add("clusters_norm", math.Log1p(float64(nl.Clusters))/5)
+
+	if b.i != Dim {
+		panic(fmt.Sprintf("insight: assembled %d features, want %d", b.i, Dim))
+	}
+	nameOnce.Do(func() { featureNames = b.names })
+	return b.v
+}
+
+// Slice returns the vector as a fresh []float64 (the model input format).
+func (v Vector) Slice() []float64 {
+	out := make([]float64, Dim)
+	copy(out, v[:])
+	return out
+}
+
+// Describe renders a name→value report of the most informative features.
+func (v Vector) Describe() string {
+	s := ""
+	for i, name := range featureNames {
+		if v[i] != 0 {
+			s += fmt.Sprintf("%-28s %8.4f\n", name, v[i])
+		}
+	}
+	return s
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// meanActivityProxy estimates mean switching activity from design traits;
+// in a real tool this comes from simulation or vectorless analysis.
+func meanActivityProxy(nl *netlist.Netlist) float64 {
+	if nl.Traits.ActivityMean > 0 {
+		return nl.Traits.ActivityMean
+	}
+	return 0.15
+}

@@ -1,0 +1,203 @@
+package insight
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/flow"
+	"insightalign/internal/netlist"
+)
+
+func runFlow(t *testing.T, spec netlist.Spec, p flow.Params) (*flow.Metrics, *flow.Trace) {
+	t.Helper()
+	nl, err := netlist.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := flow.NewRunner(nl)
+	m, tr, err := r.Run(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tr
+}
+
+func spec(seed int64) netlist.Spec {
+	return netlist.Spec{
+		Name: "i", Seed: seed, Gates: 400, SeqFraction: 0.3, Depth: 10,
+		TechName: "N16", ClockTightness: 1.0, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.3, ShortPathFraction: 0.2, ActivityMean: 0.2,
+	}
+}
+
+func TestExtractDimension(t *testing.T) {
+	m, tr := runFlow(t, spec(71), flow.DefaultParams())
+	v := Extract(m, tr)
+	if len(v) != Dim || Dim != 72 {
+		t.Fatalf("vector length %d, want 72", len(v))
+	}
+	names := FeatureNames()
+	if len(names) != Dim {
+		t.Fatalf("FeatureNames has %d entries, want %d", len(names), Dim)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestExtractFiniteAndBounded(t *testing.T) {
+	m, tr := runFlow(t, spec(72), flow.DefaultParams())
+	v := Extract(m, tr)
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("feature %d (%s) = %g", i, FeatureNames()[i], x)
+		}
+		if math.Abs(x) > 25 {
+			t.Errorf("feature %d (%s) = %g suspiciously large", i, FeatureNames()[i], x)
+		}
+	}
+}
+
+func TestTableIInsightsPresent(t *testing.T) {
+	m, tr := runFlow(t, spec(73), flow.DefaultParams())
+	Extract(m, tr)
+	names := map[string]bool{}
+	for _, n := range FeatureNames() {
+		names[n] = true
+	}
+	// Every Table I insight category must exist in the schema.
+	required := []string{
+		"place_cong_step1_low", "place_cong_step2_medium", "place_cong_step3_high", // congestion per step
+		"timing_easy",              // is easy to meet timing
+		"power_save_opp_postplace", // power saving opportunity step Y
+		"power_save_opp_postroute", //
+		"seq_power_dominant",       // sequential-cell power dominant
+		"leakage_dominant",         // leakage dominant
+		"harmful_clock_skew",       // harmful clock skew paths
+		"hold_fix_count_log",       // instance count from hold fixes
+		"weak_cell_pct",            // weak cell percentage on critical paths
+	}
+	for _, r := range required {
+		if !names[r] {
+			t.Errorf("required Table I insight %q missing", r)
+		}
+	}
+}
+
+func TestOneHotExclusive(t *testing.T) {
+	m, tr := runFlow(t, spec(74), flow.DefaultParams())
+	v := Extract(m, tr)
+	names := FeatureNames()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	for step := 1; step <= 3; step++ {
+		sum := 0.0
+		for _, lvl := range []string{"low", "medium", "high"} {
+			sum += v[idx["place_cong_step"+string(rune('0'+step))+"_"+lvl]]
+		}
+		if sum != 1 {
+			t.Fatalf("step %d congestion one-hot sums to %g", step, sum)
+		}
+	}
+	// Tech one-hot too.
+	sum := 0.0
+	for _, tn := range []string{"N45", "N28", "N16", "N7"} {
+		sum += v[idx["tech_"+tn]]
+	}
+	if sum != 1 {
+		t.Fatalf("tech one-hot sums to %g", sum)
+	}
+}
+
+func TestInsightsDistinguishDesigns(t *testing.T) {
+	easy := spec(75)
+	easy.ClockTightness = 1.8
+	easy.HVTFraction = 0.7
+	hard := spec(76)
+	hard.ClockTightness = 0.75
+	hard.LVTFraction = 0.4
+	hard.Locality = 0.1
+	mE, trE := runFlow(t, easy, flow.DefaultParams())
+	mH, trH := runFlow(t, hard, flow.DefaultParams())
+	vE := Extract(mE, trE)
+	vH := Extract(mH, trH)
+	diff := 0.0
+	for i := range vE {
+		diff += math.Abs(vE[i] - vH[i])
+	}
+	if diff < 1.0 {
+		t.Fatalf("insights barely distinguish easy vs hard designs: L1 diff %g", diff)
+	}
+	idx := map[string]int{}
+	for i, n := range FeatureNames() {
+		idx[n] = i
+	}
+	if vE[idx["timing_easy"]] != 1 {
+		t.Error("relaxed design should be timing-easy")
+	}
+	if vH[idx["timing_easy"]] != 0 {
+		t.Error("tight design should not be timing-easy")
+	}
+}
+
+func TestSliceCopies(t *testing.T) {
+	var v Vector
+	v[0] = 5
+	s := v.Slice()
+	s[0] = 9
+	if v[0] != 5 {
+		t.Fatal("Slice must copy")
+	}
+	if len(s) != Dim {
+		t.Fatal("Slice length wrong")
+	}
+}
+
+func TestDescribeNonEmpty(t *testing.T) {
+	m, tr := runFlow(t, spec(77), flow.DefaultParams())
+	v := Extract(m, tr)
+	if v.Describe() == "" {
+		t.Fatal("Describe should render something")
+	}
+}
+
+func TestDeterministicExtraction(t *testing.T) {
+	m1, tr1 := runFlow(t, spec(78), flow.DefaultParams())
+	m2, tr2 := runFlow(t, spec(78), flow.DefaultParams())
+	v1 := Extract(m1, tr1)
+	v2 := Extract(m2, tr2)
+	if v1 != v2 {
+		t.Fatal("extraction not deterministic for identical runs")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 {
+		t.Fatal("fresh accumulator should be empty")
+	}
+	zero := a.Mean()
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("empty mean should be zero vector")
+		}
+	}
+	var v1, v2 Vector
+	v1[0], v1[1] = 2, 4
+	v2[0], v2[1] = 4, 0
+	a.Add(v1)
+	a.Add(v2)
+	m := a.Mean()
+	if m[0] != 3 || m[1] != 2 {
+		t.Fatalf("mean = (%g,%g), want (3,2)", m[0], m[1])
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+}

@@ -1,0 +1,324 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec parameterizes synthetic netlist generation. Every field is a latent
+// design trait; the flow engines respond to them and the insight analyzers
+// observe their effects, which is what makes cross-design transfer learnable.
+type Spec struct {
+	Name string
+	Seed int64
+	// Gates is the approximate number of logic cells.
+	Gates int
+	// SeqFraction is the fraction of gates that are flip-flops.
+	SeqFraction float64
+	// Depth is the target combinational logic depth between registers.
+	Depth int
+	// TechName selects the technology node.
+	TechName string
+	// ClockTightness scales the clock period relative to the natural
+	// critical-path estimate: <1 is aggressive (timing-challenged),
+	// >1 is relaxed (timing-easy).
+	ClockTightness float64
+	// HVTFraction and LVTFraction set the initial threshold-voltage mix.
+	HVTFraction float64
+	LVTFraction float64
+	// Clusters is the number of logical modules; connectivity is biased
+	// to stay within a cluster by Locality.
+	Clusters int
+	// Locality in [0,1]: 1 keeps all edges intra-cluster (easy to place),
+	// 0 wires uniformly across the die (congestion-prone).
+	Locality float64
+	// FanoutSkew in [0,1] controls how heavy the fanout tail is.
+	FanoutSkew float64
+	// ShortPathFraction is the fraction of register D-inputs fed by very
+	// shallow logic, creating hold-time risk.
+	ShortPathFraction float64
+	// ActivityMean is the mean primary-input switching activity.
+	ActivityMean float64
+	// NumInputs/NumOutputs are port counts (derived from Gates if zero).
+	NumInputs  int
+	NumOutputs int
+}
+
+// withDefaults fills derived defaults.
+func (s Spec) withDefaults() Spec {
+	if s.NumInputs == 0 {
+		s.NumInputs = maxInt(8, s.Gates/40)
+	}
+	if s.NumOutputs == 0 {
+		s.NumOutputs = maxInt(8, s.Gates/50)
+	}
+	if s.Depth == 0 {
+		s.Depth = 12
+	}
+	if s.Clusters == 0 {
+		s.Clusters = maxInt(2, s.Gates/400)
+	}
+	if s.ClockTightness == 0 {
+		s.ClockTightness = 1.0
+	}
+	if s.ActivityMean == 0 {
+		s.ActivityMean = 0.15
+	}
+	if s.TechName == "" {
+		s.TechName = "N28"
+	}
+	return s
+}
+
+// combKinds is the pool of combinational kinds with sampling weights.
+var combKinds = []struct {
+	kind   CellKind
+	weight float64
+}{
+	{Inv, 0.14}, {Buf, 0.06}, {Nand2, 0.22}, {Nor2, 0.14},
+	{And2, 0.12}, {Or2, 0.10}, {Xor2, 0.08}, {Aoi22, 0.08}, {Mux2, 0.06},
+}
+
+// Generate builds a deterministic synthetic netlist from spec. The result
+// always passes Validate.
+func Generate(spec Spec) (*Netlist, error) {
+	spec = spec.withDefaults()
+	if spec.Gates < 20 {
+		return nil, fmt.Errorf("netlist: Gates=%d too small", spec.Gates)
+	}
+	tech, err := TechByName(spec.TechName)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	nSeq := int(float64(spec.Gates) * spec.SeqFraction)
+	if nSeq < 2 {
+		nSeq = 2
+	}
+	nComb := spec.Gates - nSeq
+	if nComb < spec.Depth*2 {
+		nComb = spec.Depth * 2
+	}
+
+	nl := &Netlist{Name: spec.Name, Tech: tech, Clusters: spec.Clusters, Traits: spec}
+	addCell := func(kind CellKind, level, cluster int) int {
+		id := len(nl.Cells)
+		nl.Cells = append(nl.Cells, Cell{
+			ID: id, Kind: kind, Drive: sampleDrive(rng), VT: sampleVT(rng, spec),
+			Level: level, Cluster: cluster,
+		})
+		return id
+	}
+
+	// Ports and registers are level-0 sources.
+	for i := 0; i < spec.NumInputs; i++ {
+		id := addCell(Input, 0, rng.Intn(spec.Clusters))
+		nl.Inputs = append(nl.Inputs, id)
+	}
+	for i := 0; i < nSeq; i++ {
+		id := addCell(DFF, 0, rng.Intn(spec.Clusters))
+		nl.Seqs = append(nl.Seqs, id)
+	}
+
+	// Combinational cells, levelized 1..Depth. Cell counts taper slightly
+	// toward deeper levels, like a synthesized cone.
+	perLevel := make([]int, spec.Depth+1)
+	remaining := nComb
+	for l := 1; l <= spec.Depth; l++ {
+		share := float64(nComb) / float64(spec.Depth) * (1.15 - 0.3*float64(l)/float64(spec.Depth))
+		c := int(share)
+		if c < 1 {
+			c = 1
+		}
+		if c > remaining {
+			c = remaining
+		}
+		perLevel[l] = c
+		remaining -= c
+	}
+	perLevel[1] += remaining
+
+	// levelCells[l] holds IDs available as sources at level l (level 0 =
+	// inputs + DFF outputs).
+	levelCells := make([][]int, spec.Depth+1)
+	levelCells[0] = append(append([]int{}, nl.Inputs...), nl.Seqs...)
+
+	pickSource := func(level, cluster int) int {
+		// Prefer recent levels (locality in depth) and same cluster
+		// (locality in space).
+		for tries := 0; ; tries++ {
+			var srcLevel int
+			r := rng.Float64()
+			switch {
+			case r < 0.55 && level > 1:
+				srcLevel = level - 1
+			case r < 0.8:
+				srcLevel = rng.Intn(level)
+			default:
+				srcLevel = 0
+			}
+			pool := levelCells[srcLevel]
+			if len(pool) == 0 {
+				pool = levelCells[0]
+			}
+			id := pool[rng.Intn(len(pool))]
+			if rng.Float64() < spec.Locality && nl.Cells[id].Cluster != cluster && tries < 6 {
+				continue // retry for an intra-cluster source
+			}
+			return id
+		}
+	}
+
+	for l := 1; l <= spec.Depth; l++ {
+		for i := 0; i < perLevel[l]; i++ {
+			kind := sampleKind(rng)
+			cluster := rng.Intn(spec.Clusters)
+			id := addCell(kind, l, cluster)
+			seen := map[int]bool{}
+			for p := 0; p < kind.FaninCount(); p++ {
+				src := pickSource(l, cluster)
+				for attempts := 0; seen[src] && attempts < 4; attempts++ {
+					src = pickSource(l, cluster)
+				}
+				seen[src] = true
+				nl.Cells[id].Fanins = append(nl.Cells[id].Fanins, src)
+				nl.Cells[src].Fanouts = append(nl.Cells[src].Fanouts, id)
+			}
+			levelCells[l] = append(levelCells[l], id)
+		}
+	}
+
+	// High-fanout nets: promote a few drivers to fan out widely.
+	if spec.FanoutSkew > 0 {
+		nHeavy := int(spec.FanoutSkew * float64(nComb) * 0.01)
+		for h := 0; h < nHeavy; h++ {
+			srcPool := levelCells[1+rng.Intn(spec.Depth/2)]
+			if len(srcPool) == 0 {
+				continue
+			}
+			src := srcPool[rng.Intn(len(srcPool))]
+			extra := 5 + rng.Intn(20)
+			for e := 0; e < extra; e++ {
+				lvl := nl.Cells[src].Level + 1 + rng.Intn(maxInt(1, spec.Depth-nl.Cells[src].Level-1))
+				if lvl > spec.Depth {
+					lvl = spec.Depth
+				}
+				pool := levelCells[lvl]
+				if len(pool) == 0 {
+					continue
+				}
+				dst := pool[rng.Intn(len(pool))]
+				if dst == src || len(nl.Cells[dst].Fanins) == 0 {
+					continue
+				}
+				// Rewire one existing fanin of dst to src, preserving
+				// pin counts. Only legal if src's level < dst's level.
+				if nl.Cells[src].Level >= nl.Cells[dst].Level {
+					continue
+				}
+				pin := rng.Intn(len(nl.Cells[dst].Fanins))
+				old := nl.Cells[dst].Fanins[pin]
+				removeFanout(&nl.Cells[old], dst)
+				nl.Cells[dst].Fanins[pin] = src
+				nl.Cells[src].Fanouts = append(nl.Cells[src].Fanouts, dst)
+			}
+		}
+	}
+
+	// Register D-inputs: deep logic normally, shallow logic for a fraction
+	// (hold-risk paths).
+	for _, ff := range nl.Seqs {
+		var src int
+		if rng.Float64() < spec.ShortPathFraction {
+			// A short path: directly from another register or level-1 cell.
+			if rng.Float64() < 0.5 || len(levelCells[1]) == 0 {
+				src = nl.Seqs[rng.Intn(len(nl.Seqs))]
+			} else {
+				src = levelCells[1][rng.Intn(len(levelCells[1]))]
+			}
+		} else {
+			lvl := spec.Depth - rng.Intn(maxInt(1, spec.Depth/3))
+			for lvl > 0 && len(levelCells[lvl]) == 0 {
+				lvl--
+			}
+			pool := levelCells[lvl]
+			src = pool[rng.Intn(len(pool))]
+		}
+		nl.Cells[ff].Fanins = append(nl.Cells[ff].Fanins, src)
+		nl.Cells[src].Fanouts = append(nl.Cells[src].Fanouts, ff)
+	}
+
+	// Primary outputs from deep levels.
+	for i := 0; i < spec.NumOutputs; i++ {
+		id := addCell(Output, spec.Depth+1, rng.Intn(spec.Clusters))
+		nl.Outputs = append(nl.Outputs, id)
+		lvl := spec.Depth
+		for lvl > 0 && len(levelCells[lvl]) == 0 {
+			lvl--
+		}
+		src := levelCells[lvl][rng.Intn(len(levelCells[lvl]))]
+		nl.Cells[id].Fanins = append(nl.Cells[id].Fanins, src)
+		nl.Cells[src].Fanouts = append(nl.Cells[src].Fanouts, id)
+	}
+
+	// Clock period: natural critical path estimate × tightness.
+	natural := float64(spec.Depth)*tech.GateDelayPS*2.8 + tech.ClkQPS + tech.SetupPS
+	nl.ClockPeriodPS = natural * spec.ClockTightness
+
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: generated invalid netlist: %w", err)
+	}
+	return nl, nil
+}
+
+func sampleKind(rng *rand.Rand) CellKind {
+	r := rng.Float64()
+	acc := 0.0
+	for _, k := range combKinds {
+		acc += k.weight
+		if r < acc {
+			return k.kind
+		}
+	}
+	return Nand2
+}
+
+func sampleDrive(rng *rand.Rand) int {
+	switch r := rng.Float64(); {
+	case r < 0.55:
+		return 1
+	case r < 0.88:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func sampleVT(rng *rand.Rand, spec Spec) VT {
+	r := rng.Float64()
+	switch {
+	case r < spec.HVTFraction:
+		return HVT
+	case r < spec.HVTFraction+spec.LVTFraction:
+		return LVT
+	default:
+		return SVT
+	}
+}
+
+func removeFanout(c *Cell, dst int) {
+	for i, fo := range c.Fanouts {
+		if fo == dst {
+			c.Fanouts = append(c.Fanouts[:i], c.Fanouts[i+1:]...)
+			return
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is one vertex of the gate-level netlist DAG.
+type Cell struct {
+	ID      int
+	Kind    CellKind
+	Drive   int // drive strength: 1, 2, or 4
+	VT      VT
+	Fanins  []int // driving cell IDs, one per input pin (D pin only for DFF)
+	Fanouts []int // driven cell IDs (duplicated per pin)
+	Level   int   // topological level, 0 for Input/DFF outputs
+	Cluster int   // logical cluster, used as a placement affinity hint
+}
+
+// Area returns the layout area of the cell in µm² for tech t.
+func (c *Cell) Area(t Tech) float64 {
+	w := t.CellWidthUM * c.Kind.AreaFactor() * (0.7 + 0.3*float64(c.Drive))
+	return w * t.CellHeightUM
+}
+
+// Width returns the layout width of the cell in µm for tech t.
+func (c *Cell) Width(t Tech) float64 {
+	return t.CellWidthUM * c.Kind.AreaFactor() * (0.7 + 0.3*float64(c.Drive))
+}
+
+// InputCap returns the input pin capacitance in fF for tech t.
+func (c *Cell) InputCap(t Tech) float64 {
+	return t.InputCapFF * (0.8 + 0.2*float64(c.Drive)) * math.Max(1, c.Kind.AreaFactor()*0.6)
+}
+
+// IntrinsicDelay returns the unloaded cell delay in ps for tech t.
+func (c *Cell) IntrinsicDelay(t Tech) float64 {
+	return t.GateDelayPS * c.Kind.DelayFactor() * c.VT.DelayFactor()
+}
+
+// DriveResistanceFactor returns the load sensitivity: larger drive → smaller.
+func (c *Cell) DriveResistanceFactor() float64 { return 1 / float64(c.Drive) }
+
+// Leakage returns the cell leakage power in nW for tech t.
+func (c *Cell) Leakage(t Tech) float64 {
+	return c.VT.Leakage(t) * c.Kind.LeakFactor() * (0.6 + 0.4*float64(c.Drive))
+}
+
+// Netlist is a gate-level design: a DAG of cells plus clocking information.
+type Netlist struct {
+	Name          string
+	Tech          Tech
+	Cells         []Cell
+	Inputs        []int // IDs of Input port cells
+	Outputs       []int // IDs of Output port cells
+	Seqs          []int // IDs of DFF cells
+	ClockPeriodPS float64
+	Clusters      int
+
+	// Traits are the latent generator knobs, retained for analysis and
+	// tests; the recommender never sees them directly (only via insights).
+	Traits Spec
+}
+
+// NumGates returns the number of logic cells (excluding ports).
+func (n *Netlist) NumGates() int {
+	c := 0
+	for i := range n.Cells {
+		if !n.Cells[i].Kind.IsPort() {
+			c++
+		}
+	}
+	return c
+}
+
+// TotalArea returns the summed cell area in µm².
+func (n *Netlist) TotalArea() float64 {
+	a := 0.0
+	for i := range n.Cells {
+		a += n.Cells[i].Area(n.Tech)
+	}
+	return a
+}
+
+// Stats summarizes structural properties of a netlist.
+type Stats struct {
+	Gates        int
+	Seqs         int
+	MaxLevel     int
+	AvgFanout    float64
+	MaxFanout    int
+	HVTFraction  float64
+	LVTFraction  float64
+	AvgFaninWire float64
+}
+
+// Stats computes structural statistics.
+func (n *Netlist) Stats() Stats {
+	var s Stats
+	s.Gates = n.NumGates()
+	s.Seqs = len(n.Seqs)
+	totalFanout, cells, hvt, lvt := 0, 0, 0, 0
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.Kind.IsPort() {
+			continue
+		}
+		cells++
+		if c.Level > s.MaxLevel {
+			s.MaxLevel = c.Level
+		}
+		if len(c.Fanouts) > s.MaxFanout {
+			s.MaxFanout = len(c.Fanouts)
+		}
+		totalFanout += len(c.Fanouts)
+		switch c.VT {
+		case HVT:
+			hvt++
+		case LVT:
+			lvt++
+		}
+	}
+	if cells > 0 {
+		s.AvgFanout = float64(totalFanout) / float64(cells)
+		s.HVTFraction = float64(hvt) / float64(cells)
+		s.LVTFraction = float64(lvt) / float64(cells)
+	}
+	return s
+}
+
+// Validate checks structural invariants: acyclicity via levels, pin-count
+// consistency, and fanin/fanout symmetry.
+func (n *Netlist) Validate() error {
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.ID != i {
+			return fmt.Errorf("netlist: cell %d has ID %d", i, c.ID)
+		}
+		want := c.Kind.FaninCount()
+		if c.Kind != DFF && !c.Kind.IsPort() && len(c.Fanins) != want {
+			return fmt.Errorf("netlist: cell %d (%v) has %d fanins, want %d", i, c.Kind, len(c.Fanins), want)
+		}
+		for _, f := range c.Fanins {
+			if f < 0 || f >= len(n.Cells) {
+				return fmt.Errorf("netlist: cell %d fanin %d out of range", i, f)
+			}
+			src := &n.Cells[f]
+			// Combinational edges must go strictly forward in level order;
+			// edges from DFF/Input sources restart at level 0.
+			if !src.Kind.IsSequential() && src.Kind != Input && c.Kind != DFF && c.Kind != Output {
+				if src.Level >= c.Level {
+					return fmt.Errorf("netlist: cell %d (level %d) fed by %d (level %d)", i, c.Level, f, src.Level)
+				}
+			}
+			found := false
+			for _, fo := range src.Fanouts {
+				if fo == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("netlist: fanin/fanout asymmetry between %d and %d", f, i)
+			}
+		}
+	}
+	for _, id := range n.Seqs {
+		if !n.Cells[id].Kind.IsSequential() {
+			return fmt.Errorf("netlist: Seqs entry %d is %v", id, n.Cells[id].Kind)
+		}
+	}
+	if n.ClockPeriodPS <= 0 {
+		return fmt.Errorf("netlist: non-positive clock period %g", n.ClockPeriodPS)
+	}
+	return nil
+}

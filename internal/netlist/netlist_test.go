@@ -1,0 +1,246 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallSpec(seed int64) Spec {
+	return Spec{
+		Name: "t", Seed: seed, Gates: 400, SeqFraction: 0.25, Depth: 10,
+		TechName: "N28", ClockTightness: 1.0, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.4, ShortPathFraction: 0.15,
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	nl, err := Generate(smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumGates() < 300 {
+		t.Fatalf("NumGates = %d, want >= 300", nl.NumGates())
+	}
+	if len(nl.Seqs) < 50 {
+		t.Fatalf("Seqs = %d, want around 100", len(nl.Seqs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Kind != cb.Kind || ca.Drive != cb.Drive || ca.VT != cb.VT || len(ca.Fanins) != len(cb.Fanins) {
+			t.Fatalf("cell %d differs between identical seeds", i)
+		}
+		for j := range ca.Fanins {
+			if ca.Fanins[j] != cb.Fanins[j] {
+				t.Fatalf("cell %d fanin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallSpec(1))
+	b, _ := Generate(smallSpec(2))
+	same := true
+	if len(a.Cells) != len(b.Cells) {
+		same = false
+	} else {
+		for i := range a.Cells {
+			if a.Cells[i].Kind != b.Cells[i].Kind {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical netlists")
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := Generate(Spec{Gates: 5}); err == nil {
+		t.Fatal("expected error for tiny design")
+	}
+}
+
+func TestGenerateUnknownTech(t *testing.T) {
+	s := smallSpec(1)
+	s.TechName = "N3"
+	if _, err := Generate(s); err == nil {
+		t.Fatal("expected error for unknown tech")
+	}
+}
+
+func TestStats(t *testing.T) {
+	nl, _ := Generate(smallSpec(3))
+	st := nl.Stats()
+	if st.Gates == 0 || st.Seqs == 0 {
+		t.Fatal("empty stats")
+	}
+	if st.MaxLevel < 5 {
+		t.Fatalf("MaxLevel = %d, want >= 5", st.MaxLevel)
+	}
+	if st.AvgFanout <= 0 {
+		t.Fatal("AvgFanout should be positive")
+	}
+	if st.HVTFraction < 0.1 || st.HVTFraction > 0.6 {
+		t.Fatalf("HVTFraction = %g, want near 0.3", st.HVTFraction)
+	}
+}
+
+func TestSuiteGeneratesAll17(t *testing.T) {
+	suite, err := GenerateSuite(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 17 {
+		t.Fatalf("suite has %d designs, want 17", len(suite))
+	}
+	names := map[string]bool{}
+	techs := map[string]bool{}
+	for _, nl := range suite {
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("design %s invalid: %v", nl.Name, err)
+		}
+		names[nl.Name] = true
+		techs[nl.Tech.Name] = true
+	}
+	if len(names) != 17 {
+		t.Fatalf("duplicate names: %v", names)
+	}
+	// The paper spans 45 nm to sub-10 nm: all four nodes must appear.
+	for _, n := range []string{"N45", "N28", "N16", "N7"} {
+		if !techs[n] {
+			t.Errorf("tech node %s missing from suite", n)
+		}
+	}
+}
+
+func TestClockTightnessOrdersPeriods(t *testing.T) {
+	tight := smallSpec(4)
+	tight.ClockTightness = 0.8
+	loose := smallSpec(4)
+	loose.ClockTightness = 1.5
+	a, _ := Generate(tight)
+	b, _ := Generate(loose)
+	if a.ClockPeriodPS >= b.ClockPeriodPS {
+		t.Fatalf("tight period %g >= loose period %g", a.ClockPeriodPS, b.ClockPeriodPS)
+	}
+}
+
+func TestCellPhysicalQuantities(t *testing.T) {
+	tech := TechN28
+	c := Cell{Kind: Nand2, Drive: 2, VT: SVT}
+	if c.Area(tech) <= 0 || c.Width(tech) <= 0 || c.InputCap(tech) <= 0 {
+		t.Fatal("non-positive physical quantities")
+	}
+	if c.IntrinsicDelay(tech) <= 0 || c.Leakage(tech) <= 0 {
+		t.Fatal("non-positive delay or leakage")
+	}
+	// HVT must be slower and leak less than LVT.
+	hvt := Cell{Kind: Inv, Drive: 1, VT: HVT}
+	lvt := Cell{Kind: Inv, Drive: 1, VT: LVT}
+	if hvt.IntrinsicDelay(tech) <= lvt.IntrinsicDelay(tech) {
+		t.Fatal("HVT should be slower than LVT")
+	}
+	if hvt.Leakage(tech) >= lvt.Leakage(tech) {
+		t.Fatal("HVT should leak less than LVT")
+	}
+	// Drive 4 should be less load-sensitive than drive 1.
+	d1 := Cell{Kind: Inv, Drive: 1, VT: SVT}
+	d4 := Cell{Kind: Inv, Drive: 4, VT: SVT}
+	if d4.DriveResistanceFactor() >= d1.DriveResistanceFactor() {
+		t.Fatal("higher drive should have lower resistance factor")
+	}
+}
+
+func TestTechNodesOrdered(t *testing.T) {
+	ns := []Tech{TechN45, TechN28, TechN16, TechN7}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].GateDelayPS >= ns[i-1].GateDelayPS {
+			t.Errorf("%s not faster than %s", ns[i].Name, ns[i-1].Name)
+		}
+		if ns[i].LeakageSVTnW <= ns[i-1].LeakageSVTnW {
+			t.Errorf("%s not leakier than %s", ns[i].Name, ns[i-1].Name)
+		}
+		if ns[i].CellHeightUM >= ns[i-1].CellHeightUM {
+			t.Errorf("%s cells not smaller than %s", ns[i].Name, ns[i-1].Name)
+		}
+	}
+}
+
+func TestTechByName(t *testing.T) {
+	if _, err := TechByName("N16"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TechByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: generation never produces a combinational cycle (Validate checks
+// level monotonicity) for random trait combinations.
+func TestGeneratePropertyValid(t *testing.T) {
+	f := func(seed int64, loc, skew, short, seqf uint8) bool {
+		s := Spec{
+			Name: "p", Seed: seed % 1000, Gates: 250, Depth: 8, TechName: "N16",
+			ClockTightness:    0.9 + float64(seed%100)/200,
+			SeqFraction:       0.1 + float64(seqf%30)/100,
+			HVTFraction:       0.3,
+			LVTFraction:       0.1,
+			Locality:          float64(loc%100) / 100,
+			FanoutSkew:        float64(skew%100) / 100,
+			ShortPathFraction: float64(short%40) / 100,
+		}
+		nl, err := Generate(s)
+		if err != nil {
+			return false
+		}
+		return nl.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalAreaPositive(t *testing.T) {
+	nl, _ := Generate(smallSpec(5))
+	if nl.TotalArea() <= 0 {
+		t.Fatal("TotalArea should be positive")
+	}
+}
+
+func TestKindStringAndInfo(t *testing.T) {
+	if Nand2.String() != "NAND2" {
+		t.Fatalf("Nand2.String() = %q", Nand2.String())
+	}
+	if !DFF.IsSequential() || Inv.IsSequential() {
+		t.Fatal("IsSequential wrong")
+	}
+	if !Input.IsPort() || Nand2.IsPort() {
+		t.Fatal("IsPort wrong")
+	}
+	if Aoi22.FaninCount() != 4 || Mux2.FaninCount() != 3 {
+		t.Fatal("FaninCount wrong")
+	}
+	if HVT.String() != "HVT" {
+		t.Fatal("VT String wrong")
+	}
+}

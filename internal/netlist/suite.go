@@ -1,0 +1,74 @@
+package netlist
+
+import "fmt"
+
+// SuiteSpecs returns the specs of the 17-design benchmark suite D1..D17,
+// mirroring the paper's setup: diverse design categories and technology
+// nodes from 45 nm to sub-10 nm. scale multiplies every gate count (1.0
+// gives the default laptop-scale suite; the paper's designs reach 2M gates,
+// which the same code supports at larger scales).
+//
+// Traits are deliberately heterogeneous so that designs differ in which
+// recipes help them: timing-critical vs. relaxed clocks, leaky vs. HVT-heavy
+// libraries, congestion-prone vs. local wiring, hold-risky vs. clean.
+func SuiteSpecs(scale float64) []Spec {
+	g := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 100 {
+			v = 100
+		}
+		return v
+	}
+	return []Spec{
+		// Large compute block, timing-critical, congestion-prone.
+		{Name: "D1", Seed: 101, Gates: g(9000), SeqFraction: 0.22, Depth: 16, TechName: "N7", ClockTightness: 0.88, HVTFraction: 0.15, LVTFraction: 0.30, Locality: 0.35, FanoutSkew: 0.6, ShortPathFraction: 0.08, ActivityMean: 0.22},
+		// Networking switch fabric: high fanout, moderate timing.
+		{Name: "D2", Seed: 102, Gates: g(7500), SeqFraction: 0.30, Depth: 12, TechName: "N7", ClockTightness: 0.95, HVTFraction: 0.25, LVTFraction: 0.20, Locality: 0.25, FanoutSkew: 0.9, ShortPathFraction: 0.15, ActivityMean: 0.28},
+		// GPU shader cluster: big, power-hungry, LVT-heavy.
+		{Name: "D3", Seed: 103, Gates: g(11000), SeqFraction: 0.18, Depth: 18, TechName: "N16", ClockTightness: 0.90, HVTFraction: 0.10, LVTFraction: 0.45, Locality: 0.45, FanoutSkew: 0.5, ShortPathFraction: 0.05, ActivityMean: 0.30},
+		// Small IoT microcontroller: relaxed clock, leakage-dominated.
+		{Name: "D4", Seed: 104, Gates: g(1200), SeqFraction: 0.28, Depth: 10, TechName: "N45", ClockTightness: 1.35, HVTFraction: 0.55, LVTFraction: 0.05, Locality: 0.7, FanoutSkew: 0.2, ShortPathFraction: 0.10, ActivityMean: 0.08},
+		// Audio DSP: very relaxed, low activity.
+		{Name: "D5", Seed: 105, Gates: g(2200), SeqFraction: 0.35, Depth: 9, TechName: "N28", ClockTightness: 1.5, HVTFraction: 0.40, LVTFraction: 0.10, Locality: 0.6, FanoutSkew: 0.3, ShortPathFraction: 0.20, ActivityMean: 0.10},
+		// Crypto accelerator: XOR-deep, timing-challenged, small.
+		{Name: "D6", Seed: 106, Gates: g(1600), SeqFraction: 0.15, Depth: 22, TechName: "N16", ClockTightness: 0.85, HVTFraction: 0.20, LVTFraction: 0.30, Locality: 0.5, FanoutSkew: 0.4, ShortPathFraction: 0.04, ActivityMean: 0.35},
+		// Memory controller: hold-risky short paths, moderate size.
+		{Name: "D7", Seed: 107, Gates: g(3000), SeqFraction: 0.32, Depth: 11, TechName: "N16", ClockTightness: 1.05, HVTFraction: 0.30, LVTFraction: 0.15, Locality: 0.4, FanoutSkew: 0.5, ShortPathFraction: 0.30, ActivityMean: 0.18},
+		// Sensor hub: small, easy everything.
+		{Name: "D8", Seed: 108, Gates: g(900), SeqFraction: 0.26, Depth: 8, TechName: "N28", ClockTightness: 1.4, HVTFraction: 0.45, LVTFraction: 0.08, Locality: 0.65, FanoutSkew: 0.25, ShortPathFraction: 0.12, ActivityMean: 0.12},
+		// Video codec: large, congested, sequential-power heavy.
+		{Name: "D9", Seed: 109, Gates: g(8000), SeqFraction: 0.38, Depth: 13, TechName: "N16", ClockTightness: 1.0, HVTFraction: 0.20, LVTFraction: 0.20, Locality: 0.3, FanoutSkew: 0.7, ShortPathFraction: 0.18, ActivityMean: 0.25},
+		// Legacy modem at 45 nm: odd mix, awkward to tune (paper's D10 is
+		// the hardest zero-shot case).
+		{Name: "D10", Seed: 110, Gates: g(600), SeqFraction: 0.12, Depth: 24, TechName: "N45", ClockTightness: 0.82, HVTFraction: 0.60, LVTFraction: 0.05, Locality: 0.2, FanoutSkew: 0.8, ShortPathFraction: 0.25, ActivityMean: 0.32},
+		// Tiny always-on block: sub-µW regime.
+		{Name: "D11", Seed: 111, Gates: g(300), SeqFraction: 0.30, Depth: 7, TechName: "N45", ClockTightness: 1.6, HVTFraction: 0.70, LVTFraction: 0.0, Locality: 0.8, FanoutSkew: 0.1, ShortPathFraction: 0.15, ActivityMean: 0.05},
+		// DDR PHY datapath: wide, shallow, hold-risky.
+		{Name: "D12", Seed: 112, Gates: g(5000), SeqFraction: 0.40, Depth: 8, TechName: "N16", ClockTightness: 1.1, HVTFraction: 0.25, LVTFraction: 0.18, Locality: 0.45, FanoutSkew: 0.45, ShortPathFraction: 0.35, ActivityMean: 0.20},
+		// AI inference array: big and very congested.
+		{Name: "D13", Seed: 113, Gates: g(10000), SeqFraction: 0.20, Depth: 15, TechName: "N7", ClockTightness: 0.92, HVTFraction: 0.12, LVTFraction: 0.35, Locality: 0.15, FanoutSkew: 0.85, ShortPathFraction: 0.10, ActivityMean: 0.27},
+		// Display controller: moderate everything.
+		{Name: "D14", Seed: 114, Gates: g(2600), SeqFraction: 0.28, Depth: 11, TechName: "N28", ClockTightness: 1.12, HVTFraction: 0.35, LVTFraction: 0.12, Locality: 0.5, FanoutSkew: 0.4, ShortPathFraction: 0.14, ActivityMean: 0.16},
+		// Baseband filter bank: arithmetic-heavy, relaxed clock.
+		{Name: "D15", Seed: 115, Gates: g(6000), SeqFraction: 0.33, Depth: 10, TechName: "N28", ClockTightness: 1.3, HVTFraction: 0.30, LVTFraction: 0.15, Locality: 0.55, FanoutSkew: 0.35, ShortPathFraction: 0.16, ActivityMean: 0.14},
+		// Clock-gated low-power island: easiest timing in the suite.
+		{Name: "D16", Seed: 116, Gates: g(450), SeqFraction: 0.24, Depth: 6, TechName: "N45", ClockTightness: 1.8, HVTFraction: 0.65, LVTFraction: 0.02, Locality: 0.75, FanoutSkew: 0.15, ShortPathFraction: 0.08, ActivityMean: 0.06},
+		// Massive SoC interconnect: hardest congestion + timing combo.
+		{Name: "D17", Seed: 117, Gates: g(12000), SeqFraction: 0.25, Depth: 14, TechName: "N7", ClockTightness: 0.86, HVTFraction: 0.18, LVTFraction: 0.28, Locality: 0.1, FanoutSkew: 1.0, ShortPathFraction: 0.20, ActivityMean: 0.24},
+	}
+}
+
+// GenerateSuite generates the full 17-design benchmark suite at the given
+// scale. Results are deterministic per (scale, spec seed).
+func GenerateSuite(scale float64) ([]*Netlist, error) {
+	specs := SuiteSpecs(scale)
+	out := make([]*Netlist, 0, len(specs))
+	for _, s := range specs {
+		nl, err := Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: suite design %s: %w", s.Name, err)
+		}
+		out = append(out, nl)
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as a structural Verilog module: one gate
+// instantiation per cell, wires named after driver IDs, flip-flops with an
+// implicit clk port. The output is deterministic and round-trips through
+// ReadVerilog (used for interchange and inspection, not simulation).
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// design %s  tech %s  clock %.1fps\n", n.Name, n.Tech.Name, n.ClockPeriodPS)
+	fmt.Fprintf(bw, "module %s (clk", sanitize(n.Name))
+	for _, id := range n.Inputs {
+		fmt.Fprintf(bw, ", in%d", id)
+	}
+	for _, id := range n.Outputs {
+		fmt.Fprintf(bw, ", out%d", id)
+	}
+	fmt.Fprintln(bw, ");")
+	fmt.Fprintln(bw, "  input clk;")
+	for _, id := range n.Inputs {
+		fmt.Fprintf(bw, "  input in%d;\n", id)
+	}
+	for _, id := range n.Outputs {
+		fmt.Fprintf(bw, "  output out%d;\n", id)
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if c.Kind.IsPort() {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire n%d;\n", c.ID)
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		switch {
+		case c.Kind == Input, c.Kind == Output:
+			continue
+		case c.Kind.IsSequential():
+			fmt.Fprintf(bw, "  DFF_X%d_%s ff%d (.CK(clk), .D(%s), .Q(n%d)); // cluster %d\n",
+				c.Drive, c.VT, c.ID, wireName(n, c.Fanins[0]), c.ID, c.Cluster)
+		default:
+			fmt.Fprintf(bw, "  %s_X%d_%s g%d (", c.Kind, c.Drive, c.VT, c.ID)
+			for pin, f := range c.Fanins {
+				fmt.Fprintf(bw, ".A%d(%s), ", pin, wireName(n, f))
+			}
+			fmt.Fprintf(bw, ".Y(n%d)); // level %d cluster %d\n", c.ID, c.Level, c.Cluster)
+		}
+	}
+	for _, id := range n.Outputs {
+		fmt.Fprintf(bw, "  assign out%d = %s;\n", id, wireName(n, n.Cells[id].Fanins[0]))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func wireName(n *Netlist, id int) string {
+	if n.Cells[id].Kind == Input {
+		return fmt.Sprintf("in%d", id)
+	}
+	return fmt.Sprintf("n%d", id)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// VerilogStats summarizes a parsed structural netlist.
+type VerilogStats struct {
+	Module   string
+	Gates    int
+	DFFs     int
+	Inputs   int
+	Outputs  int
+	ByKind   map[string]int
+	MaxDrive int
+}
+
+// ReadVerilogStats parses the structural Verilog emitted by WriteVerilog
+// and returns instance statistics. It is a line-oriented reader for the
+// writer's own dialect — enough to verify round trips and inspect designs,
+// not a general Verilog front end.
+func ReadVerilogStats(r io.Reader) (*VerilogStats, error) {
+	st := &VerilogStats{ByKind: map[string]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "module "):
+			rest := strings.TrimPrefix(line, "module ")
+			if i := strings.IndexAny(rest, " ("); i > 0 {
+				st.Module = rest[:i]
+			}
+		case strings.HasPrefix(line, "input clk"):
+			// clock, not a data input
+		case strings.HasPrefix(line, "input "):
+			st.Inputs++
+		case strings.HasPrefix(line, "output "):
+			st.Outputs++
+		case strings.HasPrefix(line, "DFF_X"):
+			st.DFFs++
+			st.Gates++
+			st.ByKind["DFF"]++
+			st.noteDrive(line, "DFF_X")
+		default:
+			// Gate instance lines look like "KIND_Xd_VT gNNN (... .Y(nM));".
+			i := strings.Index(line, "_X")
+			if i > 0 && strings.Contains(line, ".Y(") {
+				kind := line[:i]
+				if isKnownKind(kind) {
+					st.Gates++
+					st.ByKind[kind]++
+					st.noteDrive(line, kind+"_X")
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if st.Module == "" {
+		return nil, fmt.Errorf("netlist: no module declaration found")
+	}
+	return st, nil
+}
+
+func (st *VerilogStats) noteDrive(line, prefix string) {
+	i := strings.Index(line, prefix)
+	if i < 0 {
+		return
+	}
+	rest := line[i+len(prefix):]
+	d := 0
+	for _, ch := range rest {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		d = d*10 + int(ch-'0')
+	}
+	if d > st.MaxDrive {
+		st.MaxDrive = d
+	}
+}
+
+func isKnownKind(s string) bool {
+	for k := CellKind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteDOT emits the netlist as a Graphviz digraph for visualization:
+// registers as boxes, logic as ellipses, ports as diamonds. Intended for
+// small designs (inspection/debug), not the full suite.
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %s {\n  rankdir=LR;\n", sanitize(n.Name))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		shape := "ellipse"
+		label := fmt.Sprintf("%s%d", c.Kind, c.ID)
+		switch {
+		case c.Kind.IsSequential():
+			shape = "box"
+		case c.Kind.IsPort():
+			shape = "diamond"
+		}
+		fmt.Fprintf(bw, "  n%d [shape=%s,label=\"%s\"];\n", c.ID, shape, label)
+	}
+	for i := range n.Cells {
+		for _, f := range n.Cells[i].Fanins {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, i)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

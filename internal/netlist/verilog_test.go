@@ -1,0 +1,105 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	nl, err := Generate(smallSpec(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"module t", "input clk;", "endmodule", "DFF_X", ".CK(clk)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	// One instantiation per non-port cell.
+	gateLines := strings.Count(s, ".Y(") + strings.Count(s, ".Q(")
+	if gateLines != nl.NumGates() {
+		t.Fatalf("verilog has %d instances, want %d", gateLines, nl.NumGates())
+	}
+}
+
+func TestVerilogRoundTripStats(t *testing.T) {
+	nl, err := Generate(smallSpec(92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadVerilogStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Module != "t" {
+		t.Fatalf("module %q", st.Module)
+	}
+	if st.Gates != nl.NumGates() {
+		t.Fatalf("stats count %d gates, netlist has %d", st.Gates, nl.NumGates())
+	}
+	if st.DFFs != len(nl.Seqs) {
+		t.Fatalf("stats count %d DFFs, netlist has %d", st.DFFs, len(nl.Seqs))
+	}
+	if st.Inputs != len(nl.Inputs) || st.Outputs != len(nl.Outputs) {
+		t.Fatalf("port counts wrong: %d/%d vs %d/%d", st.Inputs, st.Outputs, len(nl.Inputs), len(nl.Outputs))
+	}
+	// Kind census sums to gate count.
+	sum := 0
+	for _, c := range st.ByKind {
+		sum += c
+	}
+	if sum != st.Gates {
+		t.Fatalf("kind census %d != gates %d", sum, st.Gates)
+	}
+	if st.MaxDrive < 1 || st.MaxDrive > 4 {
+		t.Fatalf("MaxDrive %d out of library range", st.MaxDrive)
+	}
+}
+
+func TestReadVerilogStatsErrors(t *testing.T) {
+	if _, err := ReadVerilogStats(strings.NewReader("not verilog at all")); err == nil {
+		t.Fatal("expected error without module declaration")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("my design-1!"); got != "my_design_1_" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	nl, err := Generate(smallSpec(93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "digraph t {") || !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Fatal("DOT structure malformed")
+	}
+	// One node line per cell, one edge per fanin.
+	edges := 0
+	for i := range nl.Cells {
+		edges += len(nl.Cells[i].Fanins)
+	}
+	if strings.Count(s, "->") != edges {
+		t.Fatalf("DOT has %d edges, want %d", strings.Count(s, "->"), edges)
+	}
+	if strings.Count(s, "shape=box") != len(nl.Seqs) {
+		t.Fatal("register boxes miscounted")
+	}
+}

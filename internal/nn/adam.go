@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"insightalign/internal/tensor"
+)
+
+// Adam implements the Adam optimizer with optional gradient clipping by
+// global norm. It owns per-parameter first and second moment buffers.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // 0 disables clipping
+
+	params []*tensor.Tensor
+	m      [][]float64
+	v      [][]float64
+	step   int
+}
+
+// NewAdam creates an optimizer over the given parameters with standard
+// hyperparameters (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*tensor.Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Numel())
+		a.v[i] = make([]float64, p.Numel())
+	}
+	return a
+}
+
+// ZeroGrad clears all parameter gradients.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (a *Adam) GradNorm() float64 {
+	s := 0.0
+	for _, p := range a.params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update using the accumulated gradients.
+func (a *Adam) Step() {
+	a.step++
+	scale := 1.0
+	if a.ClipNorm > 0 {
+		if n := a.GradNorm(); n > a.ClipNorm {
+			scale = a.ClipNorm / (n + 1e-12)
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			p.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// StepCount returns how many updates have been applied.
+func (a *Adam) StepCount() int { return a.step }
+
+// SetLR updates the learning rate (used by schedules).
+func (a *Adam) SetLR(lr float64) { a.LR = lr }

@@ -1,0 +1,271 @@
+// Package nn provides the neural network layers used by the InsightAlign
+// recipe recommender: linear projections, embeddings, layer normalization,
+// single-head attention, and the transformer decoder layer of Table III in
+// the paper, together with the Adam optimizer and parameter serialization.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insightalign/internal/tensor"
+)
+
+// Module is anything that exposes trainable parameters.
+type Module interface {
+	// Params returns the trainable parameter tensors in a stable order.
+	Params() []*tensor.Tensor
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W *tensor.Tensor // (in, out)
+	B *tensor.Tensor // (1, out)
+}
+
+// NewLinear creates a linear layer with Xavier/Glorot uniform initialization.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	bound := math.Sqrt(6.0 / float64(in+out))
+	return &Linear{
+		W: tensor.Uniform(rng, bound, in, out),
+		B: tensor.Param(1, out),
+	}
+}
+
+// Forward applies the affine map to x of shape (m, in).
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return x.MatMul(l.W).AddRow(l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Embedding is a lookup table mapping integer ids to dense rows.
+type Embedding struct {
+	Table *tensor.Tensor // (vocab, dim)
+}
+
+// NewEmbedding creates an embedding with N(0, 0.02²) initialization, the
+// convention used by decoder-only language models.
+func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
+	return &Embedding{Table: tensor.Randn(rng, 0.02, vocab, dim)}
+}
+
+// Forward gathers the rows for ids, producing (len(ids), dim).
+func (e *Embedding) Forward(ids []int) *tensor.Tensor { return e.Table.Gather(ids) }
+
+// Params implements Module.
+func (e *Embedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.Table} }
+
+// LayerNorm applies per-row normalization followed by a learned affine map.
+type LayerNorm struct {
+	Gamma *tensor.Tensor // (1, dim)
+	Beta  *tensor.Tensor // (1, dim)
+	Eps   float64
+}
+
+// NewLayerNorm creates a layer norm with unit scale and zero shift.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := tensor.Param(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return &LayerNorm{Gamma: g, Beta: tensor.Param(1, dim), Eps: 1e-5}
+}
+
+// Forward normalizes x of shape (m, dim) row-wise.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return x.LayerNorm(ln.Eps).MulRow(ln.Gamma).AddRow(ln.Beta)
+}
+
+// Params implements Module.
+func (ln *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{ln.Gamma, ln.Beta} }
+
+// Attention is a single-head scaled dot-product attention block with learned
+// query/key/value/output projections. With Causal set, position t may only
+// attend to positions ≤ t (decoder self-attention); otherwise the full memory
+// is visible (cross-attention to the insight embedding).
+type Attention struct {
+	Q, K, V, O *Linear
+	Dim        int
+	Causal     bool
+}
+
+// NewAttention creates a single-head attention block over dim-wide tokens.
+func NewAttention(rng *rand.Rand, dim int, causal bool) *Attention {
+	return &Attention{
+		Q:      NewLinear(rng, dim, dim),
+		K:      NewLinear(rng, dim, dim),
+		V:      NewLinear(rng, dim, dim),
+		O:      NewLinear(rng, dim, dim),
+		Dim:    dim,
+		Causal: causal,
+	}
+}
+
+// Forward attends queries drawn from x (shape (T, dim)) over memory (shape
+// (S, dim)). For self-attention pass memory == x.
+func (a *Attention) Forward(x, memory *tensor.Tensor) *tensor.Tensor {
+	q := a.Q.Forward(x)
+	k := a.K.Forward(memory)
+	v := a.V.Forward(memory)
+	scores := q.MatMul(k.Transpose()).Scale(1 / math.Sqrt(float64(a.Dim)))
+	var mask []float64
+	if a.Causal {
+		tRows, _ := x.Dims()
+		sCols, _ := memory.Dims()
+		mask = make([]float64, tRows*sCols)
+		for i := 0; i < tRows; i++ {
+			for j := 0; j < sCols; j++ {
+				if j > i {
+					mask[i*sCols+j] = math.Inf(-1)
+				}
+			}
+		}
+	}
+	attn := scores.SoftmaxRows(mask)
+	return a.O.Forward(attn.MatMul(v))
+}
+
+// Params implements Module.
+func (a *Attention) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range []*Linear{a.Q, a.K, a.V, a.O} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// FeedForward is the position-wise two-layer MLP of a transformer block.
+type FeedForward struct {
+	In  *Linear
+	Out *Linear
+}
+
+// NewFeedForward creates a dim → hidden → dim MLP with GELU activation.
+func NewFeedForward(rng *rand.Rand, dim, hidden int) *FeedForward {
+	return &FeedForward{In: NewLinear(rng, dim, hidden), Out: NewLinear(rng, hidden, dim)}
+}
+
+// Forward applies the MLP to each row of x.
+func (f *FeedForward) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return f.Out.Forward(f.In.Forward(x).GELU())
+}
+
+// Params implements Module.
+func (f *FeedForward) Params() []*tensor.Tensor {
+	return append(f.In.Params(), f.Out.Params()...)
+}
+
+// DecoderLayer is the single-head transformer decoder layer of Table III:
+// pre-norm causal self-attention, cross-attention over the insight memory,
+// and a feed-forward block, each with a residual connection.
+type DecoderLayer struct {
+	SelfAttn  *Attention
+	CrossAttn *Attention
+	FF        *FeedForward
+	Norm1     *LayerNorm
+	Norm2     *LayerNorm
+	Norm3     *LayerNorm
+}
+
+// NewDecoderLayer creates a decoder layer over dim-wide tokens with the given
+// feed-forward hidden width.
+func NewDecoderLayer(rng *rand.Rand, dim, ffHidden int) *DecoderLayer {
+	return &DecoderLayer{
+		SelfAttn:  NewAttention(rng, dim, true),
+		CrossAttn: NewAttention(rng, dim, false),
+		FF:        NewFeedForward(rng, dim, ffHidden),
+		Norm1:     NewLayerNorm(dim),
+		Norm2:     NewLayerNorm(dim),
+		Norm3:     NewLayerNorm(dim),
+	}
+}
+
+// Forward runs the decoder layer on the token sequence x of shape (T, dim)
+// with cross-attention memory of shape (S, dim).
+func (d *DecoderLayer) Forward(x, memory *tensor.Tensor) *tensor.Tensor {
+	h := x.Add(d.SelfAttn.Forward(d.Norm1.Forward(x), d.Norm1.Forward(x)))
+	h = h.Add(d.CrossAttn.Forward(d.Norm2.Forward(h), memory))
+	return h.Add(d.FF.Forward(d.Norm3.Forward(h)))
+}
+
+// Params implements Module.
+func (d *DecoderLayer) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	ps = append(ps, d.SelfAttn.Params()...)
+	ps = append(ps, d.CrossAttn.Params()...)
+	ps = append(ps, d.FF.Params()...)
+	ps = append(ps, d.Norm1.Params()...)
+	ps = append(ps, d.Norm2.Params()...)
+	ps = append(ps, d.Norm3.Params()...)
+	return ps
+}
+
+// PositionalEncoding holds learned per-position vectors ("Recipe Pos. Enc."
+// in Table III): each of the 40 recipes owns a position identity that lets
+// the model distinguish recipes independent of the decision token.
+type PositionalEncoding struct {
+	Table *tensor.Tensor // (maxLen, dim)
+}
+
+// NewPositionalEncoding creates learned positional vectors, initialized with
+// the sinusoidal pattern of Vaswani et al. so positions are well separated
+// from the start of training.
+func NewPositionalEncoding(maxLen, dim int) *PositionalEncoding {
+	t := tensor.Param(maxLen, dim)
+	for pos := 0; pos < maxLen; pos++ {
+		for i := 0; i < dim; i++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(i/2))/float64(dim))
+			if i%2 == 0 {
+				t.Data[pos*dim+i] = math.Sin(angle)
+			} else {
+				t.Data[pos*dim+i] = math.Cos(angle)
+			}
+		}
+	}
+	return &PositionalEncoding{Table: t}
+}
+
+// Forward adds positions [0, T) to the token sequence x of shape (T, dim).
+func (p *PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	tRows, _ := x.Dims()
+	idx := make([]int, tRows)
+	for i := range idx {
+		idx[i] = i
+	}
+	return x.Add(p.Table.Gather(idx))
+}
+
+// ForwardAt adds the positional vectors for explicit positions.
+func (p *PositionalEncoding) ForwardAt(x *tensor.Tensor, positions []int) *tensor.Tensor {
+	return x.Add(p.Table.Gather(positions))
+}
+
+// Params implements Module.
+func (p *PositionalEncoding) Params() []*tensor.Tensor { return []*tensor.Tensor{p.Table} }
+
+// CountParams returns the total number of scalar parameters of a module.
+func CountParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Numel()
+	}
+	return n
+}
+
+// checkFinite panics if any parameter contains NaN or Inf; used in tests.
+func checkFinite(ps []*tensor.Tensor) error {
+	for i, p := range ps {
+		for j, v := range p.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: parameter %d element %d is %g", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFinite reports an error if any parameter of m is NaN or infinite.
+func CheckFinite(m Module) error { return checkFinite(m.Params()) }

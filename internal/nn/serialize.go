@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"insightalign/internal/tensor"
+)
+
+// magic identifies a serialized parameter stream.
+const magic = uint32(0x494E5341) // "INSA"
+
+// SaveParams writes the parameters of a module to w as a flat binary stream:
+// magic, count, then for each tensor its length and float64 payload. Shapes
+// are not stored; loading requires a structurally identical module.
+func SaveParams(w io.Writer, ps []*tensor.Tensor) error {
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ps))); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.Numel())); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*p.Numel())
+		for i, v := range p.Data {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadParams reads a parameter stream written by SaveParams into the tensors
+// of a structurally identical module.
+func LoadParams(r io.Reader, ps []*tensor.Tensor) error {
+	var m, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return err
+	}
+	if m != magic {
+		return fmt.Errorf("nn: bad magic %#x", m)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(ps) {
+		return fmt.Errorf("nn: stream has %d tensors, module has %d", count, len(ps))
+	}
+	for idx, p := range ps {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != p.Numel() {
+			return fmt.Errorf("nn: tensor %d has %d elements in stream, %d in module", idx, n, p.Numel())
+		}
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range p.Data {
+			p.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return nil
+}
+
+// CopyParams copies parameter values from src to dst; both must be
+// structurally identical. Used to snapshot the "old policy" for PPO.
+func CopyParams(dst, src []*tensor.Tensor) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].Numel() != src[i].Numel() {
+			return fmt.Errorf("nn: CopyParams tensor %d size mismatch", i)
+		}
+		copy(dst[i].Data, src[i].Data)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package online
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"insightalign/internal/nn"
+	"insightalign/internal/recipe"
+)
+
+// checkpointState is the serializable tuner state (model parameters are
+// saved separately through nn.SaveParams in the same stream).
+type checkpointState struct {
+	History []Evaluation
+	Records []IterationRecord
+}
+
+// SaveCheckpoint persists the tuner's model parameters, evaluation archive,
+// and trajectory so a long online campaign can resume after a restart.
+func (t *Tuner) SaveCheckpoint(w io.Writer) error {
+	if err := nn.SaveParams(w, t.model.Params()); err != nil {
+		return fmt.Errorf("online: checkpoint params: %w", err)
+	}
+	st := checkpointState{History: t.history, Records: t.records}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("online: checkpoint state: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint into this
+// tuner (whose model must be structurally identical).
+func (t *Tuner) LoadCheckpoint(r io.Reader) error {
+	if err := nn.LoadParams(r, t.model.Params()); err != nil {
+		return fmt.Errorf("online: restore params: %w", err)
+	}
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("online: restore state: %w", err)
+	}
+	t.history = st.History
+	t.records = st.Records
+	t.seen = map[recipe.Set]bool{}
+	for _, e := range t.history {
+		t.seen[e.Set] = true
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+// Package online implements the online fine-tuning phase of the paper
+// (Fig. 1b, Sec. III.G): starting from the offline-aligned policy, the
+// tuner repeatedly proposes K=5 recipe sets, executes the physical design
+// flow on them, and updates the model from the observed QoR with a mix of
+// margin-based DPO over the accumulated archive and a clipped PPO policy
+// gradient against the proposal-time policy snapshot.
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insightalign/internal/core"
+	"insightalign/internal/flow"
+	"insightalign/internal/insight"
+	"insightalign/internal/nn"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+	"insightalign/internal/tensor"
+)
+
+// Options configure online fine-tuning.
+type Options struct {
+	// K is the number of recipe sets proposed per iteration (paper: 5).
+	K int
+	// Lambda is the MDPO margin scale (paper: 2).
+	Lambda float64
+	// LR is the Adam learning rate for online updates.
+	LR float64
+	// PPOEpsilon is the clipped-surrogate range (standard 0.2).
+	PPOEpsilon float64
+	// PPOWeight scales the PPO loss relative to MDPO.
+	PPOWeight float64
+	// ExploreFrac is the fraction of proposals drawn by temperature
+	// sampling instead of beam search.
+	ExploreFrac float64
+	// ExploreTau is the sampling temperature.
+	ExploreTau float64
+	// MDPOPairsPerIter bounds pairwise updates per iteration.
+	MDPOPairsPerIter int
+	// RefreshInsights accumulates insight vectors from every online run
+	// and conditions the policy on their running mean — the paper's
+	// "progressively generalized view of the design" (Sec. III.B).
+	RefreshInsights bool
+	// Seed drives exploration and flow noise.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's setup (K = 5) with practical
+// optimization defaults.
+func DefaultOptions() Options {
+	return Options{
+		K:                5,
+		Lambda:           2,
+		LR:               1e-4,
+		PPOEpsilon:       0.2,
+		PPOWeight:        0.5,
+		ExploreFrac:      0.4,
+		ExploreTau:       1.5,
+		MDPOPairsPerIter: 200,
+		RefreshInsights:  true,
+		Seed:             1,
+	}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("online: K %d must be >= 1", o.K)
+	}
+	if o.Lambda <= 0 {
+		return fmt.Errorf("online: Lambda must be positive")
+	}
+	if o.PPOEpsilon <= 0 || o.PPOEpsilon >= 1 {
+		return fmt.Errorf("online: PPOEpsilon %g out of (0,1)", o.PPOEpsilon)
+	}
+	if o.ExploreFrac < 0 || o.ExploreFrac > 1 {
+		return fmt.Errorf("online: ExploreFrac %g out of [0,1]", o.ExploreFrac)
+	}
+	return nil
+}
+
+// Evaluation is one executed proposal.
+type Evaluation struct {
+	Set     recipe.Set
+	Metrics flow.Metrics
+	QoR     float64
+	// LogProbOld is the sequence log-likelihood at proposal time (the PPO
+	// behaviour policy).
+	LogProbOld float64
+	Iteration  int
+}
+
+// IterationRecord summarizes one closed-loop iteration (the per-iteration
+// series plotted in Fig. 6 of the paper).
+type IterationRecord struct {
+	Iteration int
+	// Evaluations are the K new flow results of this iteration.
+	Evaluations []Evaluation
+	// BestQoR is the best score seen so far, PowerOfBest/TNSOfBest its
+	// metrics.
+	BestQoR     float64
+	PowerOfBest float64
+	TNSOfBest   float64
+	// AvgTopK is the mean QoR of the top-K recipes encountered so far
+	// (the series of Fig. 6).
+	AvgTopK float64
+	// MeanLoss is the mean combined update loss.
+	MeanLoss float64
+}
+
+// Tuner runs online fine-tuning for one specific design.
+type Tuner struct {
+	model     *core.Model
+	runner    *flow.Runner
+	insight   insight.Vector
+	intention qor.Intention
+	stats     qor.Stats
+	opt       Options
+
+	rng     *rand.Rand
+	adam    *nn.Adam
+	history []Evaluation
+	records []IterationRecord
+	seen    map[recipe.Set]bool
+	acc     insight.Accumulator
+}
+
+// NewTuner builds a tuner on top of an offline-aligned model. stats must be
+// the per-design QoR normalization statistics from the offline archive so
+// online scores stay on the archive scale.
+func NewTuner(model *core.Model, runner *flow.Runner, iv insight.Vector, st qor.Stats, in qor.Intention, opt Options) (*Tuner, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	adam := nn.NewAdam(model.Params(), opt.LR)
+	adam.ClipNorm = 5
+	t := &Tuner{
+		model:     model,
+		runner:    runner,
+		insight:   iv,
+		intention: in,
+		stats:     st,
+		opt:       opt,
+		rng:       rand.New(rand.NewSource(opt.Seed)),
+		adam:      adam,
+		seen:      map[recipe.Set]bool{},
+	}
+	// The probe-run insight seeds the accumulated view.
+	t.acc.Add(iv)
+	return t, nil
+}
+
+// Insight returns the tuner's current (possibly accumulated) insight view.
+func (t *Tuner) Insight() insight.Vector { return t.insight }
+
+// History returns all evaluations so far.
+func (t *Tuner) History() []Evaluation { return t.history }
+
+// Records returns all iteration records so far.
+func (t *Tuner) Records() []IterationRecord { return t.records }
+
+// Seed the archive with known evaluations (e.g. the design's offline
+// datapoints) without spending flow runs.
+func (t *Tuner) SeedHistory(evals []Evaluation) {
+	for _, e := range evals {
+		t.history = append(t.history, e)
+		t.seen[e.Set] = true
+	}
+}
+
+// propose selects the next K recipe sets: beam search exploitation plus
+// temperature-sampled exploration, skipping sets already evaluated.
+func (t *Tuner) propose() []core.Candidate {
+	iv := t.insight.Slice()
+	nExplore := int(float64(t.opt.K)*t.opt.ExploreFrac + 0.5)
+	nBeam := t.opt.K - nExplore
+
+	var out []core.Candidate
+	for _, c := range t.model.BeamSearch(iv, t.opt.K*2) {
+		if len(out) >= nBeam {
+			break
+		}
+		if !t.seen[c.Set] {
+			out = append(out, c)
+		}
+	}
+	for tries := 0; len(out) < t.opt.K && tries < 200; tries++ {
+		c := t.model.Sample(iv, t.opt.ExploreTau, t.rng)
+		if t.seen[c.Set] || containsSet(out, c.Set) {
+			continue
+		}
+		out = append(out, c)
+	}
+	// Fallback: random sets if the policy is too concentrated.
+	for len(out) < t.opt.K {
+		var s recipe.Set
+		for i := range s {
+			s[i] = t.rng.Intn(2) == 1
+		}
+		if t.seen[s] || containsSet(out, s) {
+			continue
+		}
+		lp := t.model.LogProb(t.insight.Slice(), s.Bits()).Item()
+		out = append(out, core.Candidate{Set: s, LogProb: lp, Sequence: s.Bits()})
+	}
+	return out
+}
+
+// Iterate runs one closed-loop iteration: propose K → run the flow → score
+// → update the policy with MDPO + PPO.
+func (t *Tuner) Iterate() (IterationRecord, error) {
+	iter := len(t.records)
+	proposals := t.propose()
+
+	rec := IterationRecord{Iteration: iter}
+	for _, c := range proposals {
+		params := recipe.ApplySet(flow.DefaultParams(), c.Set)
+		m, tr, err := t.runner.Run(params, t.rng.Int63())
+		if err != nil {
+			return rec, fmt.Errorf("online: flow run: %w", err)
+		}
+		if t.opt.RefreshInsights {
+			t.acc.Add(insight.Extract(m, tr))
+		}
+		e := Evaluation{
+			Set:        c.Set,
+			Metrics:    *m,
+			QoR:        qor.Score(*m, t.stats, t.intention),
+			LogProbOld: c.LogProb,
+			Iteration:  iter,
+		}
+		t.history = append(t.history, e)
+		t.seen[e.Set] = true
+		rec.Evaluations = append(rec.Evaluations, e)
+	}
+
+	rec.MeanLoss = t.update(rec.Evaluations)
+	if t.opt.RefreshInsights {
+		// Condition subsequent proposals and updates on the accumulated
+		// (averaged) insight view.
+		t.insight = t.acc.Mean()
+	}
+
+	// Trajectory bookkeeping.
+	best := t.history[0]
+	for _, e := range t.history {
+		if e.QoR > best.QoR {
+			best = e
+		}
+	}
+	rec.BestQoR = best.QoR
+	rec.PowerOfBest = best.Metrics.PowerMW
+	rec.TNSOfBest = best.Metrics.TNSns
+	rec.AvgTopK = t.avgTopK(t.opt.K)
+	t.records = append(t.records, rec)
+	return rec, nil
+}
+
+// Run executes n iterations and returns the full trajectory.
+func (t *Tuner) Run(n int) ([]IterationRecord, error) {
+	for i := 0; i < n; i++ {
+		if _, err := t.Iterate(); err != nil {
+			return t.records, err
+		}
+	}
+	return t.records, nil
+}
+
+// update applies the MDPO + PPO parameter updates for this iteration's
+// evaluations and returns the mean loss.
+func (t *Tuner) update(newEvals []Evaluation) float64 {
+	iv := t.insight.Slice()
+	totalLoss, updates := 0.0, 0
+
+	// --- Margin-based DPO over (new × archive) pairs ---
+	pairs := 0
+	for _, a := range newEvals {
+		for _, b := range t.history {
+			if pairs >= t.opt.MDPOPairsPerIter {
+				break
+			}
+			if a.Set == b.Set {
+				continue
+			}
+			gap := a.QoR - b.QoR
+			w, l := a, b
+			if gap < 0 {
+				w, l, gap = b, a, -gap
+			}
+			if gap < 0.05 {
+				continue
+			}
+			t.adam.ZeroGrad()
+			lw := t.model.LogProb(iv, w.Set.Bits())
+			ll := t.model.LogProb(iv, l.Set.Bits())
+			loss := tensor.Scalar(t.opt.Lambda * gap).Sub(lw.Sub(ll)).Hinge()
+			v := loss.Item()
+			totalLoss += v
+			updates++
+			if v > 0 {
+				loss.Backward()
+				t.adam.Step()
+			}
+			pairs++
+		}
+	}
+
+	// --- Clipped PPO on the new evaluations ---
+	if t.opt.PPOWeight > 0 {
+		baseline := t.baselineQoR()
+		for _, e := range newEvals {
+			adv := e.QoR - baseline
+			if adv == 0 {
+				continue
+			}
+			t.adam.ZeroGrad()
+			lp := t.model.LogProb(iv, e.Set.Bits())
+			ratioT := lp.AddScalar(-e.LogProbOld).Exp()
+			r := ratioT.Item()
+			clipped := math.Max(1-t.opt.PPOEpsilon, math.Min(1+t.opt.PPOEpsilon, r))
+			// Surrogate: min(r·A, clip(r)·A). When the clipped branch is
+			// active the gradient is zero — skip the step.
+			if r*adv <= clipped*adv+1e-12 {
+				loss := ratioT.Scale(-adv * t.opt.PPOWeight)
+				totalLoss += loss.Item()
+				updates++
+				loss.Backward()
+				t.adam.Step()
+			}
+		}
+	}
+	if updates == 0 {
+		return 0
+	}
+	return totalLoss / float64(updates)
+}
+
+// baselineQoR is the running mean archive QoR (the PPO advantage baseline).
+func (t *Tuner) baselineQoR() float64 {
+	if len(t.history) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range t.history {
+		s += e.QoR
+	}
+	return s / float64(len(t.history))
+}
+
+// avgTopK returns the mean QoR of the best k evaluations so far.
+func (t *Tuner) avgTopK(k int) float64 {
+	if len(t.history) == 0 {
+		return 0
+	}
+	top := make([]float64, 0, len(t.history))
+	for _, e := range t.history {
+		top = append(top, e.QoR)
+	}
+	// Partial selection of the k largest.
+	for i := 0; i < k && i < len(top); i++ {
+		best := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[best] {
+				best = j
+			}
+		}
+		top[i], top[best] = top[best], top[i]
+	}
+	if k > len(top) {
+		k = len(top)
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += top[i]
+	}
+	return s / float64(k)
+}
+
+func containsSet(cs []core.Candidate, s recipe.Set) bool {
+	for _, c := range cs {
+		if c.Set == s {
+			return true
+		}
+	}
+	return false
+}

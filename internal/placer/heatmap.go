@@ -1,0 +1,55 @@
+package placer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"insightalign/internal/netlist"
+)
+
+// heatChars maps utilization to a density glyph, low to high.
+var heatChars = []byte(" .:-=+*#%@")
+
+// WriteHeatmap renders an ASCII utilization heatmap of the final placement,
+// one character per bin — the quick visual check designers do before
+// routing. Rows print top (max y) to bottom.
+func (r *Result) WriteHeatmap(w io.Writer, nl *netlist.Netlist) error {
+	util := binUtil(nl, r, nl.Tech)
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement utilization heatmap (%dx%d bins, die %.0fx%.0f um)\n",
+		r.BinsX, r.BinsY, r.DieW, r.DieH)
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", r.BinsX))
+	for y := r.BinsY - 1; y >= 0; y-- {
+		b.WriteByte('|')
+		for x := 0; x < r.BinsX; x++ {
+			u := util[y*r.BinsX+x]
+			idx := int(u / 1.25 * float64(len(heatChars)-1))
+			if idx >= len(heatChars) {
+				idx = len(heatChars) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(heatChars[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", r.BinsX))
+	fmt.Fprintf(&b, "scale: ' '=0%%  '%c'=~60%%  '%c'>=125%%\n", heatChars[len(heatChars)/2], heatChars[len(heatChars)-1])
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePlacementCSV emits cell placements as CSV (id, kind, x, y, cluster)
+// — a DEF-like interchange for external visualization.
+func (r *Result) WritePlacementCSV(w io.Writer, nl *netlist.Netlist) error {
+	var b strings.Builder
+	b.WriteString("id,kind,x_um,y_um,cluster\n")
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		fmt.Fprintf(&b, "%d,%s,%.3f,%.3f,%d\n", c.ID, c.Kind, r.X[i], r.Y[i], c.Cluster)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,59 @@
+package placer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteHeatmap(t *testing.T) {
+	nl := testNetlist(t, 400, 0.5)
+	res, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteHeatmap(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "heatmap") || !strings.Contains(s, "scale:") {
+		t.Fatal("heatmap header/footer missing")
+	}
+	lines := strings.Split(s, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") && strings.HasSuffix(l, "|") {
+			rows++
+			if len(l) != res.BinsX+2 {
+				t.Fatalf("row width %d, want %d", len(l), res.BinsX+2)
+			}
+		}
+	}
+	if rows != res.BinsY {
+		t.Fatalf("heatmap has %d rows, want %d", rows, res.BinsY)
+	}
+	// Some cell density must show up as non-blank glyphs.
+	if !strings.ContainsAny(s, ".:-=+*#%@") {
+		t.Fatal("heatmap is entirely empty")
+	}
+}
+
+func TestWritePlacementCSV(t *testing.T) {
+	nl := testNetlist(t, 300, 0.5)
+	res, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WritePlacementCSV(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "id,kind,x_um,y_um,cluster" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines)-1 != len(nl.Cells) {
+		t.Fatalf("csv has %d rows, want %d", len(lines)-1, len(nl.Cells))
+	}
+}

@@ -1,0 +1,459 @@
+// Package placer implements a grid-bin global placement engine: cluster-
+// seeded initial placement followed by iterative attraction, perturbation,
+// and density-spreading passes. It records a congestion snapshot after every
+// placement step, which is the raw material for the "congestion level during
+// placement step X" insights of the paper (Table I).
+package placer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insightalign/internal/netlist"
+)
+
+// Options are the placement knobs exposed to flow recipes.
+type Options struct {
+	// TargetUtil is the placement density target in (0, 1).
+	TargetUtil float64
+	// Steps is the number of refinement passes (the paper's "placement
+	// step X" insights index into these).
+	Steps int
+	// SpreadStrength scales how hard overfull bins push cells out.
+	SpreadStrength float64
+	// TimingWeight biases attraction toward shortening deep-level paths.
+	TimingWeight float64
+	// Perturbation adds random displacement each step (recipe: "placement
+	// perturbations" traded against early hold/setup fixing).
+	Perturbation float64
+	// CongestionEffort in [0,1] adds extra spreading iterations in
+	// congested regions at some wirelength cost.
+	CongestionEffort float64
+	// Seed drives all stochastic decisions.
+	Seed int64
+}
+
+// DefaultOptions returns a balanced flow default.
+func DefaultOptions() Options {
+	return Options{
+		TargetUtil:       0.70,
+		Steps:            3,
+		SpreadStrength:   0.6,
+		TimingWeight:     0.5,
+		Perturbation:     0.02,
+		CongestionEffort: 0.5,
+	}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.TargetUtil <= 0.2 || o.TargetUtil > 0.98 {
+		return fmt.Errorf("placer: TargetUtil %g out of (0.2, 0.98]", o.TargetUtil)
+	}
+	if o.Steps < 1 || o.Steps > 10 {
+		return fmt.Errorf("placer: Steps %d out of [1,10]", o.Steps)
+	}
+	return nil
+}
+
+// CongestionStats summarizes bin utilization after one placement step.
+type CongestionStats struct {
+	MaxUtil      float64 // utilization of the worst bin
+	AvgUtil      float64
+	OverflowFrac float64 // fraction of bins above 100% capacity
+	HotspotBins  int     // bins above 90% capacity
+	// ExcessAreaFrac is the fraction of total cell area sitting above bin
+	// capacity — a scale-robust congestion measure (bin-count fractions
+	// saturate on small dies where statistical clumping overflows many
+	// nearly-empty bins).
+	ExcessAreaFrac float64
+}
+
+// Level classifies congestion as the paper's {low, medium, high} insight.
+// Thresholds are calibrated so the benchmark suite spans all three levels
+// at the default density target.
+func (c CongestionStats) Level() string {
+	switch {
+	case c.ExcessAreaFrac > 0.30 || c.MaxUtil > 4.5:
+		return "high"
+	case c.ExcessAreaFrac > 0.22 || c.MaxUtil > 3.0:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
+// Result is a completed placement.
+type Result struct {
+	X, Y       []float64 // per-cell coordinates in µm, indexed by cell ID
+	DieW, DieH float64
+	BinsX      int
+	BinsY      int
+	BinW, BinH float64
+	// StepCongestion has one entry per placement step, in order.
+	StepCongestion []CongestionStats
+	// FinalUtil is the average bin utilization of movable area.
+	FinalUtil float64
+	// TotalDisplacement accumulates movement during refinement (µm).
+	TotalDisplacement float64
+}
+
+// BinOf maps a coordinate to its bin indices, clamped to the grid.
+func (r *Result) BinOf(x, y float64) (bx, by int) {
+	bx = int(x / r.BinW)
+	by = int(y / r.BinH)
+	if bx < 0 {
+		bx = 0
+	}
+	if bx >= r.BinsX {
+		bx = r.BinsX - 1
+	}
+	if by < 0 {
+		by = 0
+	}
+	if by >= r.BinsY {
+		by = r.BinsY - 1
+	}
+	return bx, by
+}
+
+// HPWL returns the half-perimeter wirelength of the net driven by cell id.
+func (r *Result) HPWL(nl *netlist.Netlist, id int) float64 {
+	c := &nl.Cells[id]
+	if len(c.Fanouts) == 0 {
+		return 0
+	}
+	minX, maxX := r.X[id], r.X[id]
+	minY, maxY := r.Y[id], r.Y[id]
+	for _, s := range c.Fanouts {
+		minX = math.Min(minX, r.X[s])
+		maxX = math.Max(maxX, r.X[s])
+		minY = math.Min(minY, r.Y[s])
+		maxY = math.Max(maxY, r.Y[s])
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// TotalHPWL sums HPWL over all driving cells.
+func (r *Result) TotalHPWL(nl *netlist.Netlist) float64 {
+	t := 0.0
+	for id := range nl.Cells {
+		t += r.HPWL(nl, id)
+	}
+	return t
+}
+
+// Place runs global placement on nl with the given options.
+func Place(nl *netlist.Netlist, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	tech := nl.Tech
+	n := len(nl.Cells)
+
+	// Die sizing from total cell area and density target.
+	area := nl.TotalArea() / opt.TargetUtil
+	dieW := math.Sqrt(area)
+	dieH := dieW
+	// Bin grid: ~40 cells per bin on average, so the per-bin occupancy
+	// statistics are comparable across design sizes.
+	binsPerSide := int(math.Sqrt(float64(n)/40)) + 1
+	if binsPerSide < 4 {
+		binsPerSide = 4
+	}
+	if binsPerSide > 96 {
+		binsPerSide = 96
+	}
+	res := &Result{
+		X: make([]float64, n), Y: make([]float64, n),
+		DieW: dieW, DieH: dieH,
+		BinsX: binsPerSide, BinsY: binsPerSide,
+		BinW: dieW / float64(binsPerSide), BinH: dieH / float64(binsPerSide),
+	}
+
+	// Cluster seeds laid out on a coarse grid.
+	k := nl.Clusters
+	if k < 1 {
+		k = 1
+	}
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	for c := 0; c < k; c++ {
+		gx := c % side
+		gy := c / side
+		cx[c] = (float64(gx) + 0.5) / float64(side) * dieW
+		cy[c] = (float64(gy) + 0.5) / float64(side) * dieH
+	}
+
+	movable := make([]bool, n)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		switch c.Kind {
+		case netlist.Input, netlist.Output:
+			// Ports pinned on the periphery.
+			t := rng.Float64()
+			switch rng.Intn(4) {
+			case 0:
+				res.X[i], res.Y[i] = t*dieW, 0
+			case 1:
+				res.X[i], res.Y[i] = t*dieW, dieH
+			case 2:
+				res.X[i], res.Y[i] = 0, t*dieH
+			default:
+				res.X[i], res.Y[i] = dieW, t*dieH
+			}
+		default:
+			movable[i] = true
+			cl := c.Cluster % k
+			spread := dieW / float64(side) * 0.75
+			res.X[i] = clamp(cx[cl]+rng.NormFloat64()*spread, 0, dieW)
+			res.Y[i] = clamp(cy[cl]+rng.NormFloat64()*spread, 0, dieH)
+		}
+	}
+
+	maxLevel := 1
+	for i := range nl.Cells {
+		if nl.Cells[i].Level > maxLevel {
+			maxLevel = nl.Cells[i].Level
+		}
+	}
+
+	binCap := res.BinW * res.BinH // µm² of placeable area per bin
+	for step := 0; step < opt.Steps; step++ {
+		// 1. Attraction toward connected-cell centroid, timing-weighted.
+		moved := 0.0
+		maxDisp := res.BinW * (1.5 - 0.3*float64(step))
+		for i := range nl.Cells {
+			if !movable[i] {
+				continue
+			}
+			c := &nl.Cells[i]
+			sx, sy, w := 0.0, 0.0, 0.0
+			for _, f := range c.Fanins {
+				sx += res.X[f]
+				sy += res.Y[f]
+				w++
+			}
+			for _, f := range c.Fanouts {
+				sx += res.X[f]
+				sy += res.Y[f]
+				w++
+			}
+			if w == 0 {
+				continue
+			}
+			// Deep cells are more likely timing-critical; pull harder.
+			// Alpha stays modest so density spreading can compete —
+			// aggressive pulls collapse whole clusters into single bins.
+			crit := 1 + opt.TimingWeight*float64(c.Level)/float64(maxLevel)
+			alpha := 0.38 * crit
+			if alpha > 0.5 {
+				alpha = 0.5
+			}
+			tx := sx/w - res.X[i]
+			ty := sy/w - res.Y[i]
+			dx := clamp(alpha*tx, -maxDisp, maxDisp)
+			dy := clamp(alpha*ty, -maxDisp, maxDisp)
+			res.X[i] = clamp(res.X[i]+dx, 0, dieW)
+			res.Y[i] = clamp(res.Y[i]+dy, 0, dieH)
+			moved += math.Abs(dx) + math.Abs(dy)
+		}
+
+		// 2. Perturbation.
+		if opt.Perturbation > 0 {
+			sigma := opt.Perturbation * res.BinW
+			for i := range nl.Cells {
+				if movable[i] {
+					res.X[i] = clamp(res.X[i]+rng.NormFloat64()*sigma, 0, dieW)
+					res.Y[i] = clamp(res.Y[i]+rng.NormFloat64()*sigma, 0, dieH)
+				}
+			}
+		}
+
+		// 3. Density spreading.
+		spreadPasses := 2 + int(opt.CongestionEffort*3.01)
+		for pass := 0; pass < spreadPasses; pass++ {
+			util := binUtil(nl, res, tech)
+			for i := range nl.Cells {
+				if !movable[i] {
+					continue
+				}
+				bx, by := res.BinOf(res.X[i], res.Y[i])
+				u := util[by*res.BinsX+bx]
+				if u <= opt.TargetUtil*1.15 {
+					continue
+				}
+				// Push toward the least-utilized neighbouring bin.
+				bestU, bestDX, bestDY := u, 0, 0
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := bx+d[0], by+d[1]
+					if nx < 0 || nx >= res.BinsX || ny < 0 || ny >= res.BinsY {
+						continue
+					}
+					if nu := util[ny*res.BinsX+nx]; nu < bestU {
+						bestU, bestDX, bestDY = nu, d[0], d[1]
+					}
+				}
+				if bestDX == 0 && bestDY == 0 {
+					continue
+				}
+				strength := opt.SpreadStrength * (u - opt.TargetUtil) / opt.TargetUtil
+				if strength > 1 {
+					strength = 1
+				}
+				dx := float64(bestDX) * strength * res.BinW
+				dy := float64(bestDY) * strength * res.BinH
+				res.X[i] = clamp(res.X[i]+dx, 0, dieW)
+				res.Y[i] = clamp(res.Y[i]+dy, 0, dieH)
+				moved += math.Abs(dx) + math.Abs(dy)
+			}
+		}
+		res.TotalDisplacement += moved
+
+		// Record the congestion snapshot for this step.
+		res.StepCongestion = append(res.StepCongestion, congestionOf(binUtil(nl, res, tech), opt.TargetUtil))
+	}
+
+	// Legalization-lite: bound peak bin density by relocating cells from
+	// overfull bins into the nearest bins with headroom, the way row
+	// legalization equalizes density after global placement.
+	legalize(nl, res, movable)
+
+	util := binUtil(nl, res, tech)
+	sum := 0.0
+	for _, u := range util {
+		sum += u
+	}
+	res.FinalUtil = sum / float64(len(util))
+	_ = binCap
+	return res, nil
+}
+
+// legalize relocates cells out of bins above 100% utilization into the
+// nearest under-capacity bins. Deterministic: cells move in ID order.
+func legalize(nl *netlist.Netlist, res *Result, movable []bool) {
+	tech := nl.Tech
+	binArea := res.BinW * res.BinH
+	util := binUtil(nl, res, tech)
+	// Per-bin movable cell lists, in ID order.
+	binCells := make([][]int, len(util))
+	for i := range nl.Cells {
+		if !movable[i] {
+			continue
+		}
+		bx, by := res.BinOf(res.X[i], res.Y[i])
+		b := by*res.BinsX + bx
+		binCells[b] = append(binCells[b], i)
+	}
+	for b := range util {
+		if util[b] <= 1.0 {
+			continue
+		}
+		bx, by := b%res.BinsX, b/res.BinsX
+		for _, id := range binCells[b] {
+			if util[b] <= 1.0 {
+				break
+			}
+			cellU := nl.Cells[id].Area(tech) / binArea
+			// Nearest bin with headroom, searched in growing rings.
+			tb := nearestUnderfull(res, util, bx, by, cellU)
+			if tb < 0 {
+				break
+			}
+			tx, ty := tb%res.BinsX, tb/res.BinsX
+			res.X[id] = clamp((float64(tx)+0.5)*res.BinW, 0, res.DieW)
+			res.Y[id] = clamp((float64(ty)+0.5)*res.BinH, 0, res.DieH)
+			util[b] -= cellU
+			util[tb] += cellU
+			res.TotalDisplacement += math.Abs(float64(tx-bx))*res.BinW + math.Abs(float64(ty-by))*res.BinH
+		}
+	}
+}
+
+func nearestUnderfull(res *Result, util []float64, bx, by int, need float64) int {
+	maxR := res.BinsX + res.BinsY
+	for r := 1; r <= maxR; r++ {
+		best, bestU := -1, 1.0
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if absI(dx)+absI(dy) != r {
+					continue
+				}
+				nx, ny := bx+dx, by+dy
+				if nx < 0 || nx >= res.BinsX || ny < 0 || ny >= res.BinsY {
+					continue
+				}
+				b := ny*res.BinsX + nx
+				if util[b]+need <= 1.0 && util[b] < bestU {
+					best, bestU = b, util[b]
+				}
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+func absI(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// binUtil computes per-bin area utilization (cell area / bin area).
+func binUtil(nl *netlist.Netlist, res *Result, tech netlist.Tech) []float64 {
+	util := make([]float64, res.BinsX*res.BinsY)
+	binArea := res.BinW * res.BinH
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() {
+			continue
+		}
+		bx, by := res.BinOf(res.X[i], res.Y[i])
+		util[by*res.BinsX+bx] += c.Area(tech) / binArea
+	}
+	return util
+}
+
+func congestionOf(util []float64, target float64) CongestionStats {
+	var s CongestionStats
+	over, hot := 0, 0
+	totalArea, excess := 0.0, 0.0
+	for _, u := range util {
+		if u > s.MaxUtil {
+			s.MaxUtil = u
+		}
+		s.AvgUtil += u
+		totalArea += u
+		if u > 1.0 {
+			over++
+			excess += u - 1.0
+		}
+		if u > 0.9 {
+			hot++
+		}
+	}
+	s.AvgUtil /= float64(len(util))
+	s.OverflowFrac = float64(over) / float64(len(util))
+	s.HotspotBins = hot
+	if totalArea > 0 {
+		s.ExcessAreaFrac = excess / totalArea
+	}
+	return s
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

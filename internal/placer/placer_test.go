@@ -1,0 +1,197 @@
+package placer
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/netlist"
+)
+
+func testNetlist(t *testing.T, gates int, locality float64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: "p", Seed: 11, Gates: gates, SeqFraction: 0.25, Depth: 10,
+		TechName: "N28", ClockTightness: 1.0, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: locality, FanoutSkew: 0.4, ShortPathFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestPlaceBasic(t *testing.T) {
+	nl := testNetlist(t, 400, 0.5)
+	res, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != len(nl.Cells) || len(res.Y) != len(nl.Cells) {
+		t.Fatal("coordinate arrays wrong length")
+	}
+	for i := range res.X {
+		if res.X[i] < 0 || res.X[i] > res.DieW || res.Y[i] < 0 || res.Y[i] > res.DieH {
+			t.Fatalf("cell %d placed off-die at (%g,%g)", i, res.X[i], res.Y[i])
+		}
+	}
+	if len(res.StepCongestion) != DefaultOptions().Steps {
+		t.Fatalf("StepCongestion has %d entries, want %d", len(res.StepCongestion), DefaultOptions().Steps)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl := testNetlist(t, 300, 0.5)
+	opt := DefaultOptions()
+	opt.Seed = 99
+	a, err := Place(nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("placement not deterministic at cell %d", i)
+		}
+	}
+}
+
+func TestPlaceInvalidOptions(t *testing.T) {
+	nl := testNetlist(t, 300, 0.5)
+	opt := DefaultOptions()
+	opt.TargetUtil = 1.5
+	if _, err := Place(nl, opt); err == nil {
+		t.Fatal("expected error for bad TargetUtil")
+	}
+	opt = DefaultOptions()
+	opt.Steps = 0
+	if _, err := Place(nl, opt); err == nil {
+		t.Fatal("expected error for zero steps")
+	}
+}
+
+func TestAttractionReducesWirelength(t *testing.T) {
+	nl := testNetlist(t, 500, 0.6)
+	short := DefaultOptions()
+	short.Steps = 1
+	long := DefaultOptions()
+	long.Steps = 5
+	a, _ := Place(nl, short)
+	b, _ := Place(nl, long)
+	if b.TotalHPWL(nl) >= a.TotalHPWL(nl) {
+		t.Fatalf("more refinement should shorten wirelength: 1-step=%g 5-step=%g",
+			a.TotalHPWL(nl), b.TotalHPWL(nl))
+	}
+}
+
+func TestHigherUtilSmallerDie(t *testing.T) {
+	nl := testNetlist(t, 400, 0.5)
+	lo := DefaultOptions()
+	lo.TargetUtil = 0.5
+	hi := DefaultOptions()
+	hi.TargetUtil = 0.9
+	a, _ := Place(nl, lo)
+	b, _ := Place(nl, hi)
+	if b.DieW >= a.DieW {
+		t.Fatalf("util 0.9 die %g should be smaller than util 0.5 die %g", b.DieW, a.DieW)
+	}
+}
+
+func TestHigherUtilMoreCongestion(t *testing.T) {
+	nl := testNetlist(t, 800, 0.2) // low locality: congestion-prone
+	lo := DefaultOptions()
+	lo.TargetUtil = 0.5
+	hi := DefaultOptions()
+	hi.TargetUtil = 0.92
+	a, _ := Place(nl, lo)
+	b, _ := Place(nl, hi)
+	aLast := a.StepCongestion[len(a.StepCongestion)-1]
+	bLast := b.StepCongestion[len(b.StepCongestion)-1]
+	if bLast.AvgUtil <= aLast.AvgUtil {
+		t.Fatalf("high target util should raise avg bin util: lo=%g hi=%g", aLast.AvgUtil, bLast.AvgUtil)
+	}
+}
+
+func TestCongestionLevels(t *testing.T) {
+	cases := []struct {
+		s    CongestionStats
+		want string
+	}{
+		{CongestionStats{MaxUtil: 0.8, ExcessAreaFrac: 0.1}, "low"},
+		{CongestionStats{MaxUtil: 3.2, ExcessAreaFrac: 0.25}, "medium"},
+		{CongestionStats{MaxUtil: 5.0, ExcessAreaFrac: 0.40}, "high"},
+	}
+	for _, c := range cases {
+		if got := c.s.Level(); got != c.want {
+			t.Errorf("Level(%+v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPortsOnPeriphery(t *testing.T) {
+	nl := testNetlist(t, 300, 0.5)
+	res, _ := Place(nl, DefaultOptions())
+	for _, id := range nl.Inputs {
+		onEdge := res.X[id] == 0 || res.X[id] == res.DieW || res.Y[id] == 0 || res.Y[id] == res.DieH
+		if !onEdge {
+			t.Fatalf("input port %d not on periphery: (%g,%g)", id, res.X[id], res.Y[id])
+		}
+	}
+}
+
+func TestHPWLProperties(t *testing.T) {
+	nl := testNetlist(t, 300, 0.5)
+	res, _ := Place(nl, DefaultOptions())
+	for id := range nl.Cells {
+		w := res.HPWL(nl, id)
+		if w < 0 {
+			t.Fatalf("negative HPWL for cell %d", id)
+		}
+		if len(nl.Cells[id].Fanouts) == 0 && w != 0 {
+			t.Fatalf("sink-less net %d has HPWL %g", id, w)
+		}
+		if w > res.DieW+res.DieH+1e-9 {
+			t.Fatalf("HPWL %g exceeds die perimeter bound", w)
+		}
+	}
+}
+
+func TestPerturbationIncreasesWirelength(t *testing.T) {
+	nl := testNetlist(t, 500, 0.6)
+	calm := DefaultOptions()
+	calm.Perturbation = 0
+	wild := DefaultOptions()
+	wild.Perturbation = 0.8
+	a, _ := Place(nl, calm)
+	b, _ := Place(nl, wild)
+	if b.TotalHPWL(nl) <= a.TotalHPWL(nl) {
+		t.Fatalf("strong perturbation should cost wirelength: calm=%g wild=%g",
+			a.TotalHPWL(nl), b.TotalHPWL(nl))
+	}
+}
+
+func TestBinOfClamps(t *testing.T) {
+	res := &Result{BinsX: 4, BinsY: 4, BinW: 10, BinH: 10}
+	if bx, by := res.BinOf(-5, -5); bx != 0 || by != 0 {
+		t.Fatal("BinOf should clamp low")
+	}
+	if bx, by := res.BinOf(1e9, 1e9); bx != 3 || by != 3 {
+		t.Fatal("BinOf should clamp high")
+	}
+}
+
+func TestFinalUtilNearTarget(t *testing.T) {
+	nl := testNetlist(t, 600, 0.5)
+	opt := DefaultOptions()
+	res, _ := Place(nl, opt)
+	// Average utilization should be in the rough vicinity of target
+	// (cells occupy totalArea; die = totalArea/target).
+	if res.FinalUtil < opt.TargetUtil*0.4 || res.FinalUtil > opt.TargetUtil*2.0 {
+		t.Fatalf("FinalUtil %g far from target %g", res.FinalUtil, opt.TargetUtil)
+	}
+	if math.IsNaN(res.FinalUtil) {
+		t.Fatal("FinalUtil is NaN")
+	}
+}

@@ -1,0 +1,192 @@
+// Package plot renders the experiment results as standalone SVG figures —
+// scatter plots for Fig. 5/Fig. 7 and line charts for Fig. 6 and the
+// baseline trajectories — using only the standard library. Output is
+// deterministic and self-contained (no fonts or scripts), so figures can be
+// committed or diffed.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string // SVG color; empty picks from the default cycle
+}
+
+// Figure is a 2-D chart specification.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels; 0 → 560
+	Height int // pixels; 0 → 400
+	Series []Series
+	// Lines connects points within each series in order (line chart);
+	// otherwise points render as markers (scatter).
+	Lines bool
+	// HLine, if non-nil, draws a horizontal reference line (e.g. the
+	// best-known QoR bar of Fig. 7).
+	HLine *float64
+}
+
+var defaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginL = 62
+	marginR = 16
+	marginT = 34
+	marginB = 46
+)
+
+// SVG renders the figure.
+func (f Figure) SVG() (string, error) {
+	w, h := f.Width, f.Height
+	if w == 0 {
+		w = 560
+	}
+	if h == 0 {
+		h = 400
+	}
+	if len(f.Series) == 0 {
+		return "", fmt.Errorf("plot: figure has no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		total += len(s.X)
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("plot: no points")
+	}
+	if f.HLine != nil {
+		minY = math.Min(minY, *f.HLine)
+		maxY = math.Max(maxY, *f.HLine)
+	}
+	// Pad degenerate ranges.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	padX := (maxX - minX) * 0.06
+	padY := (maxY - minY) * 0.08
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		w/2, escape(f.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		w/2, h-10, escape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		h/2, h/2, escape(f.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		tx := minX + (maxX-minX)*float64(i)/4
+		ty := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+			px(tx), float64(marginT)+plotH, px(tx), float64(marginT)+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(tx), float64(marginT)+plotH+16, tickLabel(tx))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+			float64(marginL)-4, py(ty), float64(marginL), py(ty))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-7, py(ty)+3, tickLabel(ty))
+	}
+
+	// Reference line.
+	if f.HLine != nil {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888" stroke-dasharray="5,4"/>`+"\n",
+			marginL, py(*f.HLine), float64(marginL)+plotW, py(*f.HLine))
+	}
+
+	// Series.
+	for si, s := range f.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		if f.Lines && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.75"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), markerRadius(f.Lines), color)
+		}
+	}
+
+	// Legend.
+	ly := marginT + 8
+	for si, s := range f.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%d" r="4" fill="%s"/>`+"\n",
+			float64(marginL)+plotW-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			float64(marginL)+plotW-100, ly+4, escape(s.Name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func markerRadius(lines bool) float64 {
+	if lines {
+		return 2.6
+	}
+	return 3.2
+}
+
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		Title:  "test figure",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "known", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}},
+			{Name: "rec", X: []float64{1.5}, Y: []float64{4.5}, Color: "#d62728"},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := sampleFigure().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "test figure", "x axis", "y axis", "known", "rec", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// 4 points total → at least 4 data circles (plus 2 legend markers).
+	if strings.Count(svg, "<circle") < 6 {
+		t.Fatalf("expected >= 6 circles, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestSVGLinesMode(t *testing.T) {
+	f := sampleFigure()
+	f.Lines = true
+	svg, err := f.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("line mode should emit polyline")
+	}
+}
+
+func TestSVGHLine(t *testing.T) {
+	f := sampleFigure()
+	ref := 5.0
+	f.HLine = &ref
+	svg, err := f.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("reference line missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (Figure{}).SVG(); err == nil {
+		t.Fatal("empty figure should error")
+	}
+	bad := Figure{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Fatal("mismatched series should error")
+	}
+	empty := Figure{Series: []Series{{Name: "x"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Fatal("pointless figure should error")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	f := Figure{Series: []Series{{Name: "p", X: []float64{2, 2}, Y: []float64{3, 3}}}}
+	svg, err := f.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	a, _ := sampleFigure().SVG()
+	b, _ := sampleFigure().SVG()
+	if a != b {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	f := sampleFigure()
+	f.Title = `a<b>&"c"`
+	svg, err := f.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<b>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestTickLabelFormats(t *testing.T) {
+	cases := map[float64]string{
+		12345:  "1.2e+04",
+		42:     "42",
+		3.5:    "3.5",
+		0.25:   "0.25",
+		0.0001: "1.0e-04",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package power implements power analysis and recovery for the simulated
+// flow: switching-activity propagation from primary inputs through the gate
+// DAG, dynamic power from switched wire and pin capacitance, leakage by
+// VT class, sequential (register + clock-pin) power, clock-tree power from
+// the synthesized tree, and a slack-driven leakage-recovery transform that
+// trades timing margin for HVT swaps. The dominance breakdowns (leakage vs.
+// dynamic, sequential vs. combinational) are Table I insights.
+package power
+
+import (
+	"fmt"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/router"
+	"insightalign/internal/sta"
+)
+
+// Options are the power knobs exposed to flow recipes (Table II: "Adjust
+// tradeoffs among timing, power, and area metrics").
+type Options struct {
+	// LeakageRecoveryEffort in [0,1] scales slack-driven HVT swapping.
+	LeakageRecoveryEffort float64
+	// RecoverySlackMarginPS is the minimum positive slack a cell must
+	// keep after an HVT swap.
+	RecoverySlackMarginPS float64
+	// ClockGatingEfficiency in [0,1) derates sequential clock-pin power.
+	ClockGatingEfficiency float64
+}
+
+// DefaultOptions returns a balanced flow default.
+func DefaultOptions() Options {
+	return Options{LeakageRecoveryEffort: 0.5, RecoverySlackMarginPS: 30, ClockGatingEfficiency: 0.2}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.LeakageRecoveryEffort < 0 || o.LeakageRecoveryEffort > 1 {
+		return fmt.Errorf("power: LeakageRecoveryEffort %g out of [0,1]", o.LeakageRecoveryEffort)
+	}
+	if o.ClockGatingEfficiency < 0 || o.ClockGatingEfficiency >= 1 {
+		return fmt.Errorf("power: ClockGatingEfficiency %g out of [0,1)", o.ClockGatingEfficiency)
+	}
+	if o.RecoverySlackMarginPS < 0 {
+		return fmt.Errorf("power: negative RecoverySlackMarginPS")
+	}
+	return nil
+}
+
+// Result is a completed power analysis. All values are in mW.
+type Result struct {
+	TotalMW         float64
+	DynamicMW       float64 // combinational switching power
+	LeakageMW       float64
+	SequentialMW    float64 // register internal + clock-pin power
+	ClockTreeMW     float64 // buffers and clock wiring
+	HoldFixMW       float64 // power added by hold-fix delay cells
+	RecoverySwaps   int     // HVT swaps applied by leakage recovery
+	LeakageFraction float64 // leakage / total
+	SeqFraction     float64 // sequential / total
+}
+
+// Activities propagates switching activity (toggles per cycle) through the
+// DAG and returns per-cell output activity.
+func Activities(nl *netlist.Netlist) []float64 {
+	act := make([]float64, len(nl.Cells))
+	base := nl.Traits.ActivityMean
+	if base == 0 {
+		base = 0.15
+	}
+	// Deterministic per-input variation derived from the cell ID, so
+	// activities differ across inputs without carrying an RNG around.
+	for _, id := range nl.Inputs {
+		act[id] = base * (0.5 + 1.0*hash01(id, nl.Traits.Seed))
+	}
+	for _, id := range nl.Seqs {
+		act[id] = base * 0.5 * (0.5 + hash01(id, nl.Traits.Seed))
+	}
+	// Propagate in level order (levels are a valid topological order for
+	// combinational cells).
+	maxLevel := 0
+	for i := range nl.Cells {
+		if nl.Cells[i].Level > maxLevel {
+			maxLevel = nl.Cells[i].Level
+		}
+	}
+	buckets := make([][]int, maxLevel+1)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() || c.Kind.IsSequential() {
+			buckets[c.Level] = append(buckets[c.Level], -1) // placeholder, skipped
+			continue
+		}
+		buckets[c.Level] = append(buckets[c.Level], i)
+	}
+	for _, b := range buckets {
+		for _, id := range b {
+			if id < 0 {
+				continue
+			}
+			c := &nl.Cells[id]
+			sum := 0.0
+			for _, f := range c.Fanins {
+				sum += act[f]
+			}
+			if len(c.Fanins) > 0 {
+				act[id] = c.Kind.ActivityFactor() * sum / float64(len(c.Fanins))
+			}
+			if act[id] > 1 {
+				act[id] = 1
+			}
+		}
+	}
+	return act
+}
+
+// Analyze computes the power breakdown of nl at the routed design state.
+// timing supplies hold-fix overhead; it may be nil for a pre-repair
+// estimate.
+func Analyze(nl *netlist.Netlist, rt *router.Result, clk *cts.Result, timing *sta.Result, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	tech := nl.Tech
+	freqGHz := 1000 / nl.ClockPeriodPS // period in ps → GHz
+	act := Activities(nl)
+	res := &Result{}
+
+	// Switched capacitance per net: wire + sink pins + internal.
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() {
+			continue
+		}
+		capFF := tech.WireCPerFFUM * rt.NetLengthUM[i]
+		for _, s := range c.Fanouts {
+			capFF += nl.Cells[s].InputCap(tech)
+		}
+		capFF += tech.InputCapFF * c.Kind.InternalCapFactor() * float64(c.Drive)
+		// P = α · C · V² · f ; fF·GHz·V² = µW.
+		pUW := act[i] * capFF * tech.VDD * tech.VDD * freqGHz
+		if c.Kind.IsSequential() {
+			res.SequentialMW += pUW / 1000
+			// Clock pin switches every cycle (activity 1), derated by
+			// clock gating.
+			clkPinUW := (1 - opt.ClockGatingEfficiency) * nl.Cells[i].InputCap(tech) * tech.VDD * tech.VDD * freqGHz
+			res.SequentialMW += clkPinUW / 1000
+		} else {
+			res.DynamicMW += pUW / 1000
+		}
+		res.LeakageMW += c.Leakage(tech) / 1e6 // nW → mW
+	}
+
+	// Clock tree: switched every cycle.
+	if clk != nil {
+		res.ClockTreeMW = clk.SwitchedCapFF * tech.VDD * tech.VDD * freqGHz / 1000
+		res.LeakageMW += float64(clk.Buffers) * netlist.SVT.Leakage(tech) * netlist.Buf.LeakFactor() / 1e6
+	}
+
+	// Hold-fix delay cells: toggle with data activity (~mean) and leak.
+	if timing != nil && timing.HoldFixCells > 0 {
+		meanAct := 0.0
+		n := 0
+		for i := range nl.Cells {
+			if !nl.Cells[i].Kind.IsPort() {
+				meanAct += act[i]
+				n++
+			}
+		}
+		if n > 0 {
+			meanAct /= float64(n)
+		}
+		res.HoldFixMW = meanAct * timing.HoldFixCapFF * tech.VDD * tech.VDD * freqGHz / 1000
+		res.LeakageMW += float64(timing.HoldFixCells) * netlist.SVT.Leakage(tech) * netlist.Buf.LeakFactor() / 1e6
+	}
+
+	res.TotalMW = res.DynamicMW + res.LeakageMW + res.SequentialMW + res.ClockTreeMW + res.HoldFixMW
+	if res.TotalMW > 0 {
+		res.LeakageFraction = res.LeakageMW / res.TotalMW
+		res.SeqFraction = res.SequentialMW / res.TotalMW
+	}
+	return res, nil
+}
+
+// RecoverLeakage swaps non-critical SVT/LVT cells to HVT in slack order,
+// mutating nl. It returns the number of swaps. The caller must re-run
+// timing afterwards: swapped cells get slower.
+func RecoverLeakage(nl *netlist.Netlist, timing *sta.Result, opt Options) (int, error) {
+	if err := opt.Validate(); err != nil {
+		return 0, err
+	}
+	if opt.LeakageRecoveryEffort == 0 || timing == nil || timing.SlackPS == nil {
+		return 0, nil
+	}
+	tech := nl.Tech
+	swaps := 0
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() || c.Kind.IsSequential() || c.VT == netlist.HVT {
+			continue
+		}
+		// Estimated delay penalty of the swap.
+		penalty := c.IntrinsicDelay(tech) * (netlist.HVT.DelayFactor()/c.VT.DelayFactor() - 1)
+		need := penalty + opt.RecoverySlackMarginPS*(1.2-opt.LeakageRecoveryEffort)
+		if timing.SlackPS[i] > need {
+			// Effort gates how deep into the margin distribution we go:
+			// low effort only swaps the very safest cells.
+			if opt.LeakageRecoveryEffort < 1 && timing.SlackPS[i] < need*(1+2*(1-opt.LeakageRecoveryEffort)) {
+				continue
+			}
+			c.VT = netlist.HVT
+			swaps++
+		}
+	}
+	return swaps, nil
+}
+
+func hash01(id int, seed int64) float64 {
+	x := uint64(id)*0x9E3779B97F4A7C15 + uint64(seed)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x%1000000) / 1000000
+}

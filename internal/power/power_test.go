@@ -1,0 +1,219 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/placer"
+	"insightalign/internal/router"
+	"insightalign/internal/sta"
+)
+
+func build(t *testing.T, spec netlist.Spec) (*netlist.Netlist, *router.Result, *cts.Result, *sta.Result) {
+	t.Helper()
+	nl, err := netlist.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := placer.Place(nl, placer.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, err := cts.Synthesize(nl, pl, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := router.Route(nl, pl, router.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing, err := sta.Analyze(nl, rt, clk, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, rt, clk, timing
+}
+
+func baseSpec(seed int64) netlist.Spec {
+	return netlist.Spec{
+		Name: "pw", Seed: seed, Gates: 500, SeqFraction: 0.3, Depth: 10,
+		TechName: "N16", ClockTightness: 1.1, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.3, ShortPathFraction: 0.2, ActivityMean: 0.2,
+	}
+}
+
+func TestAnalyzeBreakdown(t *testing.T) {
+	nl, rt, clk, timing := build(t, baseSpec(51))
+	res, err := Analyze(nl, rt, clk, timing, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"total": res.TotalMW, "dynamic": res.DynamicMW, "leakage": res.LeakageMW,
+		"sequential": res.SequentialMW, "clock": res.ClockTreeMW,
+	} {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("%s power = %g, want positive", name, v)
+		}
+	}
+	sum := res.DynamicMW + res.LeakageMW + res.SequentialMW + res.ClockTreeMW + res.HoldFixMW
+	if math.Abs(sum-res.TotalMW) > 1e-9 {
+		t.Fatalf("breakdown does not sum: %g vs %g", sum, res.TotalMW)
+	}
+	if res.LeakageFraction <= 0 || res.LeakageFraction >= 1 {
+		t.Fatalf("LeakageFraction %g out of (0,1)", res.LeakageFraction)
+	}
+}
+
+func TestActivityBounded(t *testing.T) {
+	nl, _, _, _ := build(t, baseSpec(52))
+	act := Activities(nl)
+	for i, a := range act {
+		if a < 0 || a > 1 {
+			t.Fatalf("activity[%d] = %g out of [0,1]", i, a)
+		}
+	}
+}
+
+func TestHigherActivityMorePower(t *testing.T) {
+	lo := baseSpec(53)
+	lo.ActivityMean = 0.05
+	hi := baseSpec(53)
+	hi.ActivityMean = 0.4
+	nlA, rtA, clkA, tA := build(t, lo)
+	nlB, rtB, clkB, tB := build(t, hi)
+	a, _ := Analyze(nlA, rtA, clkA, tA, DefaultOptions())
+	b, _ := Analyze(nlB, rtB, clkB, tB, DefaultOptions())
+	if b.DynamicMW <= a.DynamicMW {
+		t.Fatalf("higher activity should raise dynamic power: %g vs %g", a.DynamicMW, b.DynamicMW)
+	}
+}
+
+func TestLVTHeavierLeakage(t *testing.T) {
+	lo := baseSpec(54)
+	lo.HVTFraction, lo.LVTFraction = 0.8, 0.0
+	hi := baseSpec(54)
+	hi.HVTFraction, hi.LVTFraction = 0.0, 0.8
+	nlA, rtA, clkA, tA := build(t, lo)
+	nlB, rtB, clkB, tB := build(t, hi)
+	// Compare without repair mutations for a clean library comparison.
+	a, _ := Analyze(nlA, rtA, clkA, nil, DefaultOptions())
+	b, _ := Analyze(nlB, rtB, clkB, nil, DefaultOptions())
+	_ = tA
+	_ = tB
+	if b.LeakageMW <= a.LeakageMW {
+		t.Fatalf("LVT-heavy design should leak more: HVT=%g LVT=%g", a.LeakageMW, b.LeakageMW)
+	}
+}
+
+func TestClockGatingReducesSequentialPower(t *testing.T) {
+	nl, rt, clk, timing := build(t, baseSpec(55))
+	off := DefaultOptions()
+	off.ClockGatingEfficiency = 0
+	on := DefaultOptions()
+	on.ClockGatingEfficiency = 0.6
+	a, _ := Analyze(nl, rt, clk, timing, off)
+	b, _ := Analyze(nl, rt, clk, timing, on)
+	if b.SequentialMW >= a.SequentialMW {
+		t.Fatalf("clock gating should cut sequential power: %g vs %g", a.SequentialMW, b.SequentialMW)
+	}
+}
+
+func TestRecoverLeakage(t *testing.T) {
+	spec := baseSpec(56)
+	spec.ClockTightness = 1.6 // plenty of slack to trade
+	spec.HVTFraction = 0.1
+	nl, rt, clk, timing := build(t, spec)
+	before, _ := Analyze(nl, rt, clk, timing, DefaultOptions())
+	opt := DefaultOptions()
+	opt.LeakageRecoveryEffort = 1
+	swaps, err := RecoverLeakage(nl, timing, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps == 0 {
+		t.Fatal("relaxed design should allow HVT swaps")
+	}
+	after, _ := Analyze(nl, rt, clk, timing, DefaultOptions())
+	if after.LeakageMW >= before.LeakageMW {
+		t.Fatalf("recovery should cut leakage: %g -> %g", before.LeakageMW, after.LeakageMW)
+	}
+}
+
+func TestRecoverLeakageRespectsEffortZero(t *testing.T) {
+	nl, _, _, timing := build(t, baseSpec(57))
+	opt := DefaultOptions()
+	opt.LeakageRecoveryEffort = 0
+	swaps, err := RecoverLeakage(nl, timing, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 0 {
+		t.Fatalf("zero effort should swap nothing, got %d", swaps)
+	}
+}
+
+func TestRecoverLeakageEffortMonotone(t *testing.T) {
+	spec := baseSpec(58)
+	spec.ClockTightness = 1.5
+	spec.HVTFraction = 0.1
+	nlA, _, _, tA := build(t, spec)
+	nlB, _, _, tB := build(t, spec)
+	low := DefaultOptions()
+	low.LeakageRecoveryEffort = 0.3
+	high := DefaultOptions()
+	high.LeakageRecoveryEffort = 1
+	a, _ := RecoverLeakage(nlA, tA, low)
+	b, _ := RecoverLeakage(nlB, tB, high)
+	if b < a {
+		t.Fatalf("more effort should swap at least as many cells: low=%d high=%d", a, b)
+	}
+}
+
+func TestHoldFixPowerCounted(t *testing.T) {
+	spec := baseSpec(59)
+	spec.ShortPathFraction = 0.45
+	nl, rt, clk, timing := build(t, spec)
+	if timing.HoldFixCells == 0 {
+		t.Skip("no hold fixes in this configuration")
+	}
+	res, _ := Analyze(nl, rt, clk, timing, DefaultOptions())
+	if res.HoldFixMW <= 0 {
+		t.Fatal("hold fixes should consume power")
+	}
+	none, _ := Analyze(nl, rt, clk, nil, DefaultOptions())
+	if none.TotalMW >= res.TotalMW {
+		t.Fatal("hold-fix overhead missing from total")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Options{LeakageRecoveryEffort: 2}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := (Options{ClockGatingEfficiency: 1}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := (Options{RecoverySlackMarginPS: -1}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialHeavyDesignSeqFraction(t *testing.T) {
+	light := baseSpec(60)
+	light.SeqFraction = 0.1
+	heavy := baseSpec(60)
+	heavy.SeqFraction = 0.45
+	nlA, rtA, clkA, tA := build(t, light)
+	nlB, rtB, clkB, tB := build(t, heavy)
+	a, _ := Analyze(nlA, rtA, clkA, tA, DefaultOptions())
+	b, _ := Analyze(nlB, rtB, clkB, tB, DefaultOptions())
+	if b.SeqFraction <= a.SeqFraction {
+		t.Fatalf("register-heavy design should have higher seq fraction: %g vs %g", a.SeqFraction, b.SeqFraction)
+	}
+}

@@ -1,0 +1,88 @@
+package qor
+
+import "insightalign/internal/flow"
+
+// ParetoFront returns the indices of the non-dominated points under the
+// intention's metrics (all treated in their preferred direction). A point
+// dominates another if it is no worse on every metric and strictly better
+// on at least one. Used to analyze where recommendations sit relative to
+// the archive cloud (Fig. 5 of the paper).
+func ParetoFront(points []flow.Metrics, in Intention) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	// Extract oriented values: larger is always better after orientation.
+	vals := make([][]float64, n)
+	for i, p := range points {
+		for _, t := range in.Terms {
+			v, err := MetricValue(p, t.Metric)
+			if err != nil {
+				continue
+			}
+			if !t.Maximize {
+				v = -v
+			}
+			vals[i] = append(vals[i], v)
+		}
+	}
+	var front []int
+	for i := 0; i < n; i++ {
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if i == j {
+				continue
+			}
+			if dominates(vals[j], vals[i]) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// dominates reports whether a is no worse than b everywhere and strictly
+// better somewhere (larger = better).
+func dominates(a, b []float64) bool {
+	strictly := false
+	for k := range a {
+		if a[k] < b[k] {
+			return false
+		}
+		if a[k] > b[k] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// DominatedBy counts how many of the reference points dominate m — 0 means
+// m is on or beyond the reference Pareto front.
+func DominatedBy(m flow.Metrics, reference []flow.Metrics, in Intention) int {
+	mv := orient(m, in)
+	count := 0
+	for _, r := range reference {
+		if dominates(orient(r, in), mv) {
+			count++
+		}
+	}
+	return count
+}
+
+func orient(m flow.Metrics, in Intention) []float64 {
+	var out []float64
+	for _, t := range in.Terms {
+		v, err := MetricValue(m, t.Metric)
+		if err != nil {
+			continue
+		}
+		if !t.Maximize {
+			v = -v
+		}
+		out = append(out, v)
+	}
+	return out
+}

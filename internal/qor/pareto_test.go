@@ -1,0 +1,79 @@
+package qor
+
+import (
+	"testing"
+
+	"insightalign/internal/flow"
+)
+
+func TestParetoFrontBasic(t *testing.T) {
+	// Minimize power and tns. Points: A(1,10) B(2,5) C(3,1) D(2,8) E(4,4).
+	// D is dominated by B (2,5 beats 2,8); E is dominated by C? C=(3,1),
+	// E=(4,4): C better on both → E dominated. Front: A, B, C.
+	points := []flow.Metrics{
+		{PowerMW: 1, TNSns: 10},
+		{PowerMW: 2, TNSns: 5},
+		{PowerMW: 3, TNSns: 1},
+		{PowerMW: 2, TNSns: 8},
+		{PowerMW: 4, TNSns: 4},
+	}
+	front := ParetoFront(points, Default())
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(front) != 3 {
+		t.Fatalf("front = %v, want indices 0,1,2", front)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Fatalf("unexpected front member %d", i)
+		}
+	}
+}
+
+func TestParetoFrontDuplicates(t *testing.T) {
+	// Identical points do not dominate each other: both stay on the front.
+	points := []flow.Metrics{
+		{PowerMW: 1, TNSns: 1},
+		{PowerMW: 1, TNSns: 1},
+	}
+	front := ParetoFront(points, Default())
+	if len(front) != 2 {
+		t.Fatalf("duplicate points should both survive, got %v", front)
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if ParetoFront(nil, Default()) != nil {
+		t.Fatal("empty input should give nil front")
+	}
+}
+
+func TestDominatedBy(t *testing.T) {
+	ref := []flow.Metrics{
+		{PowerMW: 2, TNSns: 5},
+		{PowerMW: 3, TNSns: 1},
+	}
+	// Beyond the front: dominated by nobody.
+	if n := DominatedBy(flow.Metrics{PowerMW: 1, TNSns: 0.5}, ref, Default()); n != 0 {
+		t.Fatalf("beyond-front point dominated by %d", n)
+	}
+	// Inside the cloud: dominated by both.
+	if n := DominatedBy(flow.Metrics{PowerMW: 5, TNSns: 9}, ref, Default()); n != 2 {
+		t.Fatalf("dominated count = %d, want 2", n)
+	}
+	// Between: dominated by exactly one.
+	if n := DominatedBy(flow.Metrics{PowerMW: 2.5, TNSns: 5}, ref, Default()); n != 1 {
+		t.Fatalf("dominated count = %d, want 1", n)
+	}
+}
+
+func TestDominatesTies(t *testing.T) {
+	if dominates([]float64{1, 1}, []float64{1, 1}) {
+		t.Fatal("equal vectors must not dominate")
+	}
+	if !dominates([]float64{1, 2}, []float64{1, 1}) {
+		t.Fatal("strictly-better-somewhere should dominate")
+	}
+	if dominates([]float64{2, 0}, []float64{1, 1}) {
+		t.Fatal("trade-off must not dominate")
+	}
+}

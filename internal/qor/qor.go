@@ -1,0 +1,147 @@
+// Package qor implements the compound quality-of-result scoring of the
+// paper (Eq. 4): user-defined QoR intentions weight z-normalized metrics,
+// with normalization statistics computed per design over all datapoints of
+// that design. The paper's running intention is minimizing total power and
+// TNS with weights 0.7 and 0.3.
+package qor
+
+import (
+	"fmt"
+	"math"
+
+	"insightalign/internal/flow"
+)
+
+// Term is one weighted metric of an intention.
+type Term struct {
+	// Metric names a flow metric: one of "power", "tns", "wns", "area",
+	// "wirelength", "drc", "holdtns", "leakage".
+	Metric string
+	// Weight is the w_i of Eq. 4.
+	Weight float64
+	// Maximize sets g_i = +1 (otherwise −1: lower raw values score higher).
+	Maximize bool
+}
+
+// Intention is a user-defined compound QoR objective.
+type Intention struct {
+	Terms []Term
+}
+
+// Default returns the paper's illustration intention: minimize total power
+// and TNS with weights 0.7 and 0.3.
+func Default() Intention {
+	return Intention{Terms: []Term{
+		{Metric: "power", Weight: 0.7},
+		{Metric: "tns", Weight: 0.3},
+	}}
+}
+
+// Validate checks metric names and weights.
+func (in Intention) Validate() error {
+	if len(in.Terms) == 0 {
+		return fmt.Errorf("qor: intention has no terms")
+	}
+	for _, t := range in.Terms {
+		if _, err := MetricValue(flow.Metrics{}, t.Metric); err != nil {
+			return err
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("qor: negative weight for %q", t.Metric)
+		}
+	}
+	return nil
+}
+
+// MetricValue extracts a named metric from flow metrics.
+func MetricValue(m flow.Metrics, name string) (float64, error) {
+	switch name {
+	case "power":
+		return m.PowerMW, nil
+	case "tns":
+		return m.TNSns, nil
+	case "wns":
+		return m.WNSns, nil
+	case "area":
+		return m.AreaUM2, nil
+	case "wirelength":
+		return m.WirelengthUM, nil
+	case "drc":
+		return float64(m.DRCViolations), nil
+	case "holdtns":
+		return m.HoldTNSns, nil
+	case "leakage":
+		return m.LeakageMW, nil
+	default:
+		return 0, fmt.Errorf("qor: unknown metric %q", name)
+	}
+}
+
+// Stats holds per-metric normalization statistics for one design.
+type Stats struct {
+	Mean map[string]float64
+	Std  map[string]float64
+}
+
+// ComputeStats derives mean/std of every intention metric over the
+// datapoints of one design (the mean(m)_i and std(m)_i of Eq. 4).
+func ComputeStats(points []flow.Metrics, in Intention) (Stats, error) {
+	if err := in.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if len(points) == 0 {
+		return Stats{}, fmt.Errorf("qor: no datapoints")
+	}
+	s := Stats{Mean: map[string]float64{}, Std: map[string]float64{}}
+	for _, t := range in.Terms {
+		sum := 0.0
+		for _, p := range points {
+			v, _ := MetricValue(p, t.Metric)
+			sum += v
+		}
+		mean := sum / float64(len(points))
+		va := 0.0
+		for _, p := range points {
+			v, _ := MetricValue(p, t.Metric)
+			va += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(va / float64(len(points)))
+		if std < 1e-12 {
+			std = 1e-12 // constant metric: z-score collapses to 0
+		}
+		s.Mean[t.Metric] = mean
+		s.Std[t.Metric] = std
+	}
+	return s, nil
+}
+
+// Score computes the compound QoR score of Eq. 4 for one datapoint:
+// s = Σ_i w_i · g_i · (m_i − mean_i) / std_i. Higher is better.
+func Score(m flow.Metrics, st Stats, in Intention) float64 {
+	s := 0.0
+	for _, t := range in.Terms {
+		v, err := MetricValue(m, t.Metric)
+		if err != nil {
+			continue
+		}
+		g := -1.0
+		if t.Maximize {
+			g = 1.0
+		}
+		s += t.Weight * g * (v - st.Mean[t.Metric]) / st.Std[t.Metric]
+	}
+	return s
+}
+
+// ScoreAll scores every datapoint against shared per-design statistics.
+func ScoreAll(points []flow.Metrics, in Intention) ([]float64, Stats, error) {
+	st, err := ComputeStats(points, in)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = Score(p, st, in)
+	}
+	return out, st, nil
+}

@@ -1,0 +1,153 @@
+package qor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"insightalign/internal/flow"
+)
+
+func pts() []flow.Metrics {
+	return []flow.Metrics{
+		{PowerMW: 100, TNSns: 10},
+		{PowerMW: 120, TNSns: 5},
+		{PowerMW: 80, TNSns: 20},
+		{PowerMW: 90, TNSns: 2},
+	}
+}
+
+func TestDefaultIntention(t *testing.T) {
+	in := Default()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Terms) != 2 {
+		t.Fatal("default intention should have 2 terms")
+	}
+	if in.Terms[0].Metric != "power" || in.Terms[0].Weight != 0.7 {
+		t.Fatalf("power term wrong: %+v", in.Terms[0])
+	}
+	if in.Terms[1].Metric != "tns" || in.Terms[1].Weight != 0.3 {
+		t.Fatalf("tns term wrong: %+v", in.Terms[1])
+	}
+	if in.Terms[0].Maximize || in.Terms[1].Maximize {
+		t.Fatal("both terms minimize")
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	points := pts()
+	scores, _, err := ScoreAll(points, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point 3 (power 90, TNS 2) dominates point 0 (power 100, TNS 10):
+	// strictly less power and less TNS must score strictly higher.
+	if scores[3] <= scores[0] {
+		t.Fatalf("dominating point scored lower: %g vs %g", scores[3], scores[0])
+	}
+	// Point 2 has the least power but the most TNS; with weight 0.7 on
+	// power it should still beat point 1 (most power, moderate TNS).
+	if scores[2] <= scores[1] {
+		t.Fatalf("weighting not applied: %g vs %g", scores[2], scores[1])
+	}
+}
+
+func TestScoresZeroMean(t *testing.T) {
+	scores, _, err := ScoreAll(pts(), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("z-scored compound should have zero mean, got %g", sum)
+	}
+}
+
+func TestMaximizeFlipsSign(t *testing.T) {
+	points := pts()
+	inMin := Intention{Terms: []Term{{Metric: "power", Weight: 1}}}
+	inMax := Intention{Terms: []Term{{Metric: "power", Weight: 1, Maximize: true}}}
+	a, _, _ := ScoreAll(points, inMin)
+	b, _, _ := ScoreAll(points, inMax)
+	for i := range a {
+		if math.Abs(a[i]+b[i]) > 1e-12 {
+			t.Fatalf("maximize should negate score: %g vs %g", a[i], b[i])
+		}
+	}
+}
+
+func TestConstantMetricContributesZero(t *testing.T) {
+	points := []flow.Metrics{{PowerMW: 5, TNSns: 1}, {PowerMW: 5, TNSns: 2}}
+	scores, _, err := ScoreAll(points, Intention{Terms: []Term{{Metric: "power", Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatalf("constant metric should z-score to 0, got %g", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Intention{}).Validate(); err == nil {
+		t.Fatal("empty intention should fail")
+	}
+	if err := (Intention{Terms: []Term{{Metric: "bogus", Weight: 1}}}).Validate(); err == nil {
+		t.Fatal("unknown metric should fail")
+	}
+	if err := (Intention{Terms: []Term{{Metric: "power", Weight: -1}}}).Validate(); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+}
+
+func TestMetricValueAll(t *testing.T) {
+	m := flow.Metrics{PowerMW: 1, TNSns: 2, WNSns: 3, AreaUM2: 4, WirelengthUM: 5,
+		DRCViolations: 6, HoldTNSns: 7, LeakageMW: 8}
+	cases := map[string]float64{
+		"power": 1, "tns": 2, "wns": 3, "area": 4, "wirelength": 5,
+		"drc": 6, "holdtns": 7, "leakage": 8,
+	}
+	for name, want := range cases {
+		got, err := MetricValue(m, name)
+		if err != nil || got != want {
+			t.Errorf("MetricValue(%q) = %g, %v; want %g", name, got, err, want)
+		}
+	}
+	if _, err := MetricValue(m, "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	if _, err := ComputeStats(nil, Default()); err == nil {
+		t.Fatal("expected error for empty points")
+	}
+}
+
+// Property: improving (reducing) a minimized metric never lowers the score.
+func TestScoreMonotoneProperty(t *testing.T) {
+	points := pts()
+	st, err := ComputeStats(points, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(p0, t0, dp, dt uint8) bool {
+		base := flow.Metrics{PowerMW: 50 + float64(p0), TNSns: float64(t0)}
+		better := base
+		better.PowerMW -= float64(dp) // strictly less or equal power
+		better.TNSns -= float64(int(dt) % (int(t0) + 1))
+		if better.TNSns < 0 {
+			better.TNSns = 0
+		}
+		return Score(better, st, Default()) >= Score(base, st, Default())-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,297 @@
+package recipe
+
+import (
+	"sync"
+
+	"insightalign/internal/flow"
+)
+
+var (
+	catalogOnce sync.Once
+	catalog     []Recipe
+)
+
+// Catalog returns the 40-recipe catalog, built once. Recipe IDs are stable
+// and equal to the slice index.
+func Catalog() []Recipe {
+	catalogOnce.Do(buildCatalog)
+	return catalog
+}
+
+// ByName finds a recipe by name.
+func ByName(name string) (Recipe, bool) {
+	for _, r := range Catalog() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Recipe{}, false
+}
+
+// ByCategory returns all recipes of a category, in ID order.
+func ByCategory(c Category) []Recipe {
+	var out []Recipe
+	for _, r := range Catalog() {
+		if r.Category == c {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func add(name string, cat Category, desc string, apply func(*flow.Params)) {
+	catalog = append(catalog, Recipe{ID: len(catalog), Name: name, Category: cat, Description: desc, apply: apply})
+}
+
+func buildCatalog() {
+	// ---- Design intention tradeoffs (8) — Table II row 1 ----
+	add("intent_timing_max", Intention,
+		"Maximize timing: full repair effort, timing-driven placement, no leakage recovery",
+		func(p *flow.Params) {
+			p.SetupFixWeight += 0.4
+			p.UpsizeAggressiveness += 0.4
+			p.TimingDrivenWeight += 0.5
+			p.MaxOptPasses += 2
+			p.LeakageRecoveryEffort -= 0.4
+		})
+	add("intent_power_max", Intention,
+		"Minimize power: aggressive leakage recovery and clock gating, relaxed repair",
+		func(p *flow.Params) {
+			p.LeakageRecoveryEffort += 0.45
+			p.RecoverySlackMarginPS -= 15
+			p.ClockGatingEfficiency += 0.3
+			p.UpsizeAggressiveness -= 0.25
+		})
+	add("intent_area_max", Intention,
+		"Minimize area: high placement density, modest repair",
+		func(p *flow.Params) {
+			p.TargetUtil += 0.15
+			p.SetupFixWeight -= 0.15
+			p.UpsizeAggressiveness -= 0.15
+		})
+	add("intent_balanced_tp", Intention,
+		"Balance timing and power: moderate repair with guarded recovery",
+		func(p *flow.Params) {
+			p.SetupFixWeight += 0.2
+			p.LeakageRecoveryEffort += 0.2
+			p.RecoverySlackMarginPS += 10
+		})
+	add("intent_power_relaxed_timing", Intention,
+		"Spend positive slack on power: deep recovery with thin margins",
+		func(p *flow.Params) {
+			p.LeakageRecoveryEffort += 0.5
+			p.RecoverySlackMarginPS -= 22
+			p.SetupFixWeight -= 0.1
+		})
+	add("intent_timing_guardband", Intention,
+		"Protect timing: wide recovery margins, strong hold fixing",
+		func(p *flow.Params) {
+			p.RecoverySlackMarginPS += 35
+			p.HoldFixWeight += 0.3
+			p.SetupFixWeight += 0.15
+		})
+	add("intent_low_dynamic", Intention,
+		"Cut dynamic power: clock gating plus low-activity-friendly density",
+		func(p *flow.Params) {
+			p.ClockGatingEfficiency += 0.4
+			p.TargetUtil -= 0.05
+		})
+	add("intent_rush_mode", Intention,
+		"Fast turnaround: minimum effort everywhere (baseline-quality QoR)",
+		func(p *flow.Params) {
+			p.MaxOptPasses -= 1
+			p.RouteIterations -= 1
+			p.SetupFixWeight -= 0.2
+			p.LeakageRecoveryEffort -= 0.2
+			p.PlaceCongestionEff -= 0.3
+		})
+
+	// ---- Timing (10) — Table II row 2 ----
+	add("timing_setup_focus", Timing,
+		"Weight setup fixing heavily over hold fixing",
+		func(p *flow.Params) {
+			p.SetupFixWeight += 0.35
+			p.HoldFixWeight -= 0.2
+		})
+	add("timing_hold_focus", Timing,
+		"Weight early hold fixing heavily over setup fixing",
+		func(p *flow.Params) {
+			p.HoldFixWeight += 0.45
+			p.SetupFixWeight -= 0.1
+		})
+	add("timing_upsize_aggressive", Timing,
+		"Allow LVT swaps and maximal upsizing on critical paths",
+		func(p *flow.Params) {
+			p.UpsizeAggressiveness += 0.5
+			p.SetupFixWeight += 0.2
+		})
+	add("timing_low_perturb", Timing,
+		"Suppress placement perturbation to stabilize timing closure",
+		func(p *flow.Params) {
+			p.PlacementPerturb -= 0.02
+			p.TimingDrivenWeight += 0.2
+		})
+	add("timing_explore_perturb", Timing,
+		"Perturb placement to escape local timing minima",
+		func(p *flow.Params) {
+			p.PlacementPerturb += 0.10
+			p.PlacementSteps += 1
+		})
+	add("timing_deep_opt", Timing,
+		"Extra timing optimization passes",
+		func(p *flow.Params) {
+			p.MaxOptPasses += 3
+			p.SetupFixWeight += 0.1
+		})
+	add("timing_driven_place", Timing,
+		"Strongly timing-driven placement attraction",
+		func(p *flow.Params) {
+			p.TimingDrivenWeight += 0.6
+		})
+	add("timing_wire_focus", Timing,
+		"Shorten critical wires: tight placement plus route effort",
+		func(p *flow.Params) {
+			p.TimingDrivenWeight += 0.3
+			p.RouteIterations += 1
+			p.TargetUtil += 0.06
+		})
+	add("timing_hold_guard", Timing,
+		"Guarantee hold closure: fix every hold violation regardless of power",
+		func(p *flow.Params) {
+			p.HoldFixWeight += 0.6
+		})
+	add("timing_relax_repair", Timing,
+		"Trust the natural slack: minimal repair (saves power on easy designs)",
+		func(p *flow.Params) {
+			p.SetupFixWeight -= 0.35
+			p.UpsizeAggressiveness -= 0.25
+		})
+
+	// ---- Clock tree (8) — Table II row 3 ----
+	add("cts_tight_skew", ClockTree,
+		"Balance the clock tree to a tight skew target",
+		func(p *flow.Params) {
+			p.CTSSkewTargetPS -= 9
+		})
+	add("cts_loose_skew", ClockTree,
+		"Relax the skew target to save clock-tree power",
+		func(p *flow.Params) {
+			p.CTSSkewTargetPS += 25
+		})
+	add("cts_useful_skew", ClockTree,
+		"Leave natural skew unbalanced (useful-skew style, saves padding)",
+		func(p *flow.Params) {
+			p.UsefulSkew = true
+		})
+	add("cts_big_buffers", ClockTree,
+		"Drive the clock tree with strength-4 buffers (lower latency, more power)",
+		func(p *flow.Params) {
+			p.CTSBufferDrive = 4
+			p.CTSLatencyEffort += 0.2
+		})
+	add("cts_small_buffers", ClockTree,
+		"Drive the clock tree with unit buffers (low power, higher latency)",
+		func(p *flow.Params) {
+			p.CTSBufferDrive = 1
+			p.CTSLatencyEffort -= 0.2
+		})
+	add("cts_low_fanout", ClockTree,
+		"Deep tree with few sinks per buffer (balanced, buffer-hungry)",
+		func(p *flow.Params) {
+			p.CTSMaxFanout -= 6
+		})
+	add("cts_high_fanout", ClockTree,
+		"Shallow tree with many sinks per buffer (cheap, skew-prone)",
+		func(p *flow.Params) {
+			p.CTSMaxFanout += 16
+		})
+	add("cts_latency_min", ClockTree,
+		"Minimize insertion delay at power cost",
+		func(p *flow.Params) {
+			p.CTSLatencyEffort += 0.5
+		})
+
+	// ---- Routing congestion (8) — Table II row 4 ----
+	add("cong_low_util", RoutingCongestion,
+		"Lower placement density to relieve routing congestion",
+		func(p *flow.Params) {
+			p.TargetUtil -= 0.12
+		})
+	add("cong_high_util", RoutingCongestion,
+		"Raise placement density (shorter wires, congestion risk)",
+		func(p *flow.Params) {
+			p.TargetUtil += 0.12
+		})
+	add("cong_strong_spread", RoutingCongestion,
+		"Spread overfull placement bins hard",
+		func(p *flow.Params) {
+			p.SpreadStrength += 0.5
+			p.PlaceCongestionEff += 0.3
+		})
+	add("cong_place_effort", RoutingCongestion,
+		"Extra congestion-driven placement passes",
+		func(p *flow.Params) {
+			p.PlaceCongestionEff += 0.5
+			p.PlacementSteps += 1
+		})
+	add("cong_route_weight", RoutingCongestion,
+		"Make the router strongly congestion-averse",
+		func(p *flow.Params) {
+			p.CongestionWeight += 2.0
+		})
+	add("cong_headroom", RoutingCongestion,
+		"Reserve routing track headroom (fewer DRCs, longer wires)",
+		func(p *flow.Params) {
+			p.TrackUtil -= 0.2
+			p.CongestionWeight += 0.5
+		})
+	add("cong_pack_tracks", RoutingCongestion,
+		"Use every routing track (risky but short wires)",
+		func(p *flow.Params) {
+			p.TrackUtil += 0.15
+		})
+	add("cong_balanced", RoutingCongestion,
+		"Moderate congestion treatment across placement and routing",
+		func(p *flow.Params) {
+			p.PlaceCongestionEff += 0.2
+			p.CongestionWeight += 0.8
+			p.TargetUtil -= 0.04
+		})
+
+	// ---- Global routing (6) — Table II row 5 ----
+	add("groute_more_iter", GlobalRouting,
+		"More rip-up-and-reroute iterations",
+		func(p *flow.Params) {
+			p.RouteIterations += 3
+		})
+	add("groute_wide_detour", GlobalRouting,
+		"Search a wide window for detours",
+		func(p *flow.Params) {
+			p.RouteExpansion += 3
+			p.DetourPenalty -= 0.2
+		})
+	add("groute_short_wires", GlobalRouting,
+		"Penalize detours strongly (short wires, congestion risk)",
+		func(p *flow.Params) {
+			p.DetourPenalty += 1.0
+		})
+	add("groute_free_detour", GlobalRouting,
+		"Allow cheap detours to kill hotspots",
+		func(p *flow.Params) {
+			p.DetourPenalty -= 0.35
+			p.RouteIterations += 1
+		})
+	add("groute_max_effort", GlobalRouting,
+		"Maximum global routing effort on every axis",
+		func(p *flow.Params) {
+			p.RouteIterations += 4
+			p.RouteExpansion += 2
+			p.CongestionWeight += 1.0
+		})
+	add("groute_fast", GlobalRouting,
+		"Single-pass routing (fast, rough)",
+		func(p *flow.Params) {
+			p.RouteIterations -= 2
+			p.RouteExpansion -= 1
+		})
+}

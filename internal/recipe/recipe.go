@@ -1,0 +1,181 @@
+// Package recipe defines the preconfigured flow recipe catalog of the
+// paper's Table II: 40 recipes spanning design-intention tradeoffs, timing,
+// clock tree synthesis, routing congestion, and global routing. Each recipe
+// is a bundle of relative adjustments to flow.Params with a dedicated QoR
+// intention; recipe sets (subsets of the catalog) compose by applying
+// adjustments in ID order, which creates the complex interactions the
+// recommender must learn.
+package recipe
+
+import (
+	"fmt"
+	"strings"
+
+	"insightalign/internal/flow"
+)
+
+// Category groups recipes as in Table II of the paper.
+type Category int
+
+// Recipe categories.
+const (
+	Intention Category = iota // design intention tradeoffs
+	Timing
+	ClockTree
+	RoutingCongestion
+	GlobalRouting
+	numCategories
+)
+
+func (c Category) String() string {
+	return [...]string{
+		"Design intention tradeoffs", "Timing", "Clock tree",
+		"Routing congestion", "Global routing",
+	}[c]
+}
+
+// Recipe is one preconfigured option bundle.
+type Recipe struct {
+	ID          int
+	Name        string
+	Category    Category
+	Description string
+	apply       func(*flow.Params)
+}
+
+// Apply applies the recipe's parameter adjustments in place.
+func (r Recipe) Apply(p *flow.Params) { r.apply(p) }
+
+// N is the catalog size (the paper integrates n = 40 distinct recipes).
+const N = 40
+
+// Set is a recipe subset over the catalog: Set[i] selects recipe ID i.
+type Set [N]bool
+
+// Count returns the number of selected recipes.
+func (s Set) Count() int {
+	n := 0
+	for _, b := range s {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the set as a 40-character bitstring (recipe 0 first).
+func (s Set) String() string {
+	var b strings.Builder
+	for _, v := range s {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParseSet parses a bitstring produced by String.
+func ParseSet(str string) (Set, error) {
+	var s Set
+	if len(str) != N {
+		return s, fmt.Errorf("recipe: set string has %d chars, want %d", len(str), N)
+	}
+	for i, c := range str {
+		switch c {
+		case '1':
+			s[i] = true
+		case '0':
+		default:
+			return s, fmt.Errorf("recipe: invalid character %q in set string", c)
+		}
+	}
+	return s, nil
+}
+
+// Bits returns the decisions as a 0/1 slice (the model's token sequence).
+func (s Set) Bits() []int {
+	out := make([]int, N)
+	for i, v := range s {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// FromBits builds a Set from a 0/1 slice of length N.
+func FromBits(bits []int) (Set, error) {
+	var s Set
+	if len(bits) != N {
+		return s, fmt.Errorf("recipe: %d bits, want %d", len(bits), N)
+	}
+	for i, b := range bits {
+		s[i] = b != 0
+	}
+	return s, nil
+}
+
+// ApplySet applies every selected recipe to a copy of base, in ID order,
+// and returns the resulting parameters.
+func ApplySet(base flow.Params, s Set) flow.Params {
+	p := base
+	for _, r := range Catalog() {
+		if s[r.ID] {
+			r.apply(&p)
+		}
+	}
+	clampParams(&p)
+	return p
+}
+
+// clamp helpers keep composed adjustments within engine-legal ranges.
+
+func cf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func ci(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clampParams enforces global legality after arbitrary recipe composition.
+func clampParams(p *flow.Params) {
+	p.TargetUtil = cf(p.TargetUtil, 0.45, 0.95)
+	p.SpreadStrength = cf(p.SpreadStrength, 0.1, 1.5)
+	p.TimingDrivenWeight = cf(p.TimingDrivenWeight, 0, 1.5)
+	p.PlacementPerturb = cf(p.PlacementPerturb, 0, 0.5)
+	p.PlaceCongestionEff = cf(p.PlaceCongestionEff, 0, 1)
+	p.PlacementSteps = ci(p.PlacementSteps, 2, 6)
+	p.SetupFixWeight = cf(p.SetupFixWeight, 0, 1)
+	p.HoldFixWeight = cf(p.HoldFixWeight, 0, 1)
+	p.UpsizeAggressiveness = cf(p.UpsizeAggressiveness, 0, 1)
+	p.MaxOptPasses = ci(p.MaxOptPasses, 1, 6)
+	p.CTSSkewTargetPS = cf(p.CTSSkewTargetPS, 3, 80)
+	if p.CTSBufferDrive != 1 && p.CTSBufferDrive != 2 && p.CTSBufferDrive != 4 {
+		p.CTSBufferDrive = 2
+	}
+	p.CTSMaxFanout = ci(p.CTSMaxFanout, 4, 48)
+	p.CTSLatencyEffort = cf(p.CTSLatencyEffort, 0, 1)
+	p.RouteIterations = ci(p.RouteIterations, 0, 10)
+	p.CongestionWeight = cf(p.CongestionWeight, 0, 6)
+	p.DetourPenalty = cf(p.DetourPenalty, 0.02, 3)
+	p.TrackUtil = cf(p.TrackUtil, 0.4, 1.0)
+	p.RouteExpansion = ci(p.RouteExpansion, 0, 6)
+	p.LeakageRecoveryEffort = cf(p.LeakageRecoveryEffort, 0, 1)
+	p.RecoverySlackMarginPS = cf(p.RecoverySlackMarginPS, 5, 120)
+	p.ClockGatingEfficiency = cf(p.ClockGatingEfficiency, 0, 0.9)
+}

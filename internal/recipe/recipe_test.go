@@ -1,0 +1,243 @@
+package recipe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insightalign/internal/flow"
+)
+
+func TestCatalogSize(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != N {
+		t.Fatalf("catalog has %d recipes, want %d", len(cat), N)
+	}
+	for i, r := range cat {
+		if r.ID != i {
+			t.Fatalf("recipe %d has ID %d", i, r.ID)
+		}
+		if r.Name == "" || r.Description == "" {
+			t.Fatalf("recipe %d missing name or description", i)
+		}
+		if r.apply == nil {
+			t.Fatalf("recipe %d has no apply function", i)
+		}
+	}
+}
+
+func TestCatalogCoversTableIICategories(t *testing.T) {
+	// Table II of the paper lists 5 recipe categories; all must be
+	// populated.
+	counts := map[Category]int{}
+	for _, r := range Catalog() {
+		counts[r.Category]++
+	}
+	want := map[Category]int{
+		Intention: 8, Timing: 10, ClockTree: 8, RoutingCongestion: 8, GlobalRouting: 6,
+	}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Errorf("category %v has %d recipes, want %d", c, counts[c], n)
+		}
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Catalog() {
+		if seen[r.Name] {
+			t.Fatalf("duplicate recipe name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}
+
+func TestByNameAndCategory(t *testing.T) {
+	r, ok := ByName("cts_tight_skew")
+	if !ok || r.Category != ClockTree {
+		t.Fatalf("ByName failed: %+v ok=%v", r, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName should miss")
+	}
+	if got := len(ByCategory(Timing)); got != 10 {
+		t.Fatalf("ByCategory(Timing) = %d, want 10", got)
+	}
+}
+
+func TestEveryRecipeChangesParams(t *testing.T) {
+	base := flow.DefaultParams()
+	for _, r := range Catalog() {
+		p := base
+		r.Apply(&p)
+		if p == base {
+			t.Errorf("recipe %q does not change any parameter", r.Name)
+		}
+	}
+}
+
+func TestEveryRecipeKeepsParamsValidAlone(t *testing.T) {
+	base := flow.DefaultParams()
+	for _, r := range Catalog() {
+		var s Set
+		s[r.ID] = true
+		p := ApplySet(base, s)
+		if err := p.Validate(); err != nil {
+			t.Errorf("recipe %q alone yields invalid params: %v", r.Name, err)
+		}
+	}
+}
+
+// Property: ANY recipe subset composes into valid flow parameters.
+func TestApplySetAlwaysValidProperty(t *testing.T) {
+	base := flow.DefaultParams()
+	f := func(raw [N]bool) bool {
+		p := ApplySet(base, Set(raw))
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+	// The all-selected set too.
+	var all Set
+	for i := range all {
+		all[i] = true
+	}
+	if err := ApplySet(base, all).Validate(); err != nil {
+		t.Errorf("all-40 set invalid: %v", err)
+	}
+}
+
+func TestApplySetEmptyIsClampedBase(t *testing.T) {
+	base := flow.DefaultParams()
+	p := ApplySet(base, Set{})
+	if p != base {
+		t.Fatalf("empty set should return base params: %+v vs %+v", p, base)
+	}
+}
+
+func TestSetStringRoundTrip(t *testing.T) {
+	var s Set
+	s[0], s[7], s[39] = true, true, true
+	str := s.String()
+	if len(str) != N {
+		t.Fatalf("string length %d", len(str))
+	}
+	back, err := ParseSet(str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	if _, err := ParseSet("101"); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := make([]byte, N)
+	for i := range bad {
+		bad[i] = 'x'
+	}
+	if _, err := ParseSet(string(bad)); err == nil {
+		t.Fatal("expected character error")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	var s Set
+	s[3], s[21] = true, true
+	bits := s.Bits()
+	if len(bits) != N || bits[3] != 1 || bits[4] != 0 {
+		t.Fatalf("Bits wrong: %v", bits)
+	}
+	back, err := FromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatal("FromBits mismatch")
+	}
+	if _, err := FromBits([]int{1, 0}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	var s Set
+	if s.Count() != 0 {
+		t.Fatal("empty count")
+	}
+	s[1], s[2], s[39] = true, true, true
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Intention.String() != "Design intention tradeoffs" {
+		t.Fatal("category string wrong")
+	}
+	if GlobalRouting.String() != "Global routing" {
+		t.Fatal("category string wrong")
+	}
+}
+
+func TestConflictingRecipesStillValid(t *testing.T) {
+	// Opposing recipes applied together must stay legal.
+	pairs := [][2]string{
+		{"cong_low_util", "cong_high_util"},
+		{"cts_tight_skew", "cts_loose_skew"},
+		{"groute_short_wires", "groute_free_detour"},
+		{"timing_setup_focus", "timing_hold_focus"},
+		{"intent_timing_max", "intent_power_max"},
+	}
+	base := flow.DefaultParams()
+	for _, pair := range pairs {
+		var s Set
+		for _, name := range pair {
+			r, ok := ByName(name)
+			if !ok {
+				t.Fatalf("missing recipe %q", name)
+			}
+			s[r.ID] = true
+		}
+		if err := ApplySet(base, s).Validate(); err != nil {
+			t.Errorf("pair %v invalid: %v", pair, err)
+		}
+	}
+}
+
+// Property: Set → String → ParseSet is the identity for any bit pattern.
+func TestSetStringRoundTripProperty(t *testing.T) {
+	f := func(raw [N]bool) bool {
+		s := Set(raw)
+		back, err := ParseSet(s.String())
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bits/FromBits round-trips and Count equals the popcount.
+func TestBitsRoundTripProperty(t *testing.T) {
+	f := func(raw [N]bool) bool {
+		s := Set(raw)
+		bits := s.Bits()
+		ones := 0
+		for _, b := range bits {
+			ones += b
+		}
+		if ones != s.Count() {
+			return false
+		}
+		back, err := FromBits(bits)
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}

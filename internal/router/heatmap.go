@@ -1,0 +1,61 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CongestionMap is a per-edge routing usage snapshot for visualization.
+type CongestionMap struct {
+	BinsX, BinsY int
+	// HUtil and VUtil are horizontal/vertical edge usage divided by
+	// capacity, indexed [y*BinsX+x].
+	HUtil []float64
+	VUtil []float64
+}
+
+// Map builds the congestion map from a routing run. It is produced by
+// RouteWithMap; Route alone discards the grid to stay lean.
+func (g *grid) toMap() *CongestionMap {
+	m := &CongestionMap{BinsX: g.bx, BinsY: g.by,
+		HUtil: make([]float64, g.bx*g.by), VUtil: make([]float64, g.bx*g.by)}
+	for i, u := range g.hUse {
+		m.HUtil[i] = float64(u) / float64(g.cap)
+	}
+	for i, u := range g.vUse {
+		m.VUtil[i] = float64(u) / float64(g.cap)
+	}
+	return m
+}
+
+var routeHeatChars = []byte(" .:-=+*#%@")
+
+// WriteHeatmap renders the worst of the horizontal/vertical edge
+// utilizations per bin as ASCII, top row = max y.
+func (m *CongestionMap) WriteHeatmap(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routing congestion heatmap (%dx%d bins, worst edge per bin)\n", m.BinsX, m.BinsY)
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", m.BinsX))
+	for y := m.BinsY - 1; y >= 0; y-- {
+		b.WriteByte('|')
+		for x := 0; x < m.BinsX; x++ {
+			u := m.HUtil[y*m.BinsX+x]
+			if v := m.VUtil[y*m.BinsX+x]; v > u {
+				u = v
+			}
+			idx := int(u / 1.25 * float64(len(routeHeatChars)-1))
+			if idx >= len(routeHeatChars) {
+				idx = len(routeHeatChars) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(routeHeatChars[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", m.BinsX))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

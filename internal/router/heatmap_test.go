@@ -1,0 +1,69 @@
+package router
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRouteWithMap(t *testing.T) {
+	nl, pl := placed(t, 500, 0.3, 0.8)
+	res, m, err := RouteWithMap(nl, pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWirelengthUM <= 0 {
+		t.Fatal("no routing happened")
+	}
+	if m.BinsX != pl.BinsX || m.BinsY != pl.BinsY {
+		t.Fatal("map dims mismatch placement grid")
+	}
+	nonzero := false
+	for _, u := range m.HUtil {
+		if u < 0 {
+			t.Fatal("negative utilization")
+		}
+		if u > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("map is all zeros")
+	}
+	// Consistent with Route (same seed).
+	plain, err := Route(nl, pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalWirelengthUM != res.TotalWirelengthUM {
+		t.Fatal("RouteWithMap differs from Route")
+	}
+}
+
+func TestCongestionHeatmapRender(t *testing.T) {
+	nl, pl := placed(t, 500, 0.3, 0.8)
+	_, m, err := RouteWithMap(nl, pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteHeatmap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "routing congestion heatmap") {
+		t.Fatal("header missing")
+	}
+	rows := 0
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "|") {
+			rows++
+			if len(l) != m.BinsX+2 {
+				t.Fatalf("row width %d, want %d", len(l), m.BinsX+2)
+			}
+		}
+	}
+	if rows != m.BinsY {
+		t.Fatalf("%d rows, want %d", rows, m.BinsY)
+	}
+}

@@ -1,0 +1,241 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/router"
+)
+
+// PathStage is one cell along a timing path.
+type PathStage struct {
+	Cell        int
+	Kind        netlist.CellKind
+	Drive       int
+	VT          netlist.VT
+	CellDelayPS float64
+	WireDelayPS float64
+	ArrivalPS   float64 // arrival at this cell's output
+}
+
+// Path is one register-to-register (or port-bounded) timing path.
+type Path struct {
+	// Launch is the path's startpoint cell (DFF or input port).
+	Launch int
+	// Capture is the endpoint cell (DFF or output port).
+	Capture int
+	// Stages are the combinational cells in launch→capture order.
+	Stages []PathStage
+	// SlackPS is the endpoint setup slack of this path.
+	SlackPS float64
+	// DelayPS is the total data path delay.
+	DelayPS float64
+}
+
+// String renders a tool-style path report.
+func (p Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Startpoint: cell %d   Endpoint: cell %d\n", p.Launch, p.Capture)
+	fmt.Fprintf(&b, "%-8s %-7s %-5s %-4s %10s %10s %10s\n",
+		"cell", "kind", "drive", "vt", "cell(ps)", "wire(ps)", "arrive(ps)")
+	for _, s := range p.Stages {
+		fmt.Fprintf(&b, "%-8d %-7s %-5d %-4s %10.2f %10.2f %10.2f\n",
+			s.Cell, s.Kind, s.Drive, s.VT, s.CellDelayPS, s.WireDelayPS, s.ArrivalPS)
+	}
+	fmt.Fprintf(&b, "path delay %.2f ps, slack %.2f ps\n", p.DelayPS, p.SlackPS)
+	return b.String()
+}
+
+// ReportPaths extracts the n worst setup paths of the design at its current
+// sizing state, tracing each from its endpoint back through the worst
+// arrival fanin at every stage. It performs a fresh (repair-free) analysis.
+func ReportPaths(nl *netlist.Netlist, rt *router.Result, clk *cts.Result, n int) ([]Path, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sta: need n >= 1 paths")
+	}
+	g := buildGraph(nl, rt, clk)
+	arr, _ := g.propagate()
+	tech := nl.Tech
+	T := nl.ClockPeriodPS
+
+	// Endpoint slacks.
+	type endpoint struct {
+		cell  int
+		src   int
+		slack float64
+	}
+	var eps []endpoint
+	for _, ff := range nl.Seqs {
+		src := nl.Cells[ff].Fanins[0]
+		required := T + clk.LatencyPS[ff] - tech.SetupPS
+		slack := required - (arr[src] + g.wireDelay[src])
+		eps = append(eps, endpoint{ff, src, slack})
+	}
+	for _, po := range nl.Outputs {
+		src := nl.Cells[po].Fanins[0]
+		slack := T - (arr[src] + g.wireDelay[src])
+		eps = append(eps, endpoint{po, src, slack})
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].slack < eps[j].slack })
+	if n > len(eps) {
+		n = len(eps)
+	}
+
+	paths := make([]Path, 0, n)
+	for _, ep := range eps[:n] {
+		p := Path{Capture: ep.cell, SlackPS: ep.slack}
+		// Walk back through the worst-arrival fanin chain.
+		cur := ep.src
+		var rev []PathStage
+		for {
+			c := &nl.Cells[cur]
+			if c.Kind.IsPort() || c.Kind.IsSequential() {
+				p.Launch = cur
+				break
+			}
+			rev = append(rev, PathStage{
+				Cell: cur, Kind: c.Kind, Drive: c.Drive, VT: c.VT,
+				CellDelayPS: g.cellDelay[cur], WireDelayPS: g.wireDelay[cur],
+				ArrivalPS: arr[cur],
+			})
+			// Worst fanin by arrival + wire delay.
+			worst, worstA := -1, math.Inf(-1)
+			for _, f := range c.Fanins {
+				if a := arr[f] + g.wireDelay[f]; a > worstA {
+					worst, worstA = f, a
+				}
+			}
+			if worst < 0 {
+				p.Launch = cur
+				break
+			}
+			cur = worst
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			p.Stages = append(p.Stages, rev[i])
+		}
+		launchBase := 0.0
+		if nl.Cells[p.Launch].Kind.IsSequential() {
+			launchBase = clk.LatencyPS[p.Launch] + tech.ClkQPS
+		}
+		p.DelayPS = arr[ep.src] + g.wireDelay[ep.src] - launchBase
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// PathHistogram bins endpoint slacks for a quick health view (the kind of
+// summary designers scan before diving into individual paths).
+type PathHistogram struct {
+	BinEdgesPS []float64
+	Counts     []int
+	WorstPS    float64
+	TotalNeg   int
+}
+
+// SlackHistogram computes an endpoint slack histogram with the given number
+// of bins spanning [worst, best].
+func SlackHistogram(nl *netlist.Netlist, rt *router.Result, clk *cts.Result, bins int) (*PathHistogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("sta: need bins >= 1")
+	}
+	g := buildGraph(nl, rt, clk)
+	arr, _ := g.propagate()
+	tech := nl.Tech
+	T := nl.ClockPeriodPS
+	var slacks []float64
+	for _, ff := range nl.Seqs {
+		src := nl.Cells[ff].Fanins[0]
+		required := T + clk.LatencyPS[ff] - tech.SetupPS
+		slacks = append(slacks, required-(arr[src]+g.wireDelay[src]))
+	}
+	for _, po := range nl.Outputs {
+		src := nl.Cells[po].Fanins[0]
+		slacks = append(slacks, T-(arr[src]+g.wireDelay[src]))
+	}
+	if len(slacks) == 0 {
+		return &PathHistogram{BinEdgesPS: []float64{0, 0}, Counts: make([]int, bins)}, nil
+	}
+	lo, hi := slacks[0], slacks[0]
+	for _, s := range slacks {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := &PathHistogram{WorstPS: lo, Counts: make([]int, bins)}
+	for i := 0; i <= bins; i++ {
+		h.BinEdgesPS = append(h.BinEdgesPS, lo+(hi-lo)*float64(i)/float64(bins))
+	}
+	for _, s := range slacks {
+		bin := int((s - lo) / (hi - lo) * float64(bins))
+		if bin >= bins {
+			bin = bins - 1
+		}
+		h.Counts[bin]++
+		if s < 0 {
+			h.TotalNeg++
+		}
+	}
+	return h, nil
+}
+
+// HoldPath is one fast-corner hold check at a register endpoint.
+type HoldPath struct {
+	Launch     int
+	Capture    int
+	EarliestPS float64 // derated early data arrival
+	RequiredPS float64 // derated capture latency + hold time
+	SlackPS    float64
+}
+
+// ReportHoldPaths extracts the n worst hold endpoints at the current sizing
+// state using the OCV derates of opt (zero values default as in Analyze).
+func ReportHoldPaths(nl *netlist.Netlist, rt *router.Result, clk *cts.Result, opt Options, n int) ([]HoldPath, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sta: need n >= 1 hold paths")
+	}
+	g := buildGraph(nl, rt, clk)
+	_, minArr := g.propagate()
+	tech := nl.Tech
+	dataDerate, clkDerate := opt.holdDerates()
+	var out []HoldPath
+	for _, ff := range nl.Seqs {
+		src := nl.Cells[ff].Fanins[0]
+		earliest := (minArr[src] + g.wireDelay[src]) * dataDerate
+		required := clk.LatencyPS[ff]*clkDerate + tech.HoldPS
+		launch := src
+		// Walk back through the EARLIEST-arrival fanin chain to find the
+		// launching register/port.
+		for {
+			c := &nl.Cells[launch]
+			if c.Kind.IsPort() || c.Kind.IsSequential() {
+				break
+			}
+			bestF, bestA := -1, math.Inf(1)
+			for _, f := range c.Fanins {
+				if a := minArr[f] + g.wireDelay[f]; a < bestA {
+					bestF, bestA = f, a
+				}
+			}
+			if bestF < 0 {
+				break
+			}
+			launch = bestF
+		}
+		out = append(out, HoldPath{
+			Launch: launch, Capture: ff,
+			EarliestPS: earliest, RequiredPS: required, SlackPS: earliest - required,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SlackPS < out[j].SlackPS })
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n], nil
+}

@@ -1,0 +1,154 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReportPathsBasic(t *testing.T) {
+	nl, rt, clk := build(t, 0.85, 0.1)
+	paths, err := ReportPaths(nl, rt, clk, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths, want 5", len(paths))
+	}
+	// Sorted worst-first.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].SlackPS < paths[i-1].SlackPS {
+			t.Fatal("paths not sorted by slack")
+		}
+	}
+	for _, p := range paths {
+		if len(p.Stages) == 0 {
+			t.Fatal("path without stages")
+		}
+		// Launch is a register or input port; capture a register or output.
+		lk := nl.Cells[p.Launch].Kind
+		ck := nl.Cells[p.Capture].Kind
+		if !lk.IsSequential() && !lk.IsPort() {
+			t.Fatalf("bad launch kind %v", lk)
+		}
+		if !ck.IsSequential() && !ck.IsPort() {
+			t.Fatalf("bad capture kind %v", ck)
+		}
+		// Arrival monotone along the path.
+		for i := 1; i < len(p.Stages); i++ {
+			if p.Stages[i].ArrivalPS < p.Stages[i-1].ArrivalPS {
+				t.Fatal("arrival not monotone along path")
+			}
+		}
+		if p.DelayPS <= 0 {
+			t.Fatalf("non-positive path delay %g", p.DelayPS)
+		}
+	}
+}
+
+func TestWorstPathMatchesWNS(t *testing.T) {
+	nl, rt, clk := build(t, 0.85, 0.1)
+	res, err := Analyze(nl, rt, clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ReportPaths(nl, rt, clk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(paths[0].SlackPS-res.WNSPS) > 1e-6 {
+		t.Fatalf("worst path slack %g != WNS %g", paths[0].SlackPS, res.WNSPS)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	nl, rt, clk := build(t, 0.85, 0.1)
+	paths, _ := ReportPaths(nl, rt, clk, 1)
+	s := paths[0].String()
+	for _, want := range []string{"Startpoint", "Endpoint", "slack", "arrive(ps)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("path report missing %q", want)
+		}
+	}
+}
+
+func TestReportPathsValidation(t *testing.T) {
+	nl, rt, clk := build(t, 1.0, 0.1)
+	if _, err := ReportPaths(nl, rt, clk, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestSlackHistogram(t *testing.T) {
+	nl, rt, clk := build(t, 0.85, 0.1)
+	h, err := SlackHistogram(nl, rt, clk, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 10 || len(h.BinEdgesPS) != 11 {
+		t.Fatalf("histogram shape wrong: %d counts, %d edges", len(h.Counts), len(h.BinEdgesPS))
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(nl.Seqs)+len(nl.Outputs) {
+		t.Fatalf("histogram covers %d endpoints, want %d", total, len(nl.Seqs)+len(nl.Outputs))
+	}
+	// Worst bin edge equals worst slack.
+	if h.BinEdgesPS[0] != h.WorstPS {
+		t.Fatal("first edge should be the worst slack")
+	}
+	// Edges monotone.
+	for i := 1; i < len(h.BinEdgesPS); i++ {
+		if h.BinEdgesPS[i] <= h.BinEdgesPS[i-1] {
+			t.Fatal("edges not increasing")
+		}
+	}
+	res, _ := Analyze(nl, rt, clk, Options{})
+	if (h.TotalNeg > 0) != (res.TNSPS > 0) {
+		t.Fatal("negative-slack count inconsistent with TNS")
+	}
+	if _, err := SlackHistogram(nl, rt, clk, 0); err == nil {
+		t.Fatal("expected error for zero bins")
+	}
+}
+
+func TestReportHoldPaths(t *testing.T) {
+	nl, rt, clk := build(t, 1.0, 0.4)
+	hp, err := ReportHoldPaths(nl, rt, clk, Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hp) != 5 {
+		t.Fatalf("got %d hold paths", len(hp))
+	}
+	for i := 1; i < len(hp); i++ {
+		if hp[i].SlackPS < hp[i-1].SlackPS {
+			t.Fatal("hold paths not sorted worst-first")
+		}
+	}
+	for _, p := range hp {
+		if !nl.Cells[p.Capture].Kind.IsSequential() {
+			t.Fatal("hold capture must be a register")
+		}
+		lk := nl.Cells[p.Launch].Kind
+		if !lk.IsSequential() && !lk.IsPort() {
+			t.Fatalf("bad hold launch kind %v", lk)
+		}
+		if math.Abs(p.SlackPS-(p.EarliestPS-p.RequiredPS)) > 1e-9 {
+			t.Fatal("hold slack arithmetic inconsistent")
+		}
+	}
+	// Worst hold path must agree with Analyze's pre-repair hold WNS.
+	res, err := Analyze(nl, rt, clk, Options{HoldFixWeight: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hp[0].SlackPS-res.HoldWNSPS) > 1e-6 && res.HoldViolationsBefore > 0 {
+		t.Fatalf("worst hold path %g != hold WNS %g", hp[0].SlackPS, res.HoldWNSPS)
+	}
+	if _, err := ReportHoldPaths(nl, rt, clk, Options{}, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}

@@ -1,0 +1,446 @@
+// Package sta implements static timing analysis over the gate-level DAG:
+// forward max/min arrival propagation, backward required-time propagation,
+// setup and hold slack computation against the synthesized clock tree, plus
+// the two timing-repair transforms that flow recipes steer — critical-path
+// cell upsizing (setup) and delay-cell insertion (hold). Hold-fix instance
+// counts, weak-cell percentages, and harmful-skew path counts are the
+// timing insights of Table I in the paper.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/router"
+)
+
+// Options are the timing-repair knobs exposed to flow recipes (Table II:
+// "Balance weights of early hold- and setup-time fixing").
+type Options struct {
+	// SetupFixWeight in [0,1] scales how aggressively critical cells are
+	// upsized / VT-swapped to recover setup slack.
+	SetupFixWeight float64
+	// HoldFixWeight in [0,1] scales how many hold violations are repaired
+	// by delay-cell insertion.
+	HoldFixWeight float64
+	// UpsizeAggressiveness in [0,1] additionally allows LVT swaps on the
+	// most critical cells (faster, leakier).
+	UpsizeAggressiveness float64
+	// MaxOptPasses bounds the setup-repair loop.
+	MaxOptPasses int
+	// HoldDataDerate and HoldClockDerate apply on-chip-variation margins
+	// to hold analysis: data paths sped up, capture clock slowed down
+	// (the fast-corner check of multi-corner signoff). Zero values default
+	// to 0.9 / 1.05.
+	HoldDataDerate  float64
+	HoldClockDerate float64
+}
+
+// DefaultOptions returns a balanced flow default.
+func DefaultOptions() Options {
+	return Options{SetupFixWeight: 0.5, HoldFixWeight: 0.5, UpsizeAggressiveness: 0.3, MaxOptPasses: 2}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	for name, v := range map[string]float64{
+		"SetupFixWeight": o.SetupFixWeight, "HoldFixWeight": o.HoldFixWeight,
+		"UpsizeAggressiveness": o.UpsizeAggressiveness,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("sta: %s %g out of [0,1]", name, v)
+		}
+	}
+	if o.MaxOptPasses < 0 || o.MaxOptPasses > 10 {
+		return fmt.Errorf("sta: MaxOptPasses %d out of [0,10]", o.MaxOptPasses)
+	}
+	if o.HoldDataDerate != 0 && (o.HoldDataDerate < 0.5 || o.HoldDataDerate > 1) {
+		return fmt.Errorf("sta: HoldDataDerate %g out of [0.5,1]", o.HoldDataDerate)
+	}
+	if o.HoldClockDerate != 0 && (o.HoldClockDerate < 1 || o.HoldClockDerate > 1.5) {
+		return fmt.Errorf("sta: HoldClockDerate %g out of [1,1.5]", o.HoldClockDerate)
+	}
+	return nil
+}
+
+// holdDerates returns the effective OCV margins.
+func (o Options) holdDerates() (data, clk float64) {
+	data, clk = o.HoldDataDerate, o.HoldClockDerate
+	if data == 0 {
+		data = 0.9
+	}
+	if clk == 0 {
+		clk = 1.05
+	}
+	return data, clk
+}
+
+// Result is a completed timing analysis.
+type Result struct {
+	// WNSPS is the worst setup slack in ps (negative = violating).
+	WNSPS float64
+	// TNSPS is the total negative setup slack magnitude in ps (≥ 0).
+	TNSPS float64
+	// FailingEndpoints counts setup-violating endpoints.
+	FailingEndpoints int
+	// HoldWNSPS is the worst hold slack after fixing.
+	HoldWNSPS float64
+	// HoldTNSPS is the residual total negative hold slack magnitude.
+	HoldTNSPS float64
+	// HoldViolationsBefore counts hold-violating endpoints pre-repair.
+	HoldViolationsBefore int
+	// HoldFixCells is the number of inserted delay cells (the paper's
+	// "Instance count from hold-time fixes" insight).
+	HoldFixCells int
+	// HoldFixCapFF is the added input capacitance of hold-fix cells,
+	// consumed by the power engine.
+	HoldFixCapFF float64
+	// UpsizedCells counts setup-repair drive/VT changes.
+	UpsizedCells int
+	// CriticalCells lists cells with slack within 10% of WNS (or < 0).
+	CriticalCells []int
+	// WeakCellPct is the percentage of critical cells that are weak
+	// (unit drive or HVT) — a Table I insight.
+	WeakCellPct float64
+	// HarmfulSkewPaths counts failing endpoints whose capture latency is
+	// below the launch-side average (skew eats the setup margin) — the
+	// "critical paths with harmful clock skew" insight.
+	HarmfulSkewPaths int
+	// MaxPathDelayPS is the longest register-to-register path delay.
+	MaxPathDelayPS float64
+	// SlackPS holds per-cell output setup slack (indexed by cell ID);
+	// +Inf for cells with no timing constraint. Used by leakage recovery.
+	SlackPS []float64
+	// ArrivalPS holds per-cell max output arrival times.
+	ArrivalPS []float64
+}
+
+// WNSns and TNSns return the headline metrics in nanoseconds, matching the
+// units of Table IV in the paper (TNS reported as a positive magnitude).
+func (r *Result) WNSns() float64 { return r.WNSPS / 1000 }
+
+// TNSns returns total negative slack magnitude in ns (lower is better).
+func (r *Result) TNSns() float64 { return r.TNSPS / 1000 }
+
+// timingGraph caches per-cell delay model terms.
+type timingGraph struct {
+	nl    *netlist.Netlist
+	rt    *router.Result
+	clk   *cts.Result
+	tech  netlist.Tech
+	order []int // topological order of combinational cells (by level)
+
+	cellDelay []float64 // per-cell delay with current sizing
+	wireDelay []float64 // per-driver average sink wire delay
+}
+
+func buildGraph(nl *netlist.Netlist, rt *router.Result, clk *cts.Result) *timingGraph {
+	g := &timingGraph{nl: nl, rt: rt, clk: clk, tech: nl.Tech}
+	// Level-ordered combinational cells. Levels are generator-maintained
+	// and validated, so a counting sort by level gives a topological order.
+	maxLevel := 0
+	for i := range nl.Cells {
+		if nl.Cells[i].Level > maxLevel {
+			maxLevel = nl.Cells[i].Level
+		}
+	}
+	buckets := make([][]int, maxLevel+1)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() || c.Kind.IsSequential() {
+			continue
+		}
+		buckets[c.Level] = append(buckets[c.Level], i)
+	}
+	for _, b := range buckets {
+		g.order = append(g.order, b...)
+	}
+	g.cellDelay = make([]float64, len(nl.Cells))
+	g.wireDelay = make([]float64, len(nl.Cells))
+	g.refreshDelays()
+	return g
+}
+
+// refreshDelays recomputes cell and wire delays from current cell sizing.
+func (g *timingGraph) refreshDelays() {
+	tech := g.tech
+	for i := range g.nl.Cells {
+		c := &g.nl.Cells[i]
+		if c.Kind.IsPort() {
+			continue
+		}
+		// Load: sink pins plus routed wire capacitance.
+		loadFF := tech.WireCPerFFUM * g.rt.NetLengthUM[i]
+		for _, s := range c.Fanouts {
+			loadFF += g.nl.Cells[s].InputCap(tech)
+		}
+		if c.Kind.IsSequential() {
+			// Clk→Q delay is modeled in the launch term; store the
+			// output net's wire delay only.
+			g.cellDelay[i] = 0
+		} else {
+			fo4 := 4 * tech.InputCapFF * float64(c.Drive)
+			g.cellDelay[i] = c.IntrinsicDelay(tech) * (0.4 + 0.6*loadFF/fo4)
+		}
+		nSinks := len(c.Fanouts)
+		if nSinks == 0 {
+			g.wireDelay[i] = 0
+			continue
+		}
+		avgLen := g.rt.NetLengthUM[i] / float64(nSinks)
+		g.wireDelay[i] = 0.5*tech.WireRPerUM*tech.WireCPerFFUM*avgLen*avgLen*1e-3 + 0.01*avgLen
+	}
+}
+
+// launchArrival returns the max/min output arrival of a level-0 source.
+func (g *timingGraph) launchArrival(id int) (maxA, minA float64) {
+	c := &g.nl.Cells[id]
+	switch {
+	case c.Kind.IsSequential():
+		lat := g.clk.LatencyPS[id]
+		return lat + g.tech.ClkQPS, lat + g.tech.ClkQPS
+	case c.Kind == netlist.Input:
+		return 0, 0
+	default:
+		return 0, 0
+	}
+}
+
+// propagate computes max and min arrival for every cell output.
+func (g *timingGraph) propagate() (arr, minArr []float64) {
+	n := len(g.nl.Cells)
+	arr = make([]float64, n)
+	minArr = make([]float64, n)
+	for i := range g.nl.Cells {
+		c := &g.nl.Cells[i]
+		if c.Kind == netlist.Input || c.Kind.IsSequential() {
+			arr[i], minArr[i] = g.launchArrival(i)
+		}
+	}
+	for _, id := range g.order {
+		c := &g.nl.Cells[id]
+		a := math.Inf(-1)
+		m := math.Inf(1)
+		for _, f := range c.Fanins {
+			fa := arr[f] + g.wireDelay[f]
+			fm := minArr[f] + g.wireDelay[f]
+			if fa > a {
+				a = fa
+			}
+			if fm < m {
+				m = fm
+			}
+		}
+		if len(c.Fanins) == 0 {
+			a, m = 0, 0
+		}
+		arr[id] = a + g.cellDelay[id]
+		minArr[id] = m + g.cellDelay[id]
+	}
+	return arr, minArr
+}
+
+// analyzeSetup computes per-cell required times and endpoint slacks.
+func (g *timingGraph) analyzeSetup(arr []float64) (req []float64, res *Result) {
+	nl, tech := g.nl, g.tech
+	T := nl.ClockPeriodPS
+	n := len(nl.Cells)
+	req = make([]float64, n)
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	res = &Result{WNSPS: math.Inf(1)}
+
+	endpointSlack := func(src int, required float64) float64 {
+		return required - (arr[src] + g.wireDelay[src])
+	}
+
+	avgLat := g.clk.AvgLatencyPS
+
+	// Endpoint constraints seed the backward pass.
+	for _, ff := range nl.Seqs {
+		src := nl.Cells[ff].Fanins[0]
+		required := T + g.clk.LatencyPS[ff] - tech.SetupPS
+		s := endpointSlack(src, required)
+		if r := required - g.wireDelay[src]; r < req[src] {
+			req[src] = r
+		}
+		if s < res.WNSPS {
+			res.WNSPS = s
+		}
+		if s < 0 {
+			res.TNSPS += -s
+			res.FailingEndpoints++
+			if g.clk.LatencyPS[ff] < avgLat {
+				res.HarmfulSkewPaths++
+			}
+		}
+		if d := arr[src] + g.wireDelay[src] - (g.clk.LatencyPS[ff] + tech.ClkQPS); d > res.MaxPathDelayPS {
+			res.MaxPathDelayPS = d
+		}
+	}
+	for _, po := range nl.Outputs {
+		src := nl.Cells[po].Fanins[0]
+		required := T
+		s := endpointSlack(src, required)
+		if r := required - g.wireDelay[src]; r < req[src] {
+			req[src] = r
+		}
+		if s < res.WNSPS {
+			res.WNSPS = s
+		}
+		if s < 0 {
+			res.TNSPS += -s
+			res.FailingEndpoints++
+		}
+	}
+
+	// Backward required-time propagation in reverse topological order.
+	for i := len(g.order) - 1; i >= 0; i-- {
+		id := g.order[i]
+		c := &nl.Cells[id]
+		for _, f := range c.Fanins {
+			if r := req[id] - g.cellDelay[id] - g.wireDelay[f]; r < req[f] {
+				req[f] = r
+			}
+		}
+	}
+	if math.IsInf(res.WNSPS, 1) {
+		res.WNSPS = 0 // no endpoints
+	}
+	return req, res
+}
+
+// Analyze runs timing analysis with the configured repair transforms.
+// It mutates cell sizing in nl (callers pass a flow-private copy).
+func Analyze(nl *netlist.Netlist, rt *router.Result, clk *cts.Result, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	g := buildGraph(nl, rt, clk)
+	arr, minArr := g.propagate()
+	req, res := g.analyzeSetup(arr)
+
+	// Setup repair: upsize the weakest cells on violating paths.
+	passes := 0
+	if opt.SetupFixWeight > 0 {
+		passes = 1 + int(opt.SetupFixWeight*float64(opt.MaxOptPasses-1)+0.5)
+	}
+	for p := 0; p < passes && res.TNSPS > 0; p++ {
+		changed := 0
+		budget := int(opt.SetupFixWeight * float64(len(g.order)) * 0.08)
+		for _, id := range g.order {
+			if budget <= 0 {
+				break
+			}
+			slack := req[id] - arr[id]
+			if slack >= 0 {
+				continue
+			}
+			c := &nl.Cells[id]
+			if c.Drive < 4 {
+				c.Drive *= 2
+				changed++
+				budget--
+				continue
+			}
+			if opt.UpsizeAggressiveness > 0 && c.VT != netlist.LVT && slack < res.WNSPS*0.5 {
+				c.VT = netlist.LVT
+				changed++
+				budget--
+			}
+		}
+		if changed == 0 {
+			break
+		}
+		upsized := res.UpsizedCells + changed
+		g.refreshDelays()
+		arr, minArr = g.propagate()
+		req, res = g.analyzeSetup(arr)
+		res.UpsizedCells = upsized
+	}
+
+	// Per-cell slack for downstream consumers (e.g. leakage recovery).
+	res.SlackPS = make([]float64, len(nl.Cells))
+	res.ArrivalPS = arr
+	for i := range nl.Cells {
+		res.SlackPS[i] = req[i] - arr[i]
+	}
+
+	// Critical-cell census and weak-cell percentage.
+	thresh := res.WNSPS * 0.9
+	if thresh > 0 {
+		thresh = 0
+	}
+	weak := 0
+	for _, id := range g.order {
+		s := req[id] - arr[id]
+		if s <= thresh+1e-9 {
+			res.CriticalCells = append(res.CriticalCells, id)
+			c := &nl.Cells[id]
+			if c.Drive == 1 || c.VT == netlist.HVT {
+				weak++
+			}
+		}
+	}
+	if len(res.CriticalCells) > 0 {
+		res.WeakCellPct = 100 * float64(weak) / float64(len(res.CriticalCells))
+	}
+
+	// Hold analysis at register endpoints.
+	tech := nl.Tech
+	bufDelay := tech.GateDelayPS * netlist.Buf.DelayFactor()
+	res.HoldWNSPS = math.Inf(1)
+	type holdViol struct {
+		amount float64
+	}
+	var viols []holdViol
+	dataDerate, clkDerate := opt.holdDerates()
+	for _, ff := range nl.Seqs {
+		src := nl.Cells[ff].Fanins[0]
+		// Fast-corner check: data early arrival derated down, capture
+		// clock derated up (on-chip variation pessimism).
+		earliest := (minArr[src] + g.wireDelay[src]) * dataDerate
+		slack := earliest - (clk.LatencyPS[ff]*clkDerate + tech.HoldPS)
+		if slack < res.HoldWNSPS {
+			res.HoldWNSPS = slack
+		}
+		if slack < 0 {
+			res.HoldViolationsBefore++
+			viols = append(viols, holdViol{-slack})
+		}
+	}
+	if math.IsInf(res.HoldWNSPS, 1) {
+		res.HoldWNSPS = 0
+	}
+	// Hold repair: fix the largest violations first within the effort
+	// budget; each fix inserts ceil(violation/bufDelay) delay cells.
+	if len(viols) > 0 {
+		sort.Slice(viols, func(i, j int) bool { return viols[i].amount > viols[j].amount })
+		maxFixes := int(opt.HoldFixWeight*float64(len(viols)) + 0.5)
+		fixed := 0
+		worstResid := 0.0
+		for i, v := range viols {
+			if i < maxFixes {
+				ncells := int(math.Ceil(v.amount / bufDelay))
+				res.HoldFixCells += ncells
+				res.HoldFixCapFF += float64(ncells) * tech.InputCapFF
+				fixed++
+				continue
+			}
+			res.HoldTNSPS += v.amount
+			if v.amount > worstResid {
+				worstResid = v.amount
+			}
+		}
+		if fixed == len(viols) {
+			res.HoldWNSPS = 0
+		} else {
+			res.HoldWNSPS = -worstResid
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,272 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"insightalign/internal/cts"
+	"insightalign/internal/netlist"
+	"insightalign/internal/placer"
+	"insightalign/internal/router"
+)
+
+// build runs the upstream flow stages for a spec and returns everything
+// Analyze needs. The netlist is fresh per call so tests can mutate freely.
+func build(t *testing.T, tightness, shortFrac float64) (*netlist.Netlist, *router.Result, *cts.Result) {
+	t.Helper()
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: "s", Seed: 41, Gates: 600, SeqFraction: 0.3, Depth: 12,
+		TechName: "N16", ClockTightness: tightness, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.5, FanoutSkew: 0.3, ShortPathFraction: shortFrac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := placer.Place(nl, placer.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, err := cts.Synthesize(nl, pl, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := router.Route(nl, pl, router.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, rt, clk
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	nl, rt, clk := build(t, 1.0, 0.1)
+	res, err := Analyze(nl, rt, clk, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.WNSPS) || math.IsNaN(res.TNSPS) {
+		t.Fatal("NaN timing results")
+	}
+	if res.TNSPS < 0 {
+		t.Fatalf("TNS magnitude must be >= 0, got %g", res.TNSPS)
+	}
+	if res.MaxPathDelayPS <= 0 {
+		t.Fatal("no positive path delay found")
+	}
+	if len(res.SlackPS) != len(nl.Cells) || len(res.ArrivalPS) != len(nl.Cells) {
+		t.Fatal("per-cell arrays wrong length")
+	}
+}
+
+func TestTightClockWorseTiming(t *testing.T) {
+	nlT, rtT, clkT := build(t, 0.72, 0.1)
+	nlL, rtL, clkL := build(t, 1.6, 0.1)
+	opt := Options{} // no repair: observe raw timing
+	a, err := Analyze(nlT, rtT, clkT, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(nlL, rtL, clkL, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WNSPS >= b.WNSPS {
+		t.Fatalf("tight clock should have worse WNS: tight=%g loose=%g", a.WNSPS, b.WNSPS)
+	}
+	if a.TNSPS <= b.TNSPS {
+		t.Fatalf("tight clock should have worse TNS: tight=%g loose=%g", a.TNSPS, b.TNSPS)
+	}
+}
+
+func TestSetupRepairImprovesTNS(t *testing.T) {
+	nlA, rtA, clkA := build(t, 0.72, 0.1)
+	nlB, rtB, clkB := build(t, 0.72, 0.1)
+	raw, err := Analyze(nlA, rtA, clkA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Analyze(nlB, rtB, clkB, Options{SetupFixWeight: 1, UpsizeAggressiveness: 1, MaxOptPasses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.TNSPS == 0 {
+		t.Skip("design meets timing without repair")
+	}
+	if fixed.UpsizedCells == 0 {
+		t.Fatal("full-effort repair upsized nothing")
+	}
+	if fixed.TNSPS >= raw.TNSPS {
+		t.Fatalf("repair should improve TNS: raw=%g fixed=%g", raw.TNSPS, fixed.TNSPS)
+	}
+}
+
+func TestHoldFixing(t *testing.T) {
+	nlA, rtA, clkA := build(t, 1.0, 0.45)
+	raw, err := Analyze(nlA, rtA, clkA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.HoldViolationsBefore == 0 {
+		t.Skip("no hold violations to fix in this configuration")
+	}
+	if raw.HoldTNSPS == 0 {
+		t.Fatal("unfixed violations should leave residual hold TNS")
+	}
+	nlB, rtB, clkB := build(t, 1.0, 0.45)
+	fixed, err := Analyze(nlB, rtB, clkB, Options{HoldFixWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.HoldFixCells == 0 {
+		t.Fatal("full-effort hold fixing inserted no cells")
+	}
+	if fixed.HoldTNSPS != 0 {
+		t.Fatalf("full-effort hold fixing left residual TNS %g", fixed.HoldTNSPS)
+	}
+	if fixed.HoldWNSPS != 0 {
+		t.Fatalf("full-effort hold fixing left WNS %g", fixed.HoldWNSPS)
+	}
+	if fixed.HoldFixCapFF <= 0 {
+		t.Fatal("hold fixes should add capacitance")
+	}
+}
+
+func TestPartialHoldFixing(t *testing.T) {
+	nl, rt, clk := build(t, 1.0, 0.45)
+	res, err := Analyze(nl, rt, clk, Options{HoldFixWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HoldViolationsBefore < 2 {
+		t.Skip("not enough violations")
+	}
+	if res.HoldFixCells == 0 {
+		t.Fatal("half effort should fix something")
+	}
+	if res.HoldTNSPS == 0 {
+		t.Fatal("half effort should leave residual violations")
+	}
+}
+
+func TestWeakCellPctRange(t *testing.T) {
+	nl, rt, clk := build(t, 0.72, 0.1)
+	res, err := Analyze(nl, rt, clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeakCellPct < 0 || res.WeakCellPct > 100 {
+		t.Fatalf("WeakCellPct %g out of [0,100]", res.WeakCellPct)
+	}
+	if len(res.CriticalCells) == 0 && res.TNSPS > 0 {
+		t.Fatal("violating design must have critical cells")
+	}
+}
+
+func TestSlackConsistency(t *testing.T) {
+	nl, rt, clk := build(t, 0.9, 0.1)
+	res, err := Analyze(nl, rt, clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimum finite per-cell slack should be close to WNS (the
+	// worst endpoint path runs through the worst cell).
+	minSlack := math.Inf(1)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() || c.Kind.IsSequential() {
+			continue
+		}
+		if res.SlackPS[i] < minSlack {
+			minSlack = res.SlackPS[i]
+		}
+	}
+	if math.Abs(minSlack-res.WNSPS) > math.Abs(res.WNSPS)*0.25+20 {
+		t.Fatalf("min cell slack %g far from WNS %g", minSlack, res.WNSPS)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	r := &Result{WNSPS: -1500, TNSPS: 2500}
+	if r.WNSns() != -1.5 || r.TNSns() != 2.5 {
+		t.Fatalf("unit conversion wrong: %g %g", r.WNSns(), r.TNSns())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Options{SetupFixWeight: 2}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := (Options{MaxOptPasses: 99}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nlA, rtA, clkA := build(t, 0.9, 0.2)
+	nlB, rtB, clkB := build(t, 0.9, 0.2)
+	a, _ := Analyze(nlA, rtA, clkA, DefaultOptions())
+	b, _ := Analyze(nlB, rtB, clkB, DefaultOptions())
+	if a.WNSPS != b.WNSPS || a.TNSPS != b.TNSPS || a.HoldFixCells != b.HoldFixCells {
+		t.Fatal("analysis not deterministic")
+	}
+}
+
+func TestArrivalMonotoneAlongPaths(t *testing.T) {
+	nl, rt, clk := build(t, 1.0, 0.1)
+	res, err := Analyze(nl, rt, clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Kind.IsPort() || c.Kind.IsSequential() {
+			continue
+		}
+		for _, f := range c.Fanins {
+			fc := &nl.Cells[f]
+			if fc.Kind.IsPort() || fc.Kind.IsSequential() {
+				continue
+			}
+			if res.ArrivalPS[i] < res.ArrivalPS[f]-1e-9 {
+				t.Fatalf("arrival not monotone: cell %d (%g) after fanin %d (%g)",
+					i, res.ArrivalPS[i], f, res.ArrivalPS[f])
+			}
+		}
+	}
+}
+
+func TestHoldDeratesMakeHoldHarder(t *testing.T) {
+	// OCV derates (data sped up, clock slowed) must produce at least as
+	// many hold violations as a derate-free analysis.
+	nlA, rtA, clkA := build(t, 1.0, 0.35)
+	nlB, rtB, clkB := build(t, 1.0, 0.35)
+	neutral, err := Analyze(nlA, rtA, clkA, Options{HoldDataDerate: 1, HoldClockDerate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derated, err := Analyze(nlB, rtB, clkB, Options{}) // defaults 0.9/1.05
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derated.HoldViolationsBefore < neutral.HoldViolationsBefore {
+		t.Fatalf("derated analysis found fewer violations: %d vs %d",
+			derated.HoldViolationsBefore, neutral.HoldViolationsBefore)
+	}
+	if derated.HoldWNSPS > neutral.HoldWNSPS {
+		t.Fatalf("derated hold WNS should be worse: %g vs %g", derated.HoldWNSPS, neutral.HoldWNSPS)
+	}
+}
+
+func TestHoldDerateValidation(t *testing.T) {
+	if err := (Options{HoldDataDerate: 0.2}).Validate(); err == nil {
+		t.Fatal("expected error for extreme data derate")
+	}
+	if err := (Options{HoldClockDerate: 2}).Validate(); err == nil {
+		t.Fatal("expected error for extreme clock derate")
+	}
+	if err := (Options{HoldDataDerate: 0.95, HoldClockDerate: 1.02}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package tensor
+
+import "math"
+
+// GradCheck compares analytic gradients of a scalar-valued function f with
+// central finite differences over every element of each input, returning the
+// maximum relative error observed. inputs must be parameter tensors that f
+// reads via closure; f must rebuild its graph on every call.
+func GradCheck(f func() *Tensor, inputs []*Tensor, eps float64) float64 {
+	for _, in := range inputs {
+		in.ZeroGrad()
+	}
+	out := f()
+	out.Backward()
+	analytic := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		analytic[i] = append([]float64(nil), in.Grad...)
+	}
+	maxRel := 0.0
+	for i, in := range inputs {
+		for j := range in.Data {
+			orig := in.Data[j]
+			in.Data[j] = orig + eps
+			plus := f().Item()
+			in.Data[j] = orig - eps
+			minus := f().Item()
+			in.Data[j] = orig
+			numeric := (plus - minus) / (2 * eps)
+			if math.Abs(numeric-analytic[i][j]) < 1e-7 {
+				continue // indistinguishable from finite-difference roundoff
+			}
+			denom := math.Max(math.Abs(numeric)+math.Abs(analytic[i][j]), 1e-8)
+			rel := math.Abs(numeric-analytic[i][j]) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	return maxRel
+}
