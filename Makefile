@@ -1,0 +1,33 @@
+# Development entry points. `make check` is the pre-commit gate: vet, build,
+# full test suite under the race detector (covers the parallel
+# BeamSearchBatch worker pool), and the decoding equivalence guard.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-inference
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race schedule is ~10-20× slower than a plain run; the experiments
+# package alone can exceed go test's 10-minute default on small machines.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Every benchmark (tables, figures, kernels); slow.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The inference-engine pair behind BENCH_inference.json: naive
+# full-recompute beam search vs the KV-cached engine, plus the 17-design
+# parallel fan-out.
+bench-inference:
+	$(GO) test -run '^$$' -bench 'BenchmarkBeamSearch(Naive|Cached|Batch17)$$' -benchmem .

@@ -224,22 +224,78 @@ func BenchmarkMDPOPairUpdate(b *testing.B) {
 	}
 }
 
-// BenchmarkBeamSearchK5 measures the paper's inference path: beam search
-// with width 5 over the 40 recipe decisions.
-func BenchmarkBeamSearchK5(b *testing.B) {
+// benchModelIV builds the default recommender and one random insight query.
+func benchModelIV(b *testing.B, seed int64) (*insightalign.Recommender, []float64) {
+	b.Helper()
 	model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(seed))
 	iv := make([]float64, insightalign.InsightDim)
 	for i := range iv {
 		iv[i] = rng.NormFloat64()
 	}
+	return model, iv
+}
+
+// BenchmarkBeamSearchK5 measures the paper's inference path: beam search
+// with width 5 over the 40 recipe decisions (KV-cached engine).
+func BenchmarkBeamSearchK5(b *testing.B) {
+	model, iv := benchModelIV(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if cands := model.BeamSearch(iv, 5); len(cands) != 5 {
 			b.Fatal("wrong candidate count")
+		}
+	}
+}
+
+// BenchmarkBeamSearchNaive measures the retained full-recompute reference:
+// every step re-runs the decoder over the whole prefix for every beam.
+// The ratio to BenchmarkBeamSearchCached is the incremental engine's
+// speedup (recorded in BENCH_inference.json).
+func BenchmarkBeamSearchNaive(b *testing.B) {
+	model, iv := benchModelIV(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := model.BeamSearchNaive(iv, 5); len(cands) != 5 {
+			b.Fatal("wrong candidate count")
+		}
+	}
+}
+
+// BenchmarkBeamSearchCached measures the KV-cached incremental engine with
+// batched beams, on the same query as BenchmarkBeamSearchNaive.
+func BenchmarkBeamSearchCached(b *testing.B) {
+	model, iv := benchModelIV(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := model.BeamSearch(iv, 5); len(cands) != 5 {
+			b.Fatal("wrong candidate count")
+		}
+	}
+}
+
+// BenchmarkBeamSearchBatch17 measures parallel multi-design inference: 17
+// independent insights (the zero-shot evaluation shape of Table IV) fanned
+// across the bounded worker pool.
+func BenchmarkBeamSearchBatch17(b *testing.B) {
+	model, _ := benchModelIV(b, 2)
+	rng := rand.New(rand.NewSource(6))
+	ivs := make([][]float64, 17)
+	for i := range ivs {
+		iv := make([]float64, insightalign.InsightDim)
+		for j := range iv {
+			iv[j] = rng.NormFloat64()
+		}
+		ivs[i] = iv
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := model.BeamSearchBatch(ivs, 5)
+		if len(out) != 17 || len(out[0]) != 5 {
+			b.Fatal("wrong batch shape")
 		}
 	}
 }

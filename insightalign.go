@@ -160,6 +160,13 @@ type TrainOptions = core.TrainOptions
 // Candidate is one beam search recommendation.
 type Candidate = core.Candidate
 
+// RecipeDecoder is an incremental (KV-cached) decoding session bound to one
+// design insight: create with (*Recommender).NewDecoder, then drive
+// BeamSearch/Sample/Greedy/StepProb off the shared precomputed state. For
+// scoring many designs at once, (*Recommender).BeamSearchBatch fans queries
+// across a bounded worker pool.
+type RecipeDecoder = core.Decoder
+
 // DefaultModelConfig returns the Table III architecture.
 func DefaultModelConfig() ModelConfig { return core.DefaultConfig() }
 

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"insightalign/internal/nn"
+	"insightalign/internal/recipe"
+	"insightalign/internal/tensor"
+)
+
+// Decoder is an incremental decoding session bound to one design insight.
+// Construction projects the insight memory and each layer's cross-attention
+// keys/values once; every subsequent decode (beam search, sampling, greedy,
+// step probabilities) reuses them and advances one token at a time through
+// per-sequence KV caches, so a full n-step decode costs O(n) decoder passes
+// instead of the naive O(n²). The cached path reproduces the naive path's
+// floating-point operations exactly — see TestCachedBeamSearchMatchesNaive.
+//
+// A Decoder is safe for concurrent use by multiple goroutines as long as
+// the model is not being trained at the same time: all shared state is
+// read-only after construction.
+type Decoder struct {
+	m     *Model
+	cross []*nn.CrossKV // per decoder layer, over the insight memory
+}
+
+// NewDecoder precomputes the shared per-query state of the incremental
+// decoding engine for one insight vector.
+func (m *Model) NewDecoder(iv []float64) *Decoder {
+	d := &Decoder{m: m, cross: make([]*nn.CrossKV, len(m.Decoders))}
+	tensor.NoGrad(func() {
+		memory := m.insightMemory(iv)
+		for i, layer := range m.Decoders {
+			d.cross[i] = layer.PrecomputeCross(memory)
+		}
+	})
+	return d
+}
+
+// seqState is the incremental state of one decoded sequence: one
+// DecoderState per layer, all sharing the Decoder's cross K/V.
+type seqState struct {
+	layers []*nn.DecoderState
+}
+
+func (d *Decoder) newSeq() *seqState {
+	ls := make([]*nn.DecoderState, len(d.m.Decoders))
+	for i, layer := range d.m.Decoders {
+		ls[i] = layer.NewState(d.cross[i], d.m.Cfg.NumRecipes)
+	}
+	return &seqState{layers: ls}
+}
+
+// fork deep-copies the per-layer KV caches for a beam split.
+func (s *seqState) fork() *seqState {
+	ls := make([]*nn.DecoderState, len(s.layers))
+	for i, st := range s.layers {
+		ls[i] = st.Fork()
+	}
+	return &seqState{layers: ls}
+}
+
+// tokenOf maps a 0/1 decision bit to its vocabulary token.
+func tokenOf(bit int) int {
+	switch bit {
+	case 0:
+		return TokenNotSelected
+	case 1:
+		return TokenSelected
+	default:
+		panic(fmt.Sprintf("core: invalid decision %d", bit))
+	}
+}
+
+// stepBatch advances every live sequence by one token: tokens[b] is the
+// decision token entering position pos of sequence b (SOS at pos 0, else
+// the previous decision). All beams run through the embedding, positional
+// encoding, decoder layers, and output projection as one stacked (B, dim)
+// forward. Returns the position-pos selection logit of each sequence.
+func (d *Decoder) stepBatch(tokens []int, pos int, seqs []*seqState) []float64 {
+	m := d.m
+	x := m.DecisionEmbed.Forward(tokens)
+	positions := make([]int, len(tokens))
+	for i := range positions {
+		positions[i] = pos
+	}
+	h := m.PosEnc.ForwardAt(x, positions)
+	states := make([]*nn.DecoderState, len(seqs))
+	for li, layer := range m.Decoders {
+		for b, s := range seqs {
+			states[b] = s.layers[li]
+		}
+		h = layer.Step(h, states)
+	}
+	z := m.OutProj.Forward(h)
+	out := make([]float64, len(seqs))
+	for b := range out {
+		out[b] = z.At(b, 0)
+	}
+	return out
+}
+
+// BeamSearch runs Algorithm 1's beam search over this session's insight,
+// with all live beams batched into one stacked forward per step. Beam
+// splits share the parent's KV caches copy-on-fork. Candidates match
+// Model.BeamSearchNaive exactly, best-first.
+func (d *Decoder) BeamSearch(k int) []Candidate {
+	if k < 1 {
+		k = 1
+	}
+	type beam struct {
+		seq   []int
+		score float64
+		state *seqState
+	}
+	var beams []beam
+	tensor.NoGrad(func() {
+		n := d.m.Cfg.NumRecipes
+		beams = []beam{{state: d.newSeq()}}
+		tokens := make([]int, 0, k)
+		seqs := make([]*seqState, 0, k)
+		for t := 0; t < n; t++ {
+			tokens, seqs = tokens[:0], seqs[:0]
+			for _, b := range beams {
+				if t == 0 {
+					tokens = append(tokens, TokenSOS)
+				} else {
+					tokens = append(tokens, tokenOf(b.seq[t-1]))
+				}
+				seqs = append(seqs, b.state)
+			}
+			zs := d.stepBatch(tokens, t, seqs)
+			next := make([]beam, 0, 2*len(beams))
+			for bi, b := range beams {
+				lp1 := logSigmoid(zs[bi])
+				lp0 := logSigmoid(-zs[bi])
+				next = append(next,
+					beam{seq: append(append([]int(nil), b.seq...), 1), score: b.score + lp1, state: b.state},
+					beam{seq: append(append([]int(nil), b.seq...), 0), score: b.score + lp0, state: b.state},
+				)
+			}
+			// Keep top-K by score (stable, so candidate order matches the
+			// naive path bit for bit).
+			sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
+			if len(next) > k {
+				next = next[:k]
+			}
+			// Siblings share the parent's caches; give every survivor its
+			// own state. The first taker adopts the parent's buffers, later
+			// ones deep-copy — the copy-fork of a beam split.
+			if t < n-1 {
+				taken := make(map[*seqState]bool, len(next))
+				for i := range next {
+					if taken[next[i].state] {
+						next[i].state = next[i].state.fork()
+					} else {
+						taken[next[i].state] = true
+					}
+				}
+			}
+			beams = next
+		}
+	})
+	out := make([]Candidate, 0, len(beams))
+	for _, b := range beams {
+		s, err := recipe.FromBits(padBits(b.seq, recipe.N))
+		if err != nil {
+			continue
+		}
+		out = append(out, Candidate{Set: s, LogProb: b.score, Sequence: b.seq})
+	}
+	return out
+}
+
+// Sample draws one sequence from the policy at temperature tau, advancing a
+// single KV-cached session. Consumes the same rng stream as SampleNaive.
+func (d *Decoder) Sample(tau float64, rng *rand.Rand) Candidate {
+	if tau <= 0 {
+		tau = 1e-6
+	}
+	n := d.m.Cfg.NumRecipes
+	seq := make([]int, 0, n)
+	logp := 0.0
+	tensor.NoGrad(func() {
+		s := d.newSeq()
+		for t := 0; t < n; t++ {
+			z := d.step(s, seq, t)
+			p1 := sigmoid(z / tau)
+			bit := 0
+			if rng.Float64() < p1 {
+				bit = 1
+			}
+			seq = append(seq, bit)
+			if bit == 1 {
+				logp += logSigmoid(z)
+			} else {
+				logp += logSigmoid(-z)
+			}
+		}
+	})
+	set, err := recipe.FromBits(padBits(seq, recipe.N))
+	if err != nil {
+		panic(fmt.Sprintf("core: sampled sequence invalid: %v", err))
+	}
+	return Candidate{Set: set, LogProb: logp, Sequence: seq}
+}
+
+// Greedy returns the argmax decision sequence in one cached session — n
+// incremental steps instead of the n² full passes of repeated StepProb.
+func (d *Decoder) Greedy() []int {
+	n := d.m.Cfg.NumRecipes
+	seq := make([]int, 0, n)
+	tensor.NoGrad(func() {
+		s := d.newSeq()
+		for t := 0; t < n; t++ {
+			bit := 0
+			if sigmoid(d.step(s, seq, t)) >= 0.5 {
+				bit = 1
+			}
+			seq = append(seq, bit)
+		}
+	})
+	return seq
+}
+
+// StepProb returns P(r_t = 1 | prefix, I) by replaying the prefix through a
+// fresh cached session.
+func (d *Decoder) StepProb(prefix []int) float64 {
+	var p float64
+	tensor.NoGrad(func() {
+		s := d.newSeq()
+		var z float64
+		for t := 0; t <= len(prefix); t++ {
+			z = d.step(s, prefix, t)
+		}
+		p = sigmoid(z)
+	})
+	return p
+}
+
+// step advances one single-sequence session by one position, feeding the
+// token implied by the decisions so far.
+func (d *Decoder) step(s *seqState, decisions []int, pos int) float64 {
+	tok := TokenSOS
+	if pos > 0 {
+		tok = tokenOf(decisions[pos-1])
+	}
+	return d.stepBatch([]int{tok}, pos, []*seqState{s})[0]
+}
+
+// BeamSearchBatch fans beam search for many designs across a bounded worker
+// pool (the pattern of flow.RunMany) — the zero-shot evaluation shape, where
+// every held-out design is scored independently under one trained policy.
+// Results are returned in input order. Safe under the race detector: each
+// worker builds its own Decoder and the model parameters are only read.
+func (m *Model) BeamSearchBatch(ivs [][]float64, k int) [][]Candidate {
+	out := make([][]Candidate, len(ivs))
+	workers := runtime.NumCPU()
+	if workers > len(ivs) {
+		workers = len(ivs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range ivs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = m.NewDecoder(ivs[i]).BeamSearch(k)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

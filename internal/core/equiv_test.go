@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Equivalence guard for the incremental decoding engine: the KV-cached
+// paths must produce exactly the sequences of the retained full-recompute
+// reference, with log-probabilities matching to 1e-9, across random models
+// (including multi-layer decoders) and random insights.
+
+// equivModels builds a spread of architectures: the paper's default, a
+// small single-layer model, and a deeper two-layer model.
+func equivModels(t *testing.T) []*Model {
+	t.Helper()
+	var ms []*Model
+	for _, cfg := range []Config{
+		DefaultConfig(),
+		{NumRecipes: 17, EmbedDim: 16, InsightDim: 72, FFHidden: 24, Seed: 7},
+		{NumRecipes: 23, EmbedDim: 16, InsightDim: 72, FFHidden: 24, Layers: 2, Seed: 11},
+	} {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func TestCachedBeamSearchMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for mi, m := range equivModels(t) {
+		for trial := 0; trial < 3; trial++ {
+			iv := randomInsight(rng)
+			for _, k := range []int{1, 3, 5} {
+				naive := m.BeamSearchNaive(iv, k)
+				cached := m.BeamSearch(iv, k)
+				if len(naive) != len(cached) {
+					t.Fatalf("model %d k=%d: %d cached candidates, naive %d", mi, k, len(cached), len(naive))
+				}
+				for i := range naive {
+					if naive[i].Set != cached[i].Set {
+						t.Fatalf("model %d k=%d candidate %d: set mismatch", mi, k, i)
+					}
+					if d := math.Abs(naive[i].LogProb - cached[i].LogProb); d > 1e-9 {
+						t.Fatalf("model %d k=%d candidate %d: log-prob differs by %g", mi, k, i, d)
+					}
+					for p, bit := range naive[i].Sequence {
+						if cached[i].Sequence[p] != bit {
+							t.Fatalf("model %d k=%d candidate %d: sequence differs at %d", mi, k, i, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCachedSampleMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for mi, m := range equivModels(t) {
+		for trial := 0; trial < 4; trial++ {
+			iv := randomInsight(rng)
+			tau := []float64{0.5, 1.0, 1.5, 1e-9}[trial]
+			seed := rng.Int63()
+			naive := m.SampleNaive(iv, tau, rand.New(rand.NewSource(seed)))
+			cached := m.Sample(iv, tau, rand.New(rand.NewSource(seed)))
+			if naive.Set != cached.Set {
+				t.Fatalf("model %d tau=%g: sampled set mismatch", mi, tau)
+			}
+			if d := math.Abs(naive.LogProb - cached.LogProb); d > 1e-9 {
+				t.Fatalf("model %d tau=%g: log-prob differs by %g", mi, tau, d)
+			}
+		}
+	}
+}
+
+func TestCachedStepProbMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for mi, m := range equivModels(t) {
+		iv := randomInsight(rng)
+		for _, plen := range []int{0, 1, 5, m.Cfg.NumRecipes - 1} {
+			prefix := make([]int, plen)
+			for i := range prefix {
+				prefix[i] = rng.Intn(2)
+			}
+			naive := m.StepProbNaive(iv, prefix)
+			cached := m.StepProb(iv, prefix)
+			if d := math.Abs(naive - cached); d > 1e-9 {
+				t.Fatalf("model %d prefix %d: step prob differs by %g", mi, plen, d)
+			}
+		}
+	}
+}
+
+// TestBeamSearchBatchMatchesSequential exercises the bounded worker pool
+// (raced under go test -race) and checks input-order results.
+func TestBeamSearchBatchMatchesSequential(t *testing.T) {
+	m := smallModel(t, 3)
+	rng := rand.New(rand.NewSource(45))
+	ivs := make([][]float64, 9)
+	for i := range ivs {
+		ivs[i] = randomInsight(rng)
+	}
+	batch := m.BeamSearchBatch(ivs, 5)
+	if len(batch) != len(ivs) {
+		t.Fatalf("%d results, want %d", len(batch), len(ivs))
+	}
+	for i, iv := range ivs {
+		seq := m.BeamSearch(iv, 5)
+		if len(batch[i]) != len(seq) {
+			t.Fatalf("design %d: %d candidates, want %d", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if batch[i][j].Set != seq[j].Set || batch[i][j].LogProb != seq[j].LogProb {
+				t.Fatalf("design %d candidate %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestDecoderSessionReuse decodes twice from one session to confirm the
+// precomputed cross K/V are reusable and sessions do not leak state.
+func TestDecoderSessionReuse(t *testing.T) {
+	m := smallModel(t, 4)
+	rng := rand.New(rand.NewSource(46))
+	iv := randomInsight(rng)
+	dec := m.NewDecoder(iv)
+	first := dec.BeamSearch(5)
+	second := dec.BeamSearch(5)
+	for i := range first {
+		if first[i].Set != second[i].Set || first[i].LogProb != second[i].LogProb {
+			t.Fatalf("candidate %d changed across session reuse", i)
+		}
+	}
+	greedy := dec.Greedy()
+	for p, bit := range greedy {
+		want := 0
+		if m.StepProbNaive(iv, greedy[:p]) >= 0.5 {
+			want = 1
+		}
+		if bit != want {
+			t.Fatalf("greedy decode differs from naive at position %d", p)
+		}
+	}
+}

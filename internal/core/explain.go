@@ -83,17 +83,10 @@ func (m *Model) Explain(iv []float64, topFeatures int) []RecipeAttribution {
 	return out
 }
 
-// greedyDecode returns the argmax decision sequence.
+// greedyDecode returns the argmax decision sequence via one incremental
+// decoding session (n cached steps instead of n full StepProb passes).
 func (m *Model) greedyDecode(iv []float64) []int {
-	seq := make([]int, 0, m.Cfg.NumRecipes)
-	for t := 0; t < m.Cfg.NumRecipes; t++ {
-		if m.StepProb(iv, seq) >= 0.5 {
-			seq = append(seq, 1)
-		} else {
-			seq = append(seq, 0)
-		}
-	}
-	return seq
+	return m.NewDecoder(iv).Greedy()
 }
 
 // FormatExplanation renders the attributions of the selected (p ≥ 0.5)

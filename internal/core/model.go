@@ -186,8 +186,16 @@ func (m *Model) LogProb(iv []float64, bits []int) *tensor.Tensor {
 }
 
 // StepProb returns P(r_t = 1 | r_<t, I) for the next undecided recipe,
-// given the prefix of earlier decisions. Used by beam search and sampling.
+// given the prefix of earlier decisions. It runs on the KV-cached
+// incremental engine; callers stepping through many prefixes of one query
+// should hold a NewDecoder session instead.
 func (m *Model) StepProb(iv []float64, prefix []int) float64 {
+	return m.NewDecoder(iv).StepProb(prefix)
+}
+
+// StepProbNaive is the retained full-recompute reference for StepProb, used
+// by the equivalence tests.
+func (m *Model) StepProbNaive(iv []float64, prefix []int) float64 {
 	var p float64
 	tensor.NoGrad(func() {
 		memory := m.insightMemory(iv)
@@ -224,8 +232,19 @@ type Candidate struct {
 }
 
 // BeamSearch returns the top-K recipe sets under the current policy for an
-// unseen design insight.
+// unseen design insight. It runs on the KV-cached incremental engine with
+// all beams batched per step; results are identical to BeamSearchNaive.
+// For many designs under one policy, BeamSearchBatch fans queries across a
+// worker pool; for repeated decodes of one insight, hold a NewDecoder.
 func (m *Model) BeamSearch(iv []float64, k int) []Candidate {
+	return m.NewDecoder(iv).BeamSearch(k)
+}
+
+// BeamSearchNaive is the retained full-recompute reference implementation:
+// every step re-runs the decoder over the whole prefix for every beam
+// (O(n²·K) decoder passes). Used by the equivalence tests and the
+// BenchmarkBeamSearchNaive/Cached pair.
+func (m *Model) BeamSearchNaive(iv []float64, k int) []Candidate {
 	if k < 1 {
 		k = 1
 	}
@@ -275,7 +294,15 @@ func (m *Model) BeamSearch(iv []float64, k int) []Candidate {
 
 // Sample draws a recipe set stochastically from the policy with temperature
 // tau (1 = policy distribution, →0 = greedy). Used for online exploration.
+// It runs on the KV-cached incremental engine and consumes the same rng
+// stream as SampleNaive, so equal seeds draw equal sequences.
 func (m *Model) Sample(iv []float64, tau float64, rng *rand.Rand) Candidate {
+	return m.NewDecoder(iv).Sample(tau, rng)
+}
+
+// SampleNaive is the retained full-recompute reference for Sample, used by
+// the equivalence tests.
+func (m *Model) SampleNaive(iv []float64, tau float64, rng *rand.Rand) Candidate {
 	if tau <= 0 {
 		tau = 1e-6
 	}
@@ -301,7 +328,13 @@ func (m *Model) Sample(iv []float64, tau float64, rng *rand.Rand) Candidate {
 			}
 		}
 	})
-	s, _ := recipe.FromBits(padBits(seq, recipe.N))
+	s, err := recipe.FromBits(padBits(seq, recipe.N))
+	if err != nil {
+		// Unreachable for a well-formed model: sampled bits are 0/1 and
+		// padBits yields catalog width. Matches BeamSearch, which treats a
+		// FromBits failure as a decoding invariant violation.
+		panic(fmt.Sprintf("core: sampled sequence invalid: %v", err))
+	}
 	return Candidate{Set: s, LogProb: logp, Sequence: seq}
 }
 

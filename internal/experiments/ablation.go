@@ -120,16 +120,21 @@ func (e *Env) RunAblation() (*AblationResult, error) {
 	return res, nil
 }
 
-// scoreModel evaluates a trained model zero-shot on the holdout designs.
+// scoreModel evaluates a trained model zero-shot on the holdout designs,
+// batching the per-design beam searches across the worker pool.
 func (e *Env) scoreModel(model *core.Model, holdout []string, beamK int, zeroInsight bool) (AblationRow, error) {
 	var row AblationRow
-	for _, design := range holdout {
+	ivs := make([][]float64, len(holdout))
+	for di, design := range holdout {
 		iv, _ := e.Data.InsightOf(design)
-		query := iv.Slice()
+		ivs[di] = iv.Slice()
 		if zeroInsight {
-			query = make([]float64, insight.Dim)
+			ivs[di] = make([]float64, insight.Dim)
 		}
-		cands := model.BeamSearch(query, beamK)
+	}
+	candsPerDesign := model.BeamSearchBatch(ivs, beamK)
+	for di, design := range holdout {
+		cands := candsPerDesign[di]
 		sets := make([]recipe.Set, len(cands))
 		for i, c := range cands {
 			sets[i] = c.Set

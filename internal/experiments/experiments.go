@@ -169,12 +169,19 @@ func (e *Env) RunTable4() (*Table4Result, error) {
 		if _, err := model.AlignmentTrain(train, topt); err != nil {
 			return nil, fmt.Errorf("experiments: fold %d training: %w", fi, err)
 		}
-		for _, design := range holdout {
+		// Beam search is independent per held-out design; fan the fold's
+		// queries across the worker pool in one batch.
+		ivs := make([][]float64, len(holdout))
+		for di, design := range holdout {
 			iv, ok := e.Data.InsightOf(design)
 			if !ok {
 				return nil, fmt.Errorf("experiments: no insight for %s", design)
 			}
-			cands := model.BeamSearch(iv.Slice(), e.Cfg.BeamK)
+			ivs[di] = iv.Slice()
+		}
+		candsPerDesign := model.BeamSearchBatch(ivs, e.Cfg.BeamK)
+		for di, design := range holdout {
+			cands := candsPerDesign[di]
 			sets := make([]recipe.Set, len(cands))
 			for i, c := range cands {
 				sets[i] = c.Set

@@ -146,9 +146,14 @@ func (e *Env) RunIntentionSweep() ([]IntentionRow, error) {
 			return nil, fmt.Errorf("experiments: intention %s: %w", in.name, err)
 		}
 		row := IntentionRow{Name: in.name, PowerW: in.pw, TNSW: in.tw}
-		for _, design := range holdout {
+		ivs := make([][]float64, len(holdout))
+		for di, design := range holdout {
 			iv, _ := e.Data.InsightOf(design)
-			cands := model.BeamSearch(iv.Slice(), e.Cfg.BeamK)
+			ivs[di] = iv.Slice()
+		}
+		candsPerDesign := model.BeamSearchBatch(ivs, e.Cfg.BeamK)
+		for di, design := range holdout {
+			cands := candsPerDesign[di]
 			sets := make([]recipe.Set, len(cands))
 			for j, c := range cands {
 				sets[j] = c.Set

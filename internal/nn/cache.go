@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"insightalign/internal/tensor"
+)
+
+// Incremental decoding support: KV caches that let the decoder process one
+// new token per step instead of re-running the full prefix. The step methods
+// reproduce Forward's floating-point operations element for element (same
+// accumulation order, same zero-skips), so cached decoding is bit-identical
+// to the full-recompute path — the core equivalence tests rely on this.
+
+// CrossKV holds one attention block's keys and values over a fixed memory,
+// projected once and shared read-only across all decode steps and all beams
+// of one query. Keys are stored pre-transposed for the q·Kᵀ score matmul.
+type CrossKV struct {
+	KT *tensor.Tensor // (dim, S)
+	V  *tensor.Tensor // (S, dim)
+}
+
+// PrecomputeCross projects memory through the key/value heads once.
+func (a *Attention) PrecomputeCross(memory *tensor.Tensor) *CrossKV {
+	return &CrossKV{KT: a.K.Forward(memory).Transpose(), V: a.V.Forward(memory)}
+}
+
+// ForwardCross attends each row of x over the precomputed memory projection.
+// Equivalent to Forward(x, memory) for a non-causal block: queries see the
+// full memory, so no mask is involved.
+func (a *Attention) ForwardCross(x *tensor.Tensor, kv *CrossKV) *tensor.Tensor {
+	q := a.Q.Forward(x)
+	scores := q.MatMul(kv.KT).Scale(1 / math.Sqrt(float64(a.Dim)))
+	attn := scores.SoftmaxRows(nil)
+	return a.O.Forward(attn.MatMul(kv.V))
+}
+
+// KVCache accumulates the self-attention key/value rows of one decoded
+// sequence, one row per step, in preallocated buffers.
+type KVCache struct {
+	K *tensor.RowBuffer
+	V *tensor.RowBuffer
+}
+
+// NewKVCache allocates an empty cache for up to maxLen positions of
+// dim-wide keys and values.
+func NewKVCache(maxLen, dim int) *KVCache {
+	return &KVCache{K: tensor.NewRowBuffer(maxLen, dim), V: tensor.NewRowBuffer(maxLen, dim)}
+}
+
+// Len returns the number of cached positions.
+func (c *KVCache) Len() int { return c.K.Len() }
+
+// Clone deep-copies the cache for a beam fork.
+func (c *KVCache) Clone() *KVCache { return &KVCache{K: c.K.Clone(), V: c.V.Clone()} }
+
+// StepSelf advances causal self-attention by one position for a batch of
+// independent sequences: row b of x is sequence b's new (already normed)
+// token. The token's key/value rows are appended to caches[b], and its
+// query attends over the filled cache — causal masking is free because the
+// cache only holds positions ≤ t. The query/key/value/output projections
+// run as single stacked (B, dim) matmuls across the batch.
+func (a *Attention) StepSelf(x *tensor.Tensor, caches []*KVCache) *tensor.Tensor {
+	if !a.Causal {
+		panic("nn: StepSelf on non-causal attention")
+	}
+	bRows, dim := x.Dims()
+	if bRows != len(caches) {
+		panic(fmt.Sprintf("nn: StepSelf batch %d with %d caches", bRows, len(caches)))
+	}
+	q := a.Q.Forward(x)
+	k := a.K.Forward(x)
+	v := a.V.Forward(x)
+	scale := 1 / math.Sqrt(float64(a.Dim))
+	ctx := tensor.New(bRows, dim)
+	var scores []float64
+	for b, c := range caches {
+		c.K.AppendRow(k.Data[b*dim : (b+1)*dim])
+		c.V.AppendRow(v.Data[b*dim : (b+1)*dim])
+		tLen := c.K.Len()
+		if cap(scores) < tLen {
+			scores = make([]float64, tLen)
+		}
+		scores = scores[:tLen]
+		qrow := q.Data[b*dim : (b+1)*dim]
+		// Scores q·Kᵀ with MatMul's per-element accumulation order and
+		// zero-skip, then a softmax matching SoftmaxRows exactly.
+		maxv := math.Inf(-1)
+		for j := 0; j < tLen; j++ {
+			krow := c.K.Row(j)
+			s := 0.0
+			for p, qv := range qrow {
+				if qv == 0 {
+					continue
+				}
+				s += qv * krow[p]
+			}
+			s *= scale
+			scores[j] = s
+			if s > maxv {
+				maxv = s
+			}
+		}
+		sum := 0.0
+		for j, s := range scores {
+			e := math.Exp(s - maxv)
+			scores[j] = e
+			sum += e
+		}
+		crow := ctx.Data[b*dim : (b+1)*dim]
+		for j, e := range scores {
+			w := e / sum
+			if w == 0 {
+				continue
+			}
+			vrow := c.V.Row(j)
+			for p := range crow {
+				crow[p] += w * vrow[p]
+			}
+		}
+	}
+	return a.O.Forward(ctx)
+}
+
+// DecoderState is the per-sequence incremental state of one DecoderLayer:
+// the growing self-attention KV cache plus the shared precomputed
+// cross-attention memory projection.
+type DecoderState struct {
+	Self  *KVCache
+	Cross *CrossKV
+}
+
+// PrecomputeCross projects the cross-attention memory of this layer once,
+// for sharing across every DecoderState of one query.
+func (d *DecoderLayer) PrecomputeCross(memory *tensor.Tensor) *CrossKV {
+	return d.CrossAttn.PrecomputeCross(memory)
+}
+
+// NewState creates incremental state for decoding up to maxLen tokens
+// against the given precomputed cross-attention memory.
+func (d *DecoderLayer) NewState(cross *CrossKV, maxLen int) *DecoderState {
+	return &DecoderState{Self: NewKVCache(maxLen, d.SelfAttn.Dim), Cross: cross}
+}
+
+// Fork returns an independent copy for a beam split: the self-attention
+// cache is deep-copied, the cross K/V stay shared (read-only).
+func (s *DecoderState) Fork() *DecoderState {
+	return &DecoderState{Self: s.Self.Clone(), Cross: s.Cross}
+}
+
+// Step runs the layer on one new token per sequence: row b of x is sequence
+// b's token at position states[b].Self.Len(). All states must come from
+// this layer and share the same cross K/V. The result row equals the last
+// row of Forward over the full prefix.
+func (d *DecoderLayer) Step(x *tensor.Tensor, states []*DecoderState) *tensor.Tensor {
+	caches := make([]*KVCache, len(states))
+	for i, s := range states {
+		caches[i] = s.Self
+	}
+	h := x.Add(d.SelfAttn.StepSelf(d.Norm1.Forward(x), caches))
+	h = h.Add(d.CrossAttn.ForwardCross(d.Norm2.Forward(h), states[0].Cross))
+	return h.Add(d.FF.Forward(d.Norm3.Forward(h)))
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insightalign/internal/tensor"
+)
+
+// TestDecoderStepMatchesForward drives a DecoderLayer token by token
+// through the incremental Step path and checks every new row against the
+// corresponding row of the full-sequence Forward.
+func TestDecoderStepMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const dim, steps = 8, 6
+	layer := NewDecoderLayer(rng, dim, 16)
+	memory := tensor.Randn(rng, 1.0, 2, dim).Detach()
+	xs := tensor.Randn(rng, 1.0, steps, dim).Detach()
+
+	tensor.NoGrad(func() {
+		full := layer.Forward(xs, memory)
+		cross := layer.PrecomputeCross(memory)
+		state := layer.NewState(cross, steps)
+		for s := 0; s < steps; s++ {
+			row := layer.Step(xs.RowView(s), []*DecoderState{state})
+			for j := 0; j < dim; j++ {
+				if got, want := row.At(0, j), full.At(s, j); got != want {
+					t.Fatalf("step %d col %d: %g, full forward %g", s, j, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestForwardCrossMatchesForward checks the precomputed cross-attention
+// path against the plain non-causal Forward.
+func TestForwardCrossMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const dim = 8
+	attn := NewAttention(rng, dim, false)
+	memory := tensor.Randn(rng, 1.0, 3, dim).Detach()
+	x := tensor.Randn(rng, 1.0, 4, dim).Detach()
+	tensor.NoGrad(func() {
+		want := attn.Forward(x, memory)
+		kv := attn.PrecomputeCross(memory)
+		got := attn.ForwardCross(x, kv)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("element %d: %g, want %g", i, got.Data[i], want.Data[i])
+			}
+		}
+	})
+}
+
+// TestStepSelfBatchedBeams runs two sequences through one batched StepSelf
+// stream and checks each against its own single-sequence decode.
+func TestStepSelfBatchedBeams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dim, steps = 8, 5
+	attn := NewAttention(rng, dim, true)
+	a := tensor.Randn(rng, 1.0, steps, dim).Detach()
+	b := tensor.Randn(rng, 1.0, steps, dim).Detach()
+
+	tensor.NoGrad(func() {
+		cavA, cavB := NewKVCache(steps, dim), NewKVCache(steps, dim)
+		soloA, soloB := NewKVCache(steps, dim), NewKVCache(steps, dim)
+		for s := 0; s < steps; s++ {
+			x := tensor.ConcatRows(a.RowView(s), b.RowView(s))
+			batched := attn.StepSelf(x, []*KVCache{cavA, cavB})
+			rowA := attn.StepSelf(a.RowView(s), []*KVCache{soloA})
+			rowB := attn.StepSelf(b.RowView(s), []*KVCache{soloB})
+			for j := 0; j < dim; j++ {
+				if batched.At(0, j) != rowA.At(0, j) || batched.At(1, j) != rowB.At(0, j) {
+					t.Fatalf("step %d col %d: batched row diverges from solo decode", s, j)
+				}
+			}
+		}
+	})
+}
+
+// TestKVCacheCloneIsIndependent forks a cache mid-decode and checks that
+// appends to the fork do not leak into the parent.
+func TestKVCacheCloneIsIndependent(t *testing.T) {
+	c := NewKVCache(4, 2)
+	c.K.AppendRow([]float64{1, 2})
+	c.V.AppendRow([]float64{3, 4})
+	f := c.Clone()
+	f.K.AppendRow([]float64{5, 6})
+	f.V.AppendRow([]float64{7, 8})
+	if c.Len() != 1 || f.Len() != 2 {
+		t.Fatalf("parent len %d fork len %d, want 1 and 2", c.Len(), f.Len())
+	}
+	f.K.Row(0)[0] = 99
+	if c.K.Row(0)[0] != 1 {
+		t.Fatal("fork write leaked into parent cache")
+	}
+}
+
+// TestCausalMaskCached checks mask content and that the same backing slice
+// is reused across calls.
+func TestCausalMaskCached(t *testing.T) {
+	m1 := causalMask(3, 3)
+	m2 := causalMask(3, 3)
+	if &m1[0] != &m2[0] {
+		t.Fatal("causal mask not reused across calls")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			masked := math.IsInf(m1[i*3+j], -1)
+			if masked != (j > i) {
+				t.Fatalf("mask[%d][%d] masked=%v", i, j, masked)
+			}
+		}
+	}
+}

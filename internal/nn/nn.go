@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"insightalign/internal/tensor"
 )
@@ -115,17 +116,32 @@ func (a *Attention) Forward(x, memory *tensor.Tensor) *tensor.Tensor {
 	if a.Causal {
 		tRows, _ := x.Dims()
 		sCols, _ := memory.Dims()
-		mask = make([]float64, tRows*sCols)
-		for i := 0; i < tRows; i++ {
-			for j := 0; j < sCols; j++ {
-				if j > i {
-					mask[i*sCols+j] = math.Inf(-1)
-				}
-			}
-		}
+		mask = causalMask(tRows, sCols)
 	}
 	attn := scores.SoftmaxRows(mask)
 	return a.O.Forward(attn.MatMul(v))
+}
+
+// causalMasks caches the (T, S) additive masks so repeated Forward calls —
+// every teacher-forced training pass and every naive decode step — stop
+// reallocating and refilling the same T·S slice.
+var causalMasks sync.Map // [2]int{T, S} → []float64
+
+// causalMask returns the shared additive mask excluding j > i. Callers must
+// treat the returned slice as read-only.
+func causalMask(tRows, sCols int) []float64 {
+	key := [2]int{tRows, sCols}
+	if m, ok := causalMasks.Load(key); ok {
+		return m.([]float64)
+	}
+	mask := make([]float64, tRows*sCols)
+	for i := 0; i < tRows; i++ {
+		for j := i + 1; j < sCols; j++ {
+			mask[i*sCols+j] = math.Inf(-1)
+		}
+	}
+	m, _ := causalMasks.LoadOrStore(key, mask)
+	return m.([]float64)
 }
 
 // Params implements Module.

@@ -174,14 +174,18 @@ func (t *Tuner) SeedHistory(evals []Evaluation) {
 }
 
 // propose selects the next K recipe sets: beam search exploitation plus
-// temperature-sampled exploration, skipping sets already evaluated.
+// temperature-sampled exploration, skipping sets already evaluated. One
+// incremental decoding session serves both: the insight memory and the
+// cross-attention K/V are projected once per iteration and shared by the
+// beam search and every exploration sample.
 func (t *Tuner) propose() []core.Candidate {
 	iv := t.insight.Slice()
 	nExplore := int(float64(t.opt.K)*t.opt.ExploreFrac + 0.5)
 	nBeam := t.opt.K - nExplore
 
+	dec := t.model.NewDecoder(iv)
 	var out []core.Candidate
-	for _, c := range t.model.BeamSearch(iv, t.opt.K*2) {
+	for _, c := range dec.BeamSearch(t.opt.K * 2) {
 		if len(out) >= nBeam {
 			break
 		}
@@ -190,7 +194,7 @@ func (t *Tuner) propose() []core.Candidate {
 		}
 	}
 	for tries := 0; len(out) < t.opt.K && tries < 200; tries++ {
-		c := t.model.Sample(iv, t.opt.ExploreTau, t.rng)
+		c := dec.Sample(t.opt.ExploreTau, t.rng)
 		if t.seen[c.Set] || containsSet(out, c.Set) {
 			continue
 		}

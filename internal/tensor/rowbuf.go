@@ -1,0 +1,65 @@
+package tensor
+
+import "fmt"
+
+// RowBuffer is an append-only matrix with preallocated capacity. It backs
+// the incremental decoder's key/value caches: each decode step appends one
+// row per sequence, and View exposes the filled prefix as a detached tensor
+// without copying. RowBuffer never participates in the autograd tape — it
+// is an inference-only structure, so appending rows does not grow any
+// backward graph even outside NoGrad.
+type RowBuffer struct {
+	data []float64
+	rows int
+	cols int
+}
+
+// NewRowBuffer allocates an empty buffer with room for maxRows rows of
+// width cols.
+func NewRowBuffer(maxRows, cols int) *RowBuffer {
+	if maxRows < 1 || cols < 1 {
+		panic(fmt.Sprintf("tensor: NewRowBuffer(%d, %d)", maxRows, cols))
+	}
+	return &RowBuffer{data: make([]float64, maxRows*cols), cols: cols}
+}
+
+// AppendRow copies row (length cols) into the next slot.
+func (b *RowBuffer) AppendRow(row []float64) {
+	if len(row) != b.cols {
+		panic(fmt.Sprintf("tensor: AppendRow width %d, want %d", len(row), b.cols))
+	}
+	if (b.rows+1)*b.cols > len(b.data) {
+		panic(fmt.Sprintf("tensor: RowBuffer capacity %d rows exceeded", len(b.data)/b.cols))
+	}
+	copy(b.data[b.rows*b.cols:], row)
+	b.rows++
+}
+
+// Len returns the number of appended rows.
+func (b *RowBuffer) Len() int { return b.rows }
+
+// Cols returns the row width.
+func (b *RowBuffer) Cols() int { return b.cols }
+
+// Row returns row i as a slice sharing the backing array.
+func (b *RowBuffer) Row(i int) []float64 {
+	if i < 0 || i >= b.rows {
+		panic(fmt.Sprintf("tensor: RowBuffer row %d out of range [0,%d)", i, b.rows))
+	}
+	return b.data[i*b.cols : (i+1)*b.cols]
+}
+
+// View returns the filled rows as a (Len, cols) tensor sharing the backing
+// array, detached from the tape. The view stays valid across later appends
+// but does not see them.
+func (b *RowBuffer) View() *Tensor {
+	return &Tensor{Data: b.data[:b.rows*b.cols], shape: []int{b.rows, b.cols}}
+}
+
+// Clone returns a deep copy with the same capacity — the copy-fork used
+// when a beam splits and each child needs an independent cache.
+func (b *RowBuffer) Clone() *RowBuffer {
+	c := &RowBuffer{data: make([]float64, len(b.data)), rows: b.rows, cols: b.cols}
+	copy(c.data[:b.rows*b.cols], b.data[:b.rows*b.cols])
+	return c
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import "testing"
+
+func TestRowBufferAppendViewClone(t *testing.T) {
+	b := NewRowBuffer(3, 2)
+	b.AppendRow([]float64{1, 2})
+	b.AppendRow([]float64{3, 4})
+	if b.Len() != 2 || b.Cols() != 2 {
+		t.Fatalf("len=%d cols=%d", b.Len(), b.Cols())
+	}
+	if r := b.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("row 1 = %v", r)
+	}
+	v := b.View()
+	if r, c := v.Dims(); r != 2 || c != 2 {
+		t.Fatalf("view dims (%d,%d)", r, c)
+	}
+	if v.RequiresGrad() {
+		t.Fatal("view must be detached")
+	}
+	// The view shares storage with the buffer.
+	b.Row(0)[0] = 9
+	if v.At(0, 0) != 9 {
+		t.Fatal("view does not share backing array")
+	}
+	c := b.Clone()
+	c.AppendRow([]float64{5, 6})
+	c.Row(0)[0] = 7
+	if b.Len() != 2 || b.Row(0)[0] != 9 {
+		t.Fatal("clone writes leaked into parent")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("append past capacity should panic")
+		}
+	}()
+	b.AppendRow([]float64{1, 2})
+	b.AppendRow([]float64{1, 2})
+}
+
+func TestRowBufferWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch should panic")
+		}
+	}()
+	NewRowBuffer(2, 2).AppendRow([]float64{1})
+}
+
+func TestRowView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := x.RowView(1)
+	if rows, cols := r.Dims(); rows != 1 || cols != 2 {
+		t.Fatalf("dims (%d,%d)", rows, cols)
+	}
+	if r.At(0, 0) != 3 || r.At(0, 1) != 4 {
+		t.Fatalf("row view = %v", r.Data)
+	}
+	r.Data[0] = 9
+	if x.At(1, 0) != 9 {
+		t.Fatal("row view must share storage")
+	}
+}
+
+// TestNoGradNests covers the counter semantics: nested and sequential
+// NoGrad blocks leave recording enabled afterwards.
+func TestNoGradNests(t *testing.T) {
+	w := Param(2, 2)
+	NoGrad(func() {
+		NoGrad(func() {
+			if out := w.MatMul(FromSlice([]float64{1, 0, 0, 1}, 2, 2)); out.RequiresGrad() {
+				t.Fatal("grad recorded inside nested NoGrad")
+			}
+		})
+		if out := w.MatMul(FromSlice([]float64{1, 0, 0, 1}, 2, 2)); out.RequiresGrad() {
+			t.Fatal("grad recorded after inner NoGrad exited")
+		}
+	})
+	if out := w.MatMul(FromSlice([]float64{1, 0, 0, 1}, 2, 2)); !out.RequiresGrad() {
+		t.Fatal("grad disabled after NoGrad exited")
+	}
+}

@@ -126,6 +126,17 @@ func (t *Tensor) Detach() *Tensor {
 	return &Tensor{Data: t.Data, shape: t.shape}
 }
 
+// RowView returns row i of a 2-D tensor as a (1, cols) view sharing the
+// backing array, detached from the tape. Used by the incremental decoder to
+// address per-sequence rows of a batched step without copying.
+func (t *Tensor) RowView(i int) *Tensor {
+	m, c := t.Dims()
+	if i < 0 || i >= m {
+		panic(fmt.Sprintf("tensor: RowView %d out of range [0,%d)", i, m))
+	}
+	return &Tensor{Data: t.Data[i*c : (i+1)*c], shape: []int{1, c}}
+}
+
 // ZeroGrad clears the gradient buffer.
 func (t *Tensor) ZeroGrad() {
 	for i := range t.Grad {
@@ -140,24 +151,26 @@ func (t *Tensor) ensureGrad() {
 	}
 }
 
-// gradDisabled suppresses tape recording inside NoGrad blocks.
-var gradDisabled atomic.Bool
+// gradDisabled counts the NoGrad blocks currently executing; tape recording
+// is suppressed while it is positive.
+var gradDisabled atomic.Int64
 
 // NoGrad runs f with tape recording disabled: operations executed inside
 // compute forward values only, allocating no gradient buffers or backward
-// closures. Intended for inference (beam search, sampling). It toggles
-// package-global state, so it must not run concurrently with training in
-// another goroutine.
+// closures. Intended for inference (beam search, sampling). The disable
+// state is a counter, so NoGrad blocks may nest and may run concurrently
+// with each other (parallel multi-design inference); they must not run
+// concurrently with training in another goroutine.
 func NoGrad(f func()) {
-	prev := gradDisabled.Swap(true)
-	defer gradDisabled.Store(prev)
+	gradDisabled.Add(1)
+	defer gradDisabled.Add(-1)
 	f()
 }
 
 // newResult constructs an op output whose requiresGrad follows its parents.
 func newResult(shape []int, parents ...*Tensor) *Tensor {
 	out := New(shape...)
-	if gradDisabled.Load() {
+	if gradDisabled.Load() > 0 {
 		return out
 	}
 	for _, p := range parents {
