@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-inference
+.PHONY: check vet build test race bench bench-inference serve loadtest
 
 check: vet build race
 
@@ -31,3 +31,20 @@ bench:
 # parallel fan-out.
 bench-inference:
 	$(GO) test -run '^$$' -bench 'BenchmarkBeamSearch(Naive|Cached|Batch17)$$' -benchmem .
+
+# Run the recommendation server. MODEL=path serves trained weights;
+# without it a fresh (untrained) model is served for smoke testing.
+# WATCH=dir hot-swaps the newest checkpoint in dir as it changes.
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/insightalign-serve serve -addr $(SERVE_ADDR) \
+		$(if $(MODEL),-model $(MODEL)) $(if $(WATCH),-watch $(WATCH))
+
+# Fire the load generator at a running server (see BENCH_serve.json for
+# the recorded batched-vs-unbatched sweep).
+LOADTEST_URL ?= http://127.0.0.1:8080
+LOADTEST_CLIENTS ?= 8
+LOADTEST_REQUESTS ?= 200
+loadtest:
+	$(GO) run ./cmd/insightalign-serve loadgen -url $(LOADTEST_URL) \
+		-clients $(LOADTEST_CLIENTS) -requests $(LOADTEST_REQUESTS)

@@ -1,0 +1,161 @@
+// Command insightalign-serve runs the recommendation serving subsystem: a
+// batched HTTP inference server over a trained InsightAlign model with a
+// hot-swappable model registry, Prometheus metrics, and graceful
+// shutdown. It also embeds a load-generator mode for benchmarking a
+// running server.
+//
+// Usage:
+//
+//	insightalign-serve serve   -model model.bin [-addr :8080] [-watch ckpts/ -poll 2s]
+//	                           [-queue 256] [-max-batch 32] [-window 2ms]
+//	                           [-timeout 10s] [-no-batch] [-seed 1]
+//	insightalign-serve loadgen -url http://127.0.0.1:8080 [-clients 8]
+//	                           [-requests 200] [-k 5] [-seed 1]
+//
+// serve: without -model, a freshly initialized (untrained) model is
+// served — useful for smoke tests and load benchmarks. With -watch, the
+// newest checkpoint in the directory is hot-swapped in whenever it
+// changes, so online fine-tuning output rolls into serving without
+// downtime. loadgen prints a JSON latency/throughput summary to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"insightalign/internal/core"
+	"insightalign/internal/serve"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Default to serve mode so `insightalign-serve -model m.bin` works.
+	mode := "serve"
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen") {
+		mode = args[0]
+		args = args[1:]
+	}
+	var err error
+	switch mode {
+	case "serve":
+		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "", "model or checkpoint file (empty: fresh untrained model)")
+	watch := fs.String("watch", "", "checkpoint directory to poll for hot-swaps")
+	poll := fs.Duration("poll", 2*time.Second, "checkpoint poll interval")
+	queue := fs.Int("queue", 256, "admission queue depth (beyond it: 429)")
+	maxBatch := fs.Int("max-batch", 32, "max requests coalesced per decoder call")
+	window := fs.Duration("window", 2*time.Millisecond, "micro-batching window")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	batches := fs.Int("concurrent-batches", 2, "decoder calls in flight at once")
+	noBatch := fs.Bool("no-batch", false, "disable micro-batching (per-request decode)")
+	seed := fs.Int64("seed", 1, "seed for the fresh model when -model is empty")
+	fs.Parse(args)
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg := serve.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.QueueDepth = *queue
+	cfg.MaxBatch = *maxBatch
+	cfg.BatchWindow = *window
+	cfg.RequestTimeout = *timeout
+	cfg.MaxConcurrentBatches = *batches
+	cfg.DisableBatching = *noBatch
+	cfg.Logger = logger
+
+	reg, err := serve.NewRegistry(cfg.Model)
+	if err != nil {
+		return err
+	}
+	if *modelPath != "" {
+		snap, err := reg.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		logger.Info("model loaded", "path", *modelPath, "version", snap.Version)
+	} else {
+		mcfg := cfg.Model
+		mcfg.Seed = *seed
+		m, err := core.New(mcfg)
+		if err != nil {
+			return err
+		}
+		snap, err := reg.SetModel(m, "fresh")
+		if err != nil {
+			return err
+		}
+		logger.Warn("serving a fresh untrained model (no -model given)", "version", snap.Version)
+	}
+
+	srv, err := serve.New(cfg, reg)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *watch != "" {
+		go reg.WatchDir(ctx, *watch, *poll, logger)
+	}
+	errc, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received, draining")
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return srv.Shutdown(shCtx)
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "server base URL")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	requests := fs.Int("requests", 200, "total requests")
+	k := fs.Int("k", 5, "beam width per request")
+	seed := fs.Int64("seed", 1, "insight generation seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	fs.Parse(args)
+
+	opt := serve.DefaultLoadGenOptions()
+	opt.URL = *url
+	opt.Clients = *clients
+	opt.Requests = *requests
+	opt.BeamWidth = *k
+	opt.Seed = *seed
+	opt.Timeout = *timeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := serve.RunLoadGen(ctx, opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -157,12 +157,9 @@ func cmdTrain(args []string) error {
 	if _, err := model.AlignmentTrain(train, topt); err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := insightalign.SaveModel(f, model); err != nil {
+	// Crash-safe write: a serving registry watching this path must never
+	// see a truncated model.
+	if err := insightalign.SaveModelFile(*out, model); err != nil {
 		return err
 	}
 	fmt.Printf("wrote model to %s\n", *out)
@@ -457,12 +454,7 @@ func loadModel(path string) (*insightalign.Recommender, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if err := insightalign.LoadModel(f, model); err != nil {
+	if err := insightalign.LoadModelFile(path, model); err != nil {
 		return nil, err
 	}
 	return model, nil

@@ -37,6 +37,7 @@ import (
 	"insightalign/internal/online"
 	"insightalign/internal/qor"
 	"insightalign/internal/recipe"
+	"insightalign/internal/serve"
 )
 
 // Design is a gate-level netlist with technology and clocking information.
@@ -182,6 +183,15 @@ func SaveModel(w io.Writer, m *Recommender) error { return nn.SaveParams(w, m.Pa
 // LoadModel restores parameters into a structurally identical model.
 func LoadModel(r io.Reader, m *Recommender) error { return nn.LoadParams(r, m.Params()) }
 
+// SaveModelFile persists model parameters crash-safely (temp file + fsync
+// + rename), so a serving registry polling the directory never observes a
+// truncated model.
+func SaveModelFile(path string, m *Recommender) error { return nn.SaveParamsFile(path, m.Params()) }
+
+// LoadModelFile restores parameters from a file written by SaveModelFile
+// (or the parameter prefix of an online-tuner checkpoint).
+func LoadModelFile(path string, m *Recommender) error { return nn.LoadParamsFile(path, m.Params()) }
+
 // Online fine-tuning: the closed-loop phase (Fig. 1b).
 
 // Tuner runs online fine-tuning for one design.
@@ -200,6 +210,29 @@ func DefaultTunerOptions() TunerOptions { return online.DefaultOptions() }
 func NewTuner(m *Recommender, r *FlowRunner, iv Insight, st QoRStats, in Intention, opt TunerOptions) (*Tuner, error) {
 	return online.NewTuner(m, r, iv, st, in, opt)
 }
+
+// Serving: the batched HTTP inference subsystem (internal/serve).
+
+// ServeConfig parameterizes the recommendation server: listen address,
+// admission-queue depth, micro-batching window, per-request deadline.
+type ServeConfig = serve.Config
+
+// Server is the batched HTTP recommendation server.
+type Server = serve.Server
+
+// ModelRegistry holds the served model behind an atomic pointer with
+// hot-swap reloads and optional checkpoint-directory polling.
+type ModelRegistry = serve.Registry
+
+// DefaultServeConfig returns production-leaning serving defaults.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewModelRegistry creates an empty registry for the given architecture.
+func NewModelRegistry(cfg ModelConfig) (*ModelRegistry, error) { return serve.NewRegistry(cfg) }
+
+// NewServer builds the recommendation server over a registry. Install or
+// load a model into the registry, then call Start.
+func NewServer(cfg ServeConfig, reg *ModelRegistry) (*Server, error) { return serve.New(cfg, reg) }
 
 // Baselines: the Section II comparators.
 

@@ -1,0 +1,66 @@
+// Package atomicfile provides crash-safe file persistence for model and
+// checkpoint artifacts: writes go to a temporary file in the target
+// directory, are fsynced, and then renamed over the destination, so a
+// crash or power loss mid-save never leaves a truncated or half-written
+// file where a reader (e.g. the serving registry's checkpoint poller)
+// could pick it up.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes produced by fill. The
+// temporary file is created in path's directory (rename across
+// filesystems is not atomic), fsynced before the rename, and the
+// directory is fsynced after so the new directory entry is durable.
+func Write(path string, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: create temp in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	// On any failure, best-effort cleanup of the temp file.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %s %s: %w", step, tmpName, err)
+	}
+	if err := fill(tmp); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: rename %s -> %s: %w", tmpName, path, err)
+	}
+	// fsync the directory so the rename itself survives a crash. Some
+	// filesystems don't support opening directories for sync; ignore
+	// failures there — the data file itself is already durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Read opens path and hands the reader to parse, closing the file
+// afterwards. It exists as the symmetric counterpart to Write so call
+// sites keep the open/close bookkeeping out of their serialization logic.
+func Read(path string, parse func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return parse(f)
+}

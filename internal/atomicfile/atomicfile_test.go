@@ -1,0 +1,86 @@
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteThenRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var got []byte
+	if err := Read(path, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = b
+		return err
+	}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// A failing fill must not clobber the existing file and must not leave a
+// temp file behind.
+func TestWriteFailurePreservesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "original" {
+		t.Fatalf("original clobbered: %q, %v", b, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %v", entries)
+	}
+}
+
+func TestWriteConcurrentSamePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			done <- Write(path, func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "writer-%d", i)
+				return err
+			})
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent write: %v", err)
+		}
+	}
+	// Whichever writer won, the file must hold one complete payload.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len("writer-0") {
+		t.Fatalf("torn write: %q", b)
+	}
+}

@@ -258,6 +258,21 @@ func (d *Decoder) step(s *seqState, decisions []int, pos int) float64 {
 // Results are returned in input order. Safe under the race detector: each
 // worker builds its own Decoder and the model parameters are only read.
 func (m *Model) BeamSearchBatch(ivs [][]float64, k int) [][]Candidate {
+	ks := make([]int, len(ivs))
+	for i := range ks {
+		ks[i] = k
+	}
+	return m.BeamSearchBatchK(ivs, ks)
+}
+
+// BeamSearchBatchK is BeamSearchBatch with a per-query beam width: query i
+// decodes with width ks[i]. This is the shape the serving micro-batcher
+// needs, where coalesced requests may each ask for a different K. ks must
+// be the same length as ivs.
+func (m *Model) BeamSearchBatchK(ivs [][]float64, ks []int) [][]Candidate {
+	if len(ks) != len(ivs) {
+		panic(fmt.Sprintf("core: %d beam widths for %d queries", len(ks), len(ivs)))
+	}
 	out := make([][]Candidate, len(ivs))
 	workers := runtime.NumCPU()
 	if workers > len(ivs) {
@@ -274,7 +289,7 @@ func (m *Model) BeamSearchBatch(ivs [][]float64, k int) [][]Candidate {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i] = m.NewDecoder(ivs[i]).BeamSearch(k)
+			out[i] = m.NewDecoder(ivs[i]).BeamSearch(ks[i])
 		}(i)
 	}
 	wg.Wait()

@@ -6,25 +6,38 @@ import (
 	"io"
 	"math"
 
+	"insightalign/internal/atomicfile"
 	"insightalign/internal/tensor"
 )
 
-// magic identifies a serialized parameter stream.
-const magic = uint32(0x494E5341) // "INSA"
+// Serialized parameter stream magics. magicV1 ("INSA") streams carry only
+// element counts; magicV2 ("INSB") streams additionally record each
+// tensor's shape so loading can reject structurally mismatched modules
+// with a precise error instead of silently reinterpreting the payload.
+const (
+	magicV1 = uint32(0x494E5341) // "INSA"
+	magicV2 = uint32(0x494E5342) // "INSB"
+)
 
-// SaveParams writes the parameters of a module to w as a flat binary stream:
-// magic, count, then for each tensor its length and float64 payload. Shapes
-// are not stored; loading requires a structurally identical module.
+// SaveParams writes the parameters of a module to w as a flat binary
+// stream: magic, tensor count, then for each tensor its shape and float64
+// payload. Loading requires a structurally identical module.
 func SaveParams(w io.Writer, ps []*tensor.Tensor) error {
-	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, magicV2); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(ps))); err != nil {
 		return err
 	}
 	for _, p := range ps {
-		if err := binary.Write(w, binary.LittleEndian, uint32(p.Numel())); err != nil {
+		shape := p.Shape()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
 			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
 		}
 		buf := make([]byte, 8*p.Numel())
 		for i, v := range p.Data {
@@ -37,39 +50,113 @@ func SaveParams(w io.Writer, ps []*tensor.Tensor) error {
 	return nil
 }
 
-// LoadParams reads a parameter stream written by SaveParams into the tensors
-// of a structurally identical module.
+// SaveParamsFile atomically persists a module's parameters to path: the
+// stream is written to a temp file in the same directory, fsynced, and
+// renamed over the target, so a crash mid-save never truncates or corrupts
+// an existing model file.
+func SaveParamsFile(path string, ps []*tensor.Tensor) error {
+	return atomicfile.Write(path, func(w io.Writer) error { return SaveParams(w, ps) })
+}
+
+// LoadParams reads a parameter stream written by SaveParams into the
+// tensors of a structurally identical module. The whole stream is parsed
+// and validated against the module before any tensor is mutated, so a
+// malformed or truncated file leaves the module untouched and yields a
+// descriptive error (magic, tensor count, shape, or unexpected-EOF). Both
+// the current shape-tagged format and the legacy count-only v1 format are
+// accepted; trailing bytes after the last tensor (e.g. an online-tuner
+// checkpoint's state section) are left unread.
 func LoadParams(r io.Reader, ps []*tensor.Tensor) error {
-	var m, count uint32
+	var m uint32
 	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
-		return err
+		return fmt.Errorf("nn: read magic: %w", eofErr(err))
 	}
-	if m != magic {
-		return fmt.Errorf("nn: bad magic %#x", m)
+	if m != magicV1 && m != magicV2 {
+		return fmt.Errorf("nn: bad magic %#x (not an insightalign parameter stream)", m)
 	}
+	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return err
+		return fmt.Errorf("nn: read tensor count: %w", eofErr(err))
 	}
 	if int(count) != len(ps) {
 		return fmt.Errorf("nn: stream has %d tensors, module has %d", count, len(ps))
 	}
+	// Stage every payload first; commit only after the full stream parses.
+	staged := make([][]float64, len(ps))
 	for idx, p := range ps {
-		var n uint32
-		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return err
+		if m == magicV2 {
+			var ndim uint32
+			if err := binary.Read(r, binary.LittleEndian, &ndim); err != nil {
+				return fmt.Errorf("nn: tensor %d: read rank: %w", idx, eofErr(err))
+			}
+			if ndim > 8 {
+				return fmt.Errorf("nn: tensor %d: implausible rank %d", idx, ndim)
+			}
+			shape := make([]int, ndim)
+			n := 1
+			for di := range shape {
+				var d uint32
+				if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+					return fmt.Errorf("nn: tensor %d: read shape: %w", idx, eofErr(err))
+				}
+				shape[di] = int(d)
+				n *= int(d)
+			}
+			if !shapeEqual(shape, p.Shape()) {
+				return fmt.Errorf("nn: tensor %d: stream shape %v, module shape %v", idx, shape, p.Shape())
+			}
+			staged[idx] = make([]float64, n)
+		} else {
+			var n uint32
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+				return fmt.Errorf("nn: tensor %d: read length: %w", idx, eofErr(err))
+			}
+			if int(n) != p.Numel() {
+				return fmt.Errorf("nn: tensor %d has %d elements in stream, %d in module", idx, n, p.Numel())
+			}
+			staged[idx] = make([]float64, n)
 		}
-		if int(n) != p.Numel() {
-			return fmt.Errorf("nn: tensor %d has %d elements in stream, %d in module", idx, n, p.Numel())
-		}
-		buf := make([]byte, 8*n)
+		buf := make([]byte, 8*len(staged[idx]))
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return err
+			return fmt.Errorf("nn: tensor %d: read %d-element payload: %w", idx, len(staged[idx]), eofErr(err))
 		}
-		for i := range p.Data {
-			p.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		for i := range staged[idx] {
+			staged[idx][i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 		}
 	}
+	for idx, p := range ps {
+		copy(p.Data, staged[idx])
+	}
 	return nil
+}
+
+// LoadParamsFile restores module parameters from a file written by
+// SaveParamsFile (or any SaveParams stream, including the parameter prefix
+// of an online-tuner checkpoint).
+func LoadParamsFile(path string, ps []*tensor.Tensor) error {
+	return atomicfile.Read(path, func(r io.Reader) error { return LoadParams(r, ps) })
+}
+
+// eofErr normalizes a bare io.EOF inside a structured stream to
+// io.ErrUnexpectedEOF: once the magic has been consumed, running out of
+// bytes is always a truncation, not a clean end.
+func eofErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CopyParams copies parameter values from src to dst; both must be

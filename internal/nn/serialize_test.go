@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"insightalign/internal/tensor"
+)
+
+func testModule(t *testing.T, seed int64) []*tensor.Tensor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ps []*tensor.Tensor
+	ps = append(ps, NewEmbedding(rng, 3, 8).Params()...)
+	ps = append(ps, NewLinear(rng, 8, 4).Params()...)
+	ps = append(ps, NewDecoderLayer(rng, 8, 16).Params()...)
+	return ps
+}
+
+func snapshot(ps []*tensor.Tensor) [][]float64 {
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+func equalSnapshots(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSerializeRoundTripV2(t *testing.T) {
+	src := testModule(t, 1)
+	dst := testModule(t, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !equalSnapshots(snapshot(src), snapshot(dst)) {
+		t.Fatal("round trip did not reproduce parameters")
+	}
+}
+
+func TestSerializeLegacyV1Accepted(t *testing.T) {
+	src := testModule(t, 3)
+	dst := testModule(t, 4)
+	// Hand-roll a v1 (count-only) stream.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, magicV1)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(src)))
+	for _, p := range src {
+		binary.Write(&buf, binary.LittleEndian, uint32(p.Numel()))
+		for _, v := range p.Data {
+			binary.Write(&buf, binary.LittleEndian, v)
+		}
+	}
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatalf("load v1: %v", err)
+	}
+	if !equalSnapshots(snapshot(src), snapshot(dst)) {
+		t.Fatal("v1 round trip did not reproduce parameters")
+	}
+}
+
+// Truncating the stream at any byte boundary must fail with a descriptive
+// error and must not mutate the destination module at all.
+func TestLoadParamsTruncationLeavesModuleUntouched(t *testing.T) {
+	src := testModule(t, 5)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 4, 7, 8, 11, 20, len(full) / 2, len(full) - 1} {
+		dst := testModule(t, 6)
+		before := snapshot(dst)
+		err := LoadParams(bytes.NewReader(full[:cut]), dst)
+		if err == nil {
+			t.Fatalf("cut=%d: truncated load succeeded", cut)
+		}
+		if cut >= 8 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: want unexpected EOF in error chain, got %v", cut, err)
+		}
+		if !equalSnapshots(before, snapshot(dst)) {
+			t.Fatalf("cut=%d: truncated load partially mutated module", cut)
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := NewLinear(rng, 8, 4).Params()
+	dst := NewLinear(rng, 4, 8).Params() // same numel, transposed shape
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	before := snapshot(dst)
+	err := LoadParams(&buf, dst)
+	if err == nil {
+		t.Fatal("shape-mismatched load succeeded")
+	}
+	if !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("want shape mismatch error, got %v", err)
+	}
+	if !equalSnapshots(before, snapshot(dst)) {
+		t.Fatal("shape-mismatched load mutated module")
+	}
+}
+
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := NewLinear(rng, 4, 4).Params()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	err := LoadParams(&buf, src[:1])
+	if err == nil || !strings.Contains(err.Error(), "tensors") {
+		t.Fatalf("want tensor-count error, got %v", err)
+	}
+}
+
+func TestSaveParamsFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	src := testModule(t, 9)
+	if err := SaveParamsFile(path, src); err != nil {
+		t.Fatalf("save file: %v", err)
+	}
+	// A second save over the same path must leave no temp droppings.
+	if err := SaveParamsFile(path, src); err != nil {
+		t.Fatalf("re-save file: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.bin" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+	dst := testModule(t, 10)
+	if err := LoadParamsFile(path, dst); err != nil {
+		t.Fatalf("load file: %v", err)
+	}
+	if !equalSnapshots(snapshot(src), snapshot(dst)) {
+		t.Fatal("file round trip did not reproduce parameters")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"insightalign/internal/atomicfile"
 	"insightalign/internal/nn"
 	"insightalign/internal/recipe"
 )
@@ -27,6 +28,19 @@ func (t *Tuner) SaveCheckpoint(w io.Writer) error {
 		return fmt.Errorf("online: checkpoint state: %w", err)
 	}
 	return nil
+}
+
+// SaveCheckpointFile persists the checkpoint crash-safely: the stream is
+// written to a temp file in path's directory, fsynced, and renamed over
+// the target, so the serving registry's checkpoint poller (and any
+// resuming campaign) never observes a truncated checkpoint.
+func (t *Tuner) SaveCheckpointFile(path string) error {
+	return atomicfile.Write(path, t.SaveCheckpoint)
+}
+
+// LoadCheckpointFile restores a checkpoint written by SaveCheckpointFile.
+func (t *Tuner) LoadCheckpointFile(path string) error {
+	return atomicfile.Read(path, t.LoadCheckpoint)
 }
 
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint into this

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"insightalign/internal/core"
+)
+
+func loadedRegistry(t *testing.T) (*Registry, *core.Model) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.bin")
+	m := saveModelFile(t, path, 7, smallCfg())
+	reg, err := NewRegistry(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return reg, m
+}
+
+func testInsight(seed int) []float64 {
+	iv := make([]float64, 72)
+	for i := range iv {
+		iv[i] = float64((i*31+seed*17)%13)/13 - 0.5
+	}
+	return iv
+}
+
+// Concurrent submits inside one window must coalesce into a single
+// decoder call, and every caller must get results identical to a direct
+// BeamSearch with its own beam width.
+func TestBatcherCoalescesAndMatchesDirect(t *testing.T) {
+	reg, m := loadedRegistry(t)
+	met := NewMetrics(nil, nil)
+	b := NewBatcher(reg, met, 64, 16, 2, 50*time.Millisecond)
+	defer b.Close()
+
+	const n = 8
+	results := make([]batchResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.Submit(context.Background(), testInsight(i), 1+i%3)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		want := m.BeamSearch(testInsight(i), 1+i%3)
+		if len(res.cands) != len(want) {
+			t.Fatalf("request %d: %d candidates, want %d", i, len(res.cands), len(want))
+		}
+		for j := range want {
+			if res.cands[j].Set != want[j].Set || res.cands[j].LogProb != want[j].LogProb {
+				t.Fatalf("request %d candidate %d differs from direct BeamSearch", i, j)
+			}
+		}
+		if res.version == "" {
+			t.Fatalf("request %d: empty model version", i)
+		}
+	}
+	if met.BatchMax() < 2 {
+		t.Fatalf("no coalescing observed: max batch %d", met.BatchMax())
+	}
+}
+
+// A full admission queue must reject immediately with ErrQueueFull. The
+// batcher is built by hand without a collector so the queue stays full.
+func TestBatcherQueueFull(t *testing.T) {
+	reg, _ := loadedRegistry(t)
+	b := &Batcher{reg: reg, queue: make(chan *batchRequest, 1), stop: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	first := make(chan batchResult, 1)
+	go func() { first <- b.Submit(ctx, testInsight(0), 1) }()
+	// Wait until the first request occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Depth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.Depth() != 1 {
+		t.Fatal("first request never reached the queue")
+	}
+	res := b.Submit(ctx, testInsight(1), 1)
+	if !errors.Is(res.err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", res.err)
+	}
+	cancel()
+	if res := <-first; !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("first submit: want context.Canceled, got %v", res.err)
+	}
+}
+
+// An expired per-request deadline surfaces context.DeadlineExceeded.
+func TestBatcherDeadline(t *testing.T) {
+	reg, _ := loadedRegistry(t)
+	// No collector: the request waits in the queue past its deadline.
+	b := &Batcher{reg: reg, queue: make(chan *batchRequest, 4), stop: make(chan struct{})}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res := b.Submit(ctx, testInsight(0), 1)
+	if !errors.Is(res.err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", res.err)
+	}
+}
+
+func TestBatcherNoModel(t *testing.T) {
+	reg, err := NewRegistry(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(reg, nil, 4, 4, 1, time.Millisecond)
+	defer b.Close()
+	res := b.Submit(context.Background(), testInsight(0), 1)
+	if !errors.Is(res.err, ErrNoModel) {
+		t.Fatalf("want ErrNoModel, got %v", res.err)
+	}
+}
+
+func TestBatcherShutdownRejects(t *testing.T) {
+	reg, _ := loadedRegistry(t)
+	b := NewBatcher(reg, nil, 4, 4, 1, time.Millisecond)
+	b.Close()
+	res := b.Submit(context.Background(), testInsight(0), 1)
+	if !errors.Is(res.err, ErrShutdown) {
+		t.Fatalf("want ErrShutdown, got %v", res.err)
+	}
+	b.Close() // idempotent
+}

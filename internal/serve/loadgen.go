@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadGenOptions parameterize the benchmarking load generator.
+type LoadGenOptions struct {
+	// URL is the server base URL ("http://127.0.0.1:8080").
+	URL string
+	// Clients is the number of concurrent request loops.
+	Clients int
+	// Requests is the total request count across all clients.
+	Requests int
+	// BeamWidth is sent with every request (0 = server default).
+	BeamWidth int
+	// InsightDim is the insight vector width to generate (72).
+	InsightDim int
+	// Seed makes the generated insight vectors reproducible.
+	Seed int64
+	// Timeout is the per-request HTTP timeout.
+	Timeout time.Duration
+}
+
+// DefaultLoadGenOptions returns a small smoke-load setup.
+func DefaultLoadGenOptions() LoadGenOptions {
+	return LoadGenOptions{
+		URL:        "http://127.0.0.1:8080",
+		Clients:    8,
+		Requests:   200,
+		BeamWidth:  5,
+		InsightDim: 72,
+		Seed:       1,
+		Timeout:    30 * time.Second,
+	}
+}
+
+// LoadGenResult summarizes one load-generation run.
+type LoadGenResult struct {
+	Requests        int     `json:"requests"`
+	Failures        int     `json:"failures"`
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	MeanMS          float64 `json:"mean_ms"`
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	MaxMS           float64 `json:"max_ms"`
+}
+
+// RunLoadGen fires opt.Requests POST /v1/recommend calls from opt.Clients
+// concurrent loops against a running server and reports throughput and
+// latency percentiles. A non-200 response or transport error counts as a
+// failure; latencies are recorded for successes only.
+func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) {
+	if opt.Clients < 1 {
+		opt.Clients = 1
+	}
+	if opt.Requests < opt.Clients {
+		opt.Requests = opt.Clients
+	}
+	if opt.InsightDim < 1 {
+		opt.InsightDim = 72
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: opt.Timeout}
+	url := opt.URL + "/v1/recommend"
+
+	// Pre-generate a pool of deterministic insight vectors so repeated
+	// runs hit the same inputs.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	pool := make([][]float64, 64)
+	for i := range pool {
+		iv := make([]float64, opt.InsightDim)
+		for j := range iv {
+			iv[j] = rng.NormFloat64()
+		}
+		pool[i] = iv
+	}
+
+	perClient := opt.Requests / opt.Clients
+	extra := opt.Requests % opt.Clients
+	latencies := make([][]time.Duration, opt.Clients)
+	failures := make([]int, opt.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					failures[c] += n - i
+					return
+				}
+				iv := pool[(c*131+i)%len(pool)]
+				body, _ := json.Marshal(RecommendRequest{Insight: iv, BeamWidth: opt.BeamWidth})
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					failures[c]++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					failures[c]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures[c]++
+					continue
+				}
+				latencies[c] = append(latencies[c], time.Since(t0))
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	fails := 0
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		fails += failures[c]
+	}
+	res := LoadGenResult{
+		Requests:        opt.Requests,
+		Failures:        fails,
+		Clients:         opt.Clients,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	if len(all) == 0 {
+		return res, fmt.Errorf("serve: loadgen: all %d requests failed", opt.Requests)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sum := time.Duration(0)
+	for _, d := range all {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	res.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	res.MeanMS = ms(sum / time.Duration(len(all)))
+	res.P50MS = ms(percentile(all, 0.50))
+	res.P95MS = ms(percentile(all, 0.95))
+	res.P99MS = ms(percentile(all, 0.99))
+	res.MaxMS = ms(all[len(all)-1])
+	return res, nil
+}
+
+// percentile returns the nearest-rank percentile of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

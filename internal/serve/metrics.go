@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is a dependency-free Prometheus-text-format metrics registry for
+// the serving subsystem: request counts and latency histograms by route,
+// the micro-batcher's coalesced batch-size histogram, admission-queue
+// depth, rejection counts by reason, and the live model version. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	start      time.Time
+	requests   map[string]map[string]uint64 // route -> status code -> count
+	latency    map[string]*histogram        // route -> seconds
+	batch      *histogram                   // coalesced requests per decoder call
+	batchMax   int
+	rejections map[string]uint64 // reason -> count
+
+	// Live gauges, read at scrape time.
+	queueDepth   func() int
+	modelVersion func() string
+}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	bounds []float64 // upper bounds; implicit +Inf tail
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+var (
+	latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	batchBounds   = []float64{1, 2, 4, 8, 16, 32, 64}
+)
+
+// NewMetrics creates an empty registry. queueDepth and modelVersion are
+// sampled at scrape time; either may be nil.
+func NewMetrics(queueDepth func() int, modelVersion func() string) *Metrics {
+	return &Metrics{
+		start:        time.Now(),
+		requests:     map[string]map[string]uint64{},
+		latency:      map[string]*histogram{},
+		batch:        newHistogram(batchBounds),
+		rejections:   map[string]uint64{},
+		queueDepth:   queueDepth,
+		modelVersion: modelVersion,
+	}
+}
+
+// ObserveRequest records one completed HTTP request.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = map[string]uint64{}
+		m.requests[route] = byCode
+	}
+	byCode[strconv.Itoa(code)]++
+	h := m.latency[route]
+	if h == nil {
+		h = newHistogram(latencyBounds)
+		m.latency[route] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ObserveBatch records the size of one coalesced decoder call.
+func (m *Metrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batch.observe(float64(size))
+	if size > m.batchMax {
+		m.batchMax = size
+	}
+}
+
+// ObserveRejection records one rejected request ("queue_full",
+// "deadline", "shutdown", "no_model").
+func (m *Metrics) ObserveRejection(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejections[reason]++
+}
+
+// BatchMax returns the largest coalesced batch seen so far.
+func (m *Metrics) BatchMax() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batchMax
+}
+
+// WriteExposition renders the registry in the Prometheus text exposition
+// format, with deterministic (sorted) label ordering.
+func (m *Metrics) WriteExposition(w *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP insightalign_uptime_seconds Time since the metrics registry was created.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "insightalign_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	if m.modelVersion != nil {
+		fmt.Fprintf(w, "# HELP insightalign_model_info Currently served model version (value is always 1).\n")
+		fmt.Fprintf(w, "# TYPE insightalign_model_info gauge\n")
+		fmt.Fprintf(w, "insightalign_model_info{version=%q} 1\n", m.modelVersion())
+	}
+	if m.queueDepth != nil {
+		fmt.Fprintf(w, "# HELP insightalign_queue_depth Requests waiting in the admission queue.\n")
+		fmt.Fprintf(w, "# TYPE insightalign_queue_depth gauge\n")
+		fmt.Fprintf(w, "insightalign_queue_depth %d\n", m.queueDepth())
+	}
+
+	fmt.Fprintf(w, "# HELP insightalign_requests_total Completed HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		byCode := m.requests[route]
+		codes := make([]string, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "insightalign_requests_total{route=%q,code=%q} %d\n", route, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP insightalign_request_duration_seconds HTTP request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_request_duration_seconds histogram\n")
+	for _, route := range sortedKeys(m.latency) {
+		writeHistogram(w, "insightalign_request_duration_seconds", fmt.Sprintf("route=%q", route), m.latency[route])
+	}
+
+	fmt.Fprintf(w, "# HELP insightalign_batch_size Requests coalesced per decoder call by the micro-batcher.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_batch_size histogram\n")
+	writeHistogram(w, "insightalign_batch_size", "", m.batch)
+	fmt.Fprintf(w, "# HELP insightalign_batch_size_max Largest coalesced batch observed.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_batch_size_max gauge\n")
+	fmt.Fprintf(w, "insightalign_batch_size_max %d\n", m.batchMax)
+
+	fmt.Fprintf(w, "# HELP insightalign_rejections_total Rejected requests by reason.\n")
+	fmt.Fprintf(w, "# TYPE insightalign_rejections_total counter\n")
+	for _, reason := range sortedKeys(m.rejections) {
+		fmt.Fprintf(w, "insightalign_rejections_total{reason=%q} %d\n", reason, m.rejections[reason])
+	}
+}
+
+// Exposition returns the rendered metrics page.
+func (m *Metrics) Exposition() string {
+	var b strings.Builder
+	m.WriteExposition(&b)
+	return b.String()
+}
+
+func writeHistogram(w *strings.Builder, name, labels string, h *histogram) {
+	cum := uint64(0)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count)
+	}
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

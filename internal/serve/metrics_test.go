@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics(func() int { return 3 }, func() string { return "v1-abcd1234" })
+	m.ObserveRequest("/v1/recommend", 200, 4*time.Millisecond)
+	m.ObserveRequest("/v1/recommend", 200, 8*time.Millisecond)
+	m.ObserveRequest("/v1/recommend", 429, time.Millisecond)
+	m.ObserveRequest("/healthz", 200, 100*time.Microsecond)
+	m.ObserveBatch(1)
+	m.ObserveBatch(7)
+	m.ObserveRejection("queue_full")
+
+	out := m.Exposition()
+	for _, want := range []string{
+		`insightalign_requests_total{route="/healthz",code="200"} 1`,
+		`insightalign_requests_total{route="/v1/recommend",code="200"} 2`,
+		`insightalign_requests_total{route="/v1/recommend",code="429"} 1`,
+		`insightalign_model_info{version="v1-abcd1234"} 1`,
+		`insightalign_queue_depth 3`,
+		`insightalign_rejections_total{reason="queue_full"} 1`,
+		`insightalign_batch_size_max 7`,
+		`insightalign_batch_size_count 2`,
+		// 7 falls in the le="8" bucket; cumulative count there is 2.
+		`insightalign_batch_size_bucket{le="8"} 2`,
+		// and not in le="4": only the size-1 observation.
+		`insightalign_batch_size_bucket{le="4"} 1`,
+		`insightalign_request_duration_seconds_count{route="/v1/recommend"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.observe(v)
+	}
+	// le=1 -> {0.5, 1}; le=2 -> +{1.5}; le=4 -> +{3}; +Inf -> +{100}.
+	if h.counts[0] != 2 || h.counts[1] != 1 || h.counts[2] != 1 || h.counts[3] != 1 {
+		t.Fatalf("bucket counts %v", h.counts)
+	}
+	if h.count != 5 || h.sum != 106 {
+		t.Fatalf("count=%d sum=%g", h.count, h.sum)
+	}
+}

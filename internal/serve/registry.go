@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insightalign/internal/core"
+	"insightalign/internal/nn"
+)
+
+// Snapshot is one immutable served model: weights plus provenance. Request
+// handlers grab the current snapshot once and use it for the whole
+// request, so a concurrent hot-swap never mixes weights mid-decode.
+type Snapshot struct {
+	Model    *core.Model
+	Version  string // "v<generation>-<sha256[:8] of the parameter stream>"
+	Source   string // file path or "memory"
+	LoadedAt time.Time
+}
+
+// Registry holds the live model behind an atomic pointer so reloads
+// (operator-triggered or checkpoint-poller-triggered) swap the whole
+// snapshot without blocking in-flight decodes — the serving side of the
+// paper's online fine-tuning loop, where freshly tuned checkpoints roll
+// into recommendation serving without downtime.
+type Registry struct {
+	cfg core.Config
+	cur atomic.Pointer[Snapshot]
+	gen atomic.Uint64
+	mu  sync.Mutex // serializes reloads; reads never take it
+
+	defaultPath string // last file path loaded; Reload() target
+}
+
+// NewRegistry creates an empty registry for models of the given
+// architecture. A model must be installed with SetModel or LoadFile
+// before recommendations can be served.
+func NewRegistry(cfg core.Config) (*Registry, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: registry config: %w", err)
+	}
+	return &Registry{cfg: cfg}, nil
+}
+
+// Config returns the registry's model architecture.
+func (r *Registry) Config() core.Config { return r.cfg }
+
+// Current returns the live snapshot, or nil before the first install.
+func (r *Registry) Current() *Snapshot { return r.cur.Load() }
+
+// Version returns the live model version, or "" before the first install.
+func (r *Registry) Version() string {
+	if s := r.cur.Load(); s != nil {
+		return s.Version
+	}
+	return ""
+}
+
+// SetModel installs an in-memory model (e.g. one just trained in-process).
+// The model must not be mutated afterwards; train a copy instead.
+func (r *Registry) SetModel(m *core.Model, source string) (*Snapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: SetModel with nil model")
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, m.Params()); err != nil {
+		return nil, fmt.Errorf("serve: hash params: %w", err)
+	}
+	if source == "" {
+		source = "memory"
+	}
+	return r.install(m, paramsHash(buf.Bytes()), source), nil
+}
+
+// LoadFile builds a fresh model of the registry's architecture, restores
+// parameters from path, and atomically swaps it in. The file may be a bare
+// parameter stream (nn.SaveParams / insightalign.SaveModelFile) or an
+// online-tuner checkpoint (online.SaveCheckpointFile), whose parameter
+// prefix is read and whose trailing tuner state is ignored. On any error
+// the previous snapshot keeps serving.
+func (r *Registry) LoadFile(path string) (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read model: %w", err)
+	}
+	m, err := core.New(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadParams(bytes.NewReader(raw), m.Params()); err != nil {
+		return nil, fmt.Errorf("serve: load %s: %w", path, err)
+	}
+	r.defaultPath = path
+	return r.install(m, paramsHash(raw), path), nil
+}
+
+// Reload re-reads the most recently loaded file. It fails if the registry
+// has only ever held in-memory models.
+func (r *Registry) Reload() (*Snapshot, error) {
+	r.mu.Lock()
+	path := r.defaultPath
+	r.mu.Unlock()
+	if path == "" {
+		return nil, fmt.Errorf("serve: no model file to reload (registry holds an in-memory model)")
+	}
+	return r.LoadFile(path)
+}
+
+func (r *Registry) install(m *core.Model, hash, source string) *Snapshot {
+	s := &Snapshot{
+		Model:    m,
+		Version:  fmt.Sprintf("v%d-%s", r.gen.Add(1), hash),
+		Source:   source,
+		LoadedAt: time.Now(),
+	}
+	r.cur.Store(s)
+	return s
+}
+
+// paramsHash fingerprints a parameter stream. Hashing the raw file bytes
+// means a checkpoint with identical weights but different tuner state
+// still gets a distinct fingerprint, which is what operators want when
+// tracing which checkpoint a response came from.
+func paramsHash(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:4])
+}
+
+// WatchDir polls dir every interval and hot-swaps the newest checkpoint or
+// model file into the registry whenever it changes — the glue that rolls
+// online fine-tuning checkpoints into serving without downtime. Hidden
+// files (the atomicfile temp pattern) are skipped, so a crash-safe
+// writer's in-progress temp is never loaded. Blocks until ctx is done;
+// run it in its own goroutine. Load errors are logged and the previous
+// model keeps serving.
+func (r *Registry) WatchDir(ctx context.Context, dir string, interval time.Duration, logger *slog.Logger) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var lastPath string
+	var lastMod time.Time
+	var lastSize int64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		path, info, err := newestFile(dir)
+		if err != nil {
+			logger.Warn("checkpoint poll failed", "dir", dir, "err", err)
+		} else if path != "" && (path != lastPath || !info.ModTime().Equal(lastMod) || info.Size() != lastSize) {
+			if snap, err := r.LoadFile(path); err != nil {
+				logger.Warn("checkpoint load failed", "path", path, "err", err)
+			} else {
+				logger.Info("model hot-swapped", "path", path, "version", snap.Version)
+			}
+			// Record the attempt either way so a persistently corrupt
+			// file is not retried every tick.
+			lastPath, lastMod, lastSize = path, info.ModTime(), info.Size()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// newestFile returns the most recently modified regular, non-hidden file
+// in dir ("" if the directory is empty).
+func newestFile(dir string) (string, os.FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	var bestPath string
+	var best os.FileInfo
+	for _, e := range entries {
+		if !e.Type().IsRegular() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if best == nil || info.ModTime().After(best.ModTime()) {
+			best = info
+			bestPath = filepath.Join(dir, e.Name())
+		}
+	}
+	return bestPath, best, nil
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"encoding/gob"
+	"io"
+	"log/slog"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"insightalign/internal/atomicfile"
+	"insightalign/internal/core"
+	"insightalign/internal/nn"
+)
+
+// smallCfg keeps registry tests fast while exercising real decodes.
+func smallCfg() core.Config {
+	return core.Config{NumRecipes: 12, EmbedDim: 8, InsightDim: 72, FFHidden: 16, Seed: 3}
+}
+
+func saveModelFile(t *testing.T, path string, seed int64, cfg core.Config) *core.Model {
+	t.Helper()
+	cfg.Seed = seed
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.SaveParamsFile(path, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryLoadFileAndVersioning(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	saveModelFile(t, path, 7, smallCfg())
+
+	reg, err := NewRegistry(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Current() != nil || reg.Version() != "" {
+		t.Fatal("fresh registry should be empty")
+	}
+	s1, err := reg.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s1.Version, "v1-") {
+		t.Fatalf("version %q", s1.Version)
+	}
+	// Reload of the same file bumps the generation, keeps the hash.
+	s2, err := reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s2.Version, "v2-") {
+		t.Fatalf("version %q", s2.Version)
+	}
+	if strings.TrimPrefix(s1.Version, "v1-") != strings.TrimPrefix(s2.Version, "v2-") {
+		t.Fatalf("hash changed across identical reloads: %q vs %q", s1.Version, s2.Version)
+	}
+	if reg.Current() != s2 {
+		t.Fatal("Current() is not the latest snapshot")
+	}
+}
+
+func TestRegistryCorruptFileKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.bin")
+	saveModelFile(t, good, 7, smallCfg())
+	reg, _ := NewRegistry(smallCfg())
+	if _, err := reg.LoadFile(good); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Current()
+
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadFile(bad); err == nil {
+		t.Fatal("corrupt load succeeded")
+	}
+	if reg.Current() != before {
+		t.Fatal("corrupt load swapped the snapshot")
+	}
+	// The failed LoadFile must not have hijacked the reload target.
+	if _, err := reg.Reload(); err != nil {
+		t.Fatalf("reload after failed load: %v", err)
+	}
+}
+
+// A tuner checkpoint is a parameter stream followed by gob-encoded state;
+// the registry must load its parameter prefix and ignore the trailer.
+func TestRegistryLoadsCheckpointPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ckpt.bin")
+	err = atomicfile.Write(path, func(w io.Writer) error {
+		if err := nn.SaveParams(w, m.Params()); err != nil {
+			return err
+		}
+		return gob.NewEncoder(w).Encode(struct{ Note string }{"tuner state trailer"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := NewRegistry(cfg)
+	snap, err := reg.LoadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint load: %v", err)
+	}
+	// Loaded weights must decode identically to the source model.
+	rng := rand.New(rand.NewSource(9))
+	iv := make([]float64, cfg.InsightDim)
+	for i := range iv {
+		iv[i] = rng.NormFloat64()
+	}
+	want := m.BeamSearch(iv, 3)
+	got := snap.Model.BeamSearch(iv, 3)
+	for i := range want {
+		if want[i].Set != got[i].Set || want[i].LogProb != got[i].LogProb {
+			t.Fatal("checkpoint-loaded model decodes differently")
+		}
+	}
+}
+
+func TestRegistryWatchDirHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	reg, _ := NewRegistry(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reg.WatchDir(ctx, dir, 5*time.Millisecond, logger)
+	}()
+
+	waitVersion := func(prefix string) string {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if v := reg.Version(); strings.HasPrefix(v, prefix) {
+				return v
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("watcher never installed a %s* model (at %q)", prefix, reg.Version())
+		return ""
+	}
+
+	saveModelFile(t, filepath.Join(dir, "ckpt-001.bin"), 7, cfg)
+	v1 := waitVersion("v1-")
+
+	// A newer checkpoint rolls in without any endpoint call. Bump the
+	// mtime explicitly: coarse filesystem timestamps could otherwise tie.
+	p2 := filepath.Join(dir, "ckpt-002.bin")
+	saveModelFile(t, p2, 8, cfg)
+	os.Chtimes(p2, time.Now().Add(time.Second), time.Now().Add(time.Second))
+	v2 := waitVersion("v2-")
+	if strings.TrimPrefix(v1, "v1-") == strings.TrimPrefix(v2, "v2-") {
+		t.Fatal("second checkpoint has identical hash; expected different weights")
+	}
+	cancel()
+	<-done
+}
+
+func TestRegistrySetModel(t *testing.T) {
+	cfg := smallCfg()
+	m, _ := core.New(cfg)
+	reg, _ := NewRegistry(cfg)
+	snap, err := reg.SetModel(m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Source != "memory" || !strings.HasPrefix(snap.Version, "v1-") {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if _, err := reg.Reload(); err == nil {
+		t.Fatal("reload of an in-memory registry should fail")
+	}
+}

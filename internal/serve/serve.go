@@ -1,0 +1,554 @@
+// Package serve is the recommendation serving subsystem: a stdlib
+// net/http JSON API over the InsightAlign recommender with dynamic
+// micro-batching (concurrent single requests coalesce through a bounded
+// admission queue into one multi-design decoder call), a hot-swappable
+// model registry so online fine-tuning checkpoints roll into serving
+// without downtime, Prometheus-text metrics, structured request logging,
+// and graceful shutdown.
+//
+// Routes:
+//
+//	POST /v1/recommend        one insight vector -> top-K recipe sets
+//	POST /v1/recommend/batch  many insight vectors in one call
+//	POST /v1/models/reload    hot-swap weights from disk
+//	GET  /healthz             liveness + live model version
+//	GET  /metrics             Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"insightalign/internal/core"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+)
+
+// Config parameterizes a Server. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Addr is the listen address (":8080").
+	Addr string
+	// Model is the served architecture; must match the weight files the
+	// registry loads.
+	Model core.Config
+	// DefaultBeamWidth is used when a request omits beam_width.
+	DefaultBeamWidth int
+	// MaxBeamWidth caps per-request beam widths.
+	MaxBeamWidth int
+	// QueueDepth bounds the admission queue; beyond it requests get 429.
+	QueueDepth int
+	// MaxBatch caps how many requests coalesce into one decoder call.
+	MaxBatch int
+	// BatchWindow is how long the collector waits for followers after
+	// the first request of a batch arrives.
+	BatchWindow time.Duration
+	// RequestTimeout is the per-request deadline (queue wait + decode).
+	RequestTimeout time.Duration
+	// MaxConcurrentBatches bounds decoder calls in flight at once.
+	MaxConcurrentBatches int
+	// DisableBatching bypasses the admission queue and decodes each
+	// request inline — the unbatched comparison mode of the load tests.
+	DisableBatching bool
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// DefaultConfig returns production-leaning defaults around the paper's
+// K = 5 beam width.
+func DefaultConfig() Config {
+	return Config{
+		Addr:                 ":8080",
+		Model:                core.DefaultConfig(),
+		DefaultBeamWidth:     5,
+		MaxBeamWidth:         16,
+		QueueDepth:           256,
+		MaxBatch:             32,
+		BatchWindow:          2 * time.Millisecond,
+		RequestTimeout:       10 * time.Second,
+		MaxConcurrentBatches: 2,
+	}
+}
+
+// Server is the serving subsystem: admission queue -> micro-batcher ->
+// decoder sessions, against a hot-swappable model registry.
+type Server struct {
+	cfg Config
+	reg *Registry
+	bat *Batcher
+	met *Metrics
+	log *slog.Logger
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	shutOnce sync.Once
+}
+
+// New builds a Server over a registry (which may be empty: requests get
+// 503 until the first model is installed or loaded).
+func New(cfg Config, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	// The registry's architecture is authoritative: it is what LoadFile
+	// builds, so the server must validate against the same dimensions.
+	cfg.Model = reg.Config()
+	if cfg.DefaultBeamWidth < 1 {
+		cfg.DefaultBeamWidth = 5
+	}
+	if cfg.MaxBeamWidth < cfg.DefaultBeamWidth {
+		cfg.MaxBeamWidth = cfg.DefaultBeamWidth
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{cfg: cfg, reg: reg, log: cfg.Logger}
+	s.bat = NewBatcher(reg, nil, cfg.QueueDepth, cfg.MaxBatch, cfg.MaxConcurrentBatches, cfg.BatchWindow)
+	s.met = NewMetrics(s.bat.Depth, reg.Version)
+	s.bat.met = s.met
+	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	return s, nil
+}
+
+// Metrics exposes the server's metrics registry (for tests and the load
+// generator's in-process mode).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Registry returns the model registry backing this server.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the full route mux wrapped in metrics + logging
+// middleware, for mounting under a custom listener or test server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	mux.HandleFunc("/v1/recommend/batch", s.handleRecommendBatch)
+	mux.HandleFunc("/v1/models/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// Start listens on cfg.Addr and serves until Shutdown. It returns once
+// the listener is bound; serving continues in a background goroutine
+// whose terminal error (if any) is reported through the returned channel.
+func (s *Server) Start() (<-chan error, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	errc := make(chan error, 1)
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	s.log.Info("serving", "addr", ln.Addr().String(), "model_version", s.reg.Version())
+	return errc, nil
+}
+
+// Addr returns the bound listen address (useful with Addr ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for
+// in-flight requests (bounded by ctx), then stop the batcher.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutOnce.Do(func() {
+		err = s.httpSrv.Shutdown(ctx)
+		s.bat.Close()
+		s.log.Info("shut down", "err", err)
+	})
+	return err
+}
+
+// JSON wire types.
+
+// RecommendRequest is the body of POST /v1/recommend and one element of a
+// batch request.
+type RecommendRequest struct {
+	// Insight is the 72-dim design insight vector (Table I order).
+	Insight []float64 `json:"insight"`
+	// Intention optionally declares the QoR objective the caller is
+	// optimizing for. It is validated and echoed back; the served model
+	// was aligned offline for its training intention, so a mismatch is
+	// the caller's signal to retrain, not a per-request switch.
+	Intention *IntentionSpec `json:"intention,omitempty"`
+	// BeamWidth is the number of recipe sets to return (default 5).
+	BeamWidth int `json:"beam_width,omitempty"`
+}
+
+// IntentionSpec mirrors qor.Intention in JSON.
+type IntentionSpec struct {
+	Terms []IntentionTermSpec `json:"terms"`
+}
+
+// IntentionTermSpec is one weighted metric.
+type IntentionTermSpec struct {
+	Metric   string  `json:"metric"`
+	Weight   float64 `json:"weight"`
+	Maximize bool    `json:"maximize,omitempty"`
+}
+
+func (sp *IntentionSpec) toQoR() qor.Intention {
+	in := qor.Intention{}
+	for _, t := range sp.Terms {
+		in.Terms = append(in.Terms, qor.Term{Metric: t.Metric, Weight: t.Weight, Maximize: t.Maximize})
+	}
+	return in
+}
+
+// CandidateJSON is one recommended recipe set.
+type CandidateJSON struct {
+	// Recipes is the 40-bit selection string, recipe 0 first.
+	Recipes string `json:"recipes"`
+	// Names lists the selected recipe names in catalog order.
+	Names []string `json:"names"`
+	// Count is the number of selected recipes.
+	Count int `json:"count"`
+	// LogProb is the policy log-likelihood of the set.
+	LogProb float64 `json:"log_prob"`
+}
+
+// RecommendResponse is the body of a successful POST /v1/recommend.
+type RecommendResponse struct {
+	ModelVersion string          `json:"model_version"`
+	BeamWidth    int             `json:"beam_width"`
+	BatchSize    int             `json:"batch_size"`
+	Candidates   []CandidateJSON `json:"candidates"`
+	// Error is set per-item in batch responses instead of failing the
+	// whole batch.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/recommend/batch.
+type BatchRequest struct {
+	Requests []RecommendRequest `json:"requests"`
+}
+
+// BatchResponse is the body of POST /v1/recommend/batch.
+type BatchResponse struct {
+	Results []RecommendResponse `json:"results"`
+}
+
+// ReloadRequest optionally names the weight file to load; empty means
+// re-read the registry's most recent file.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the swapped-in model.
+type ReloadResponse struct {
+	ModelVersion string `json:"model_version"`
+	Source       string `json:"source"`
+	LoadedAt     string `json:"loaded_at"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	ModelVersion  string  `json:"model_version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+// maxBodyBytes bounds request bodies; a 72-dim vector is ~2 KB, a full
+// batch a few hundred KB.
+const maxBodyBytes = 4 << 20
+
+// Handlers.
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RecommendRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if msg := s.validate(&req); msg != "" {
+		s.writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, code := s.recommend(ctx, &req)
+	if code != http.StatusOK {
+		s.writeError(w, code, resp.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i := range req.Requests {
+		if msg := s.validate(&req.Requests[i]); msg != "" {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %s", i, msg))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// Submit every element to the shared admission queue so a client
+	// batch coalesces with concurrent singles (and with other batches).
+	results := make([]RecommendResponse, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, code := s.recommend(ctx, &req.Requests[i])
+			if code != http.StatusOK && resp.Error == "" {
+				resp.Error = http.StatusText(code)
+			}
+			results[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// recommend runs one validated request through the batcher (or inline in
+// unbatched mode) and shapes the response. Returns the HTTP status.
+func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (RecommendResponse, int) {
+	k := req.BeamWidth
+	if k <= 0 {
+		k = s.cfg.DefaultBeamWidth
+	}
+	if k > s.cfg.MaxBeamWidth {
+		k = s.cfg.MaxBeamWidth
+	}
+	var res batchResult
+	if s.cfg.DisableBatching {
+		snap := s.reg.Current()
+		if snap == nil {
+			res = batchResult{err: ErrNoModel}
+		} else {
+			res = batchResult{
+				cands:     snap.Model.NewDecoder(req.Insight).BeamSearch(k),
+				version:   snap.Version,
+				batchSize: 1,
+			}
+			s.met.ObserveBatch(1)
+		}
+	} else {
+		res = s.bat.Submit(ctx, req.Insight, k)
+	}
+	if res.err != nil {
+		return RecommendResponse{Error: res.err.Error()}, errStatus(res.err)
+	}
+	resp := RecommendResponse{
+		ModelVersion: res.version,
+		BeamWidth:    k,
+		BatchSize:    res.batchSize,
+		Candidates:   make([]CandidateJSON, 0, len(res.cands)),
+	}
+	for _, c := range res.cands {
+		resp.Candidates = append(resp.Candidates, toCandidateJSON(c))
+	}
+	return resp, http.StatusOK
+}
+
+func toCandidateJSON(c core.Candidate) CandidateJSON {
+	names := []string{}
+	for _, rc := range recipe.Catalog() {
+		if c.Set[rc.ID] {
+			names = append(names, rc.Name)
+		}
+	}
+	return CandidateJSON{
+		Recipes: c.Set.String(),
+		Names:   names,
+		Count:   c.Set.Count(),
+		LogProb: c.LogProb,
+	}
+}
+
+// validate checks one request's insight width, beam width, and intention.
+// Returns "" when valid.
+func (s *Server) validate(req *RecommendRequest) string {
+	if len(req.Insight) != s.cfg.Model.InsightDim {
+		return fmt.Sprintf("insight has %d dims, want %d", len(req.Insight), s.cfg.Model.InsightDim)
+	}
+	if req.BeamWidth < 0 {
+		return fmt.Sprintf("beam_width %d is negative", req.BeamWidth)
+	}
+	if req.Intention != nil {
+		if err := req.Intention.toQoR().Validate(); err != nil {
+			return fmt.Sprintf("intention: %v", err)
+		}
+	}
+	return ""
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ReloadRequest
+	if r.ContentLength != 0 {
+		if err := decodeJSON(w, r, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	var snap *Snapshot
+	var err error
+	if req.Path != "" {
+		snap, err = s.reg.LoadFile(req.Path)
+	} else {
+		snap, err = s.reg.Reload()
+	}
+	if err != nil {
+		s.log.Error("model reload failed", "path", req.Path, "err", err)
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.log.Info("model reloaded", "version", snap.Version, "source", snap.Source)
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		ModelVersion: snap.Version,
+		Source:       snap.Source,
+		LoadedAt:     snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		ModelVersion:  s.reg.Version(),
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		QueueDepth:    s.bat.Depth(),
+	}
+	code := http.StatusOK
+	if resp.ModelVersion == "" {
+		resp.Status = "no model loaded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(s.met.Exposition()))
+}
+
+// instrument wraps the mux with per-request metrics and structured logs.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		startAt := time.Now()
+		rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rw, r)
+		d := time.Since(startAt)
+		route := normalizeRoute(r.URL.Path)
+		s.met.ObserveRequest(route, rw.code, d)
+		if route != "/metrics" && route != "/healthz" {
+			s.log.Info("request",
+				"route", route, "method", r.Method, "status", rw.code,
+				"duration_ms", float64(d.Microseconds())/1000, "bytes", rw.bytes,
+				"remote", r.RemoteAddr)
+		}
+	})
+}
+
+// normalizeRoute keeps the metrics label space bounded.
+func normalizeRoute(p string) string {
+	switch {
+	case p == "/v1/recommend", p == "/v1/recommend/batch", p == "/v1/models/reload", p == "/healthz", p == "/metrics":
+		return p
+	case strings.HasPrefix(p, "/v1/"):
+		return "/v1/other"
+	default:
+		return "other"
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// errStatus maps batcher/registry errors to HTTP codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
