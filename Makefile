@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-inference serve loadtest
+.PHONY: check vet build test race bench bench-inference bench-train serve loadtest
 
 check: vet build race
 
@@ -31,6 +31,13 @@ bench:
 # parallel fan-out.
 bench-inference:
 	$(GO) test -run '^$$' -bench 'BenchmarkBeamSearch(Naive|Cached|Batch17)$$' -benchmem .
+
+# The training pair behind BENCH_train.json: one minibatch alignment epoch
+# over the 3,000-point synthetic archive at 1 vs 8 workers. The two runs
+# produce bit-identical parameters; the ratio is the data-parallel
+# engine's wall-clock speedup on this machine.
+bench-train:
+	$(GO) test -run '^$$' -bench 'BenchmarkAlignmentTrain(Serial|Parallel)$$' -benchtime 3x -benchmem .
 
 # Run the recommendation server. MODEL=path serves trained weights;
 # without it a fresh (untrained) model is served for smoke testing.

@@ -10,6 +10,7 @@
 package insightalign_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"insightalign/internal/dataset"
 	"insightalign/internal/experiments"
 	"insightalign/internal/flow"
+	"insightalign/internal/insight"
 	"insightalign/internal/netlist"
 )
 
@@ -223,6 +225,64 @@ func BenchmarkMDPOPairUpdate(b *testing.B) {
 		}
 	}
 }
+
+// benchTrainPoints builds the ~3,000-point synthetic archive (17 designs ×
+// 176 points, the paper's full dataset shape) used by the alignment
+// training benchmarks. Points are synthesized directly — no flow runs — so
+// the benchmark isolates the training loop.
+func benchTrainPoints() []dataset.Point {
+	rng := rand.New(rand.NewSource(12))
+	var pts []dataset.Point
+	for d := 0; d < 17; d++ {
+		var iv insight.Vector
+		for i := 0; i < 8; i++ {
+			iv[i] = rng.NormFloat64() * 0.5
+		}
+		name := fmt.Sprintf("B%d", d)
+		for k := 0; k < 176; k++ {
+			pts = append(pts, dataset.Point{
+				DesignName: name,
+				Insight:    iv,
+				Set:        dataset.SampleSet(rng, 5),
+				QoR:        rng.Float64(),
+			})
+		}
+	}
+	return pts
+}
+
+func benchAlignmentTrain(b *testing.B, workers int) {
+	pts := benchTrainPoints()
+	topt := insightalign.DefaultTrainOptions()
+	topt.Epochs = 1
+	topt.MaxPairsPerDesign = 24
+	topt.BatchSize = 32
+	topt.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		model, err := insightalign.NewRecommender(insightalign.DefaultModelConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := model.AlignmentTrain(pts, topt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.Epochs[0].PairsPerSec, "pairs/s")
+	}
+}
+
+// BenchmarkAlignmentTrainSerial measures one minibatch alignment epoch over
+// the 3,000-point archive with a single worker — the baseline for the
+// data-parallel engine's speedup (recorded in BENCH_train.json).
+func BenchmarkAlignmentTrainSerial(b *testing.B) { benchAlignmentTrain(b, 1) }
+
+// BenchmarkAlignmentTrainParallel measures the same epoch sharded across 8
+// workers. The trained parameters are bit-identical to the serial run; only
+// wall-clock differs.
+func BenchmarkAlignmentTrainParallel(b *testing.B) { benchAlignmentTrain(b, 8) }
 
 // benchModelIV builds the default recommender and one random insight query.
 func benchModelIV(b *testing.B, seed int64) (*insightalign.Recommender, []float64) {

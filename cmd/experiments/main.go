@@ -31,6 +31,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced training budget (smoke run)")
 		iters    = flag.Int("iters", 10, "online fine-tuning iterations")
 		budget   = flag.Int("budget", 30, "baseline evaluation budget")
+		batch    = flag.Int("train-batch", 0, "alignment minibatch size (0 = per-pair updates)")
+		workers  = flag.Int("workers", 0, "data-parallel training workers when -train-batch > 0 (0 = NumCPU)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -38,7 +40,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if err := run(what, *dataPath, *scale, *points, *seed, *outDir, *quick, *iters, *budget); err != nil {
+	if err := run(what, *dataPath, *scale, *points, *seed, *outDir, *quick, *iters, *budget, *batch, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -57,7 +59,7 @@ func emitFig5SVGs(emit func(string, string) error, series []experiments.Fig5Seri
 	return nil
 }
 
-func run(what, dataPath string, scale float64, points int, seed int64, outDir string, quick bool, iters, budget int) error {
+func run(what, dataPath string, scale float64, points int, seed int64, outDir string, quick bool, iters, budget, batch, workers int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -99,6 +101,8 @@ func run(what, dataPath string, scale float64, points int, seed int64, outDir st
 		cfg = experiments.Quick()
 	}
 	cfg.OnlineIterations = iters
+	cfg.Train.BatchSize = batch
+	cfg.Train.Workers = workers
 	env, err := experiments.NewEnv(ds, cfg)
 	if err != nil {
 		return err

@@ -129,6 +129,8 @@ func cmdTrain(args []string) error {
 	lambda := fs.Float64("lambda", 2, "MDPO margin scale")
 	seed := fs.Int64("seed", 1, "random seed")
 	holdout := fs.String("holdout", "", "comma-separated designs to exclude from training")
+	batch := fs.Int("batch", 0, "minibatch size (0 = per-pair updates, Algorithm 1)")
+	workers := fs.Int("workers", 0, "data-parallel training workers when -batch > 0 (0 = NumCPU)")
 	fs.Parse(args)
 
 	ds, err := loadData(*data)
@@ -150,9 +152,11 @@ func cmdTrain(args []string) error {
 	topt.MaxPairsPerDesign = *pairs
 	topt.Lambda = *lambda
 	topt.Seed = *seed
+	topt.BatchSize = *batch
+	topt.Workers = *workers
 	topt.Progress = func(epoch int, es core.EpochStats) {
-		fmt.Printf("epoch %d: %d pairs, loss %.4f, pair accuracy %.3f\n",
-			epoch, es.Pairs, es.MeanLoss, es.PairAccuracy)
+		fmt.Printf("epoch %d: %d pairs, loss %.4f, pair accuracy %.3f, %.0f pairs/s\n",
+			epoch, es.Pairs, es.MeanLoss, es.PairAccuracy, es.PairsPerSec)
 	}
 	if _, err := model.AlignmentTrain(train, topt); err != nil {
 		return err
@@ -231,6 +235,8 @@ func cmdFinetune(args []string) error {
 	modelPath := fs.String("model", "model.bin", "model path")
 	design := fs.String("design", "", "design name")
 	iters := fs.Int("iters", 10, "online iterations")
+	batch := fs.Int("batch", 0, "MDPO minibatch size (0 = per-pair updates)")
+	workers := fs.Int("workers", 0, "data-parallel update workers when -batch > 0 (0 = NumCPU)")
 	fs.Parse(args)
 	if *design == "" {
 		return fmt.Errorf("-design is required")
@@ -253,7 +259,10 @@ func cmdFinetune(args []string) error {
 		return err
 	}
 	runner := insightalign.NewFlowRunner(env.Designs[*design])
-	tuner, err := insightalign.NewTuner(model, runner, iv, st, ds.Intention, insightalign.DefaultTunerOptions())
+	tunerOpt := insightalign.DefaultTunerOptions()
+	tunerOpt.BatchPairs = *batch
+	tunerOpt.Workers = *workers
+	tuner, err := insightalign.NewTuner(model, runner, iv, st, ds.Intention, tunerOpt)
 	if err != nil {
 		return err
 	}

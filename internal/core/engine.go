@@ -1,0 +1,148 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"insightalign/internal/nn"
+	"insightalign/internal/tensor"
+)
+
+// Data-parallel alignment training engine. The autodiff tape is
+// define-by-run and single-goroutine, so the minibatch is sharded into
+// fixed-size chunks and each chunk runs forward/backward on a worker's
+// private model replica: a shadow whose parameter tensors alias the
+// master's Data slices (read-only during the parallel section) but own
+// private Grad buffers, giving every worker an isolated tape.
+//
+// Determinism contract: chunk boundaries depend only on position in the
+// minibatch — never on the worker count or on scheduling — and the single
+// reducer adds the chunk gradient snapshots into the master parameters in
+// ascending chunk index. Within a chunk, pair gradients accumulate
+// sequentially in pair order on one tape. Float64 addition is not
+// associative, but this fixes the full association tree of the reduction,
+// so the reduced gradient — and therefore the trained parameters — are
+// bit-identical run-to-run at any worker count.
+
+// trainChunkSize is the number of loss terms accumulated on one worker
+// tape before the chunk gradient is snapshotted. It is a constant of the
+// reduction (part of the determinism contract), not a tuning knob exposed
+// per run: changing it changes the association order of gradient sums.
+const trainChunkSize = 8
+
+// LossFunc evaluates one scalar loss term against the given model (a
+// worker replica during parallel training). It must only read the model's
+// parameters and must not retain the model between calls.
+type LossFunc func(m *Model) *tensor.Tensor
+
+// TrainEngine owns the worker replicas and chunk gradient buffers for one
+// training run. It is not safe for concurrent use; one engine drives one
+// optimization loop. Replicas alias the master's parameter Data slices, so
+// the engine must be discarded if those slices are ever replaced (e.g. by
+// reloading the model from disk).
+type TrainEngine struct {
+	master    *Model
+	params    []*tensor.Tensor
+	workers   int
+	replicas  []*Model
+	repParams [][]*tensor.Tensor
+	chunks    []*nn.GradBuffer // grown lazily to the largest chunk count seen
+}
+
+// NewTrainEngine builds an engine over m with the given worker count
+// (0 or negative = runtime.NumCPU).
+func NewTrainEngine(m *Model, workers int) *TrainEngine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &TrainEngine{master: m, params: m.Params(), workers: workers}
+	for w := 0; w < workers; w++ {
+		rep := m.shadowReplica()
+		e.replicas = append(e.replicas, rep)
+		e.repParams = append(e.repParams, rep.Params())
+	}
+	return e
+}
+
+// Workers returns the size of the worker pool.
+func (e *TrainEngine) Workers() int { return e.workers }
+
+// shadowReplica returns a model whose parameter tensors alias m's Data
+// slices but own fresh Grad buffers. Forward/backward on the replica reads
+// the shared parameters and accumulates gradients privately.
+func (m *Model) shadowReplica() *Model {
+	rep, err := New(m.Cfg)
+	if err != nil {
+		// The master was built from the same config; unreachable.
+		panic(err)
+	}
+	mp, rp := m.Params(), rep.Params()
+	for i := range rp {
+		rp[i].Data = mp[i].Data
+	}
+	return rep
+}
+
+// Accumulate evaluates every loss term and leaves the MEAN gradient over
+// all terms in the master parameters' Grad buffers (previous contents are
+// discarded). It returns the per-term loss values, indexed like losses.
+// With skipZero set, terms whose forward value is exactly zero skip the
+// backward pass — valid for hinge losses, whose subgradient at zero is
+// zero, and a large win once most preference pairs satisfy their margin.
+func (e *TrainEngine) Accumulate(losses []LossFunc, skipZero bool) []float64 {
+	vals := make([]float64, len(losses))
+	if len(losses) == 0 {
+		nn.ZeroGrads(e.params)
+		return vals
+	}
+	nChunks := (len(losses) + trainChunkSize - 1) / trainChunkSize
+	for len(e.chunks) < nChunks {
+		e.chunks = append(e.chunks, nn.NewGradBuffer(e.params))
+	}
+
+	workers := e.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	next := make(chan int, nChunks)
+	for ci := 0; ci < nChunks; ci++ {
+		next <- ci
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep, rp := e.replicas[w], e.repParams[w]
+			for ci := range next {
+				nn.ZeroGrads(rp)
+				lo := ci * trainChunkSize
+				hi := lo + trainChunkSize
+				if hi > len(losses) {
+					hi = len(losses)
+				}
+				for i := lo; i < hi; i++ {
+					loss := losses[i](rep)
+					v := loss.Item()
+					vals[i] = v
+					if skipZero && v == 0 {
+						continue
+					}
+					loss.Backward()
+				}
+				e.chunks[ci].CaptureFrom(rp)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic reduction: chunk order, then the mean scale.
+	nn.ZeroGrads(e.params)
+	for ci := 0; ci < nChunks; ci++ {
+		e.chunks[ci].AddInto(e.params)
+	}
+	nn.ScaleGrads(e.params, 1/float64(len(losses)))
+	return vals
+}

@@ -7,6 +7,7 @@ import (
 
 	"insightalign/internal/dataset"
 	"insightalign/internal/nn"
+	"insightalign/internal/tensor"
 )
 
 // SupervisedOptions configure the behavior-cloning baseline used by the
@@ -21,6 +22,10 @@ type SupervisedOptions struct {
 	Epochs   int
 	ClipNorm float64
 	Seed     int64
+	// BatchSize and Workers select minibatch data-parallel training as in
+	// TrainOptions; BatchSize 0 keeps per-point updates.
+	BatchSize int
+	Workers   int
 }
 
 // DefaultSupervisedOptions returns standard behavior-cloning settings.
@@ -63,16 +68,42 @@ func (m *Model) SupervisedTrain(points []dataset.Point, opt SupervisedOptions) (
 	rng := rand.New(rand.NewSource(opt.Seed))
 	adam := nn.NewAdam(m.Params(), opt.LR)
 	adam.ClipNorm = opt.ClipNorm
+	var engine *TrainEngine
+	if opt.BatchSize > 0 {
+		engine = NewTrainEngine(m, opt.Workers)
+	}
 	lastNLL := 0.0
 	for e := 0; e < opt.Epochs; e++ {
 		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
 		total := 0.0
-		for _, p := range targets {
-			adam.ZeroGrad()
-			nll := m.LogProb(p.Insight.Slice(), p.Set.Bits()).Neg()
-			total += nll.Item()
-			nll.Backward()
-			adam.Step()
+		if engine != nil {
+			losses := make([]LossFunc, 0, opt.BatchSize)
+			for lo := 0; lo < len(targets); lo += opt.BatchSize {
+				hi := lo + opt.BatchSize
+				if hi > len(targets) {
+					hi = len(targets)
+				}
+				losses = losses[:0]
+				for _, p := range targets[lo:hi] {
+					p := p
+					losses = append(losses, func(rep *Model) *tensor.Tensor {
+						return rep.LogProb(p.Insight.Slice(), p.Set.Bits()).Neg()
+					})
+				}
+				// The NLL is never exactly zero, so no skip-zero shortcut.
+				for _, v := range engine.Accumulate(losses, false) {
+					total += v
+				}
+				adam.Step()
+			}
+		} else {
+			for _, p := range targets {
+				adam.ZeroGrad()
+				nll := m.LogProb(p.Insight.Slice(), p.Set.Bits()).Neg()
+				total += nll.Item()
+				nll.Backward()
+				adam.Step()
+			}
 		}
 		lastNLL = total / float64(len(targets))
 	}

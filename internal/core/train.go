@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"insightalign/internal/dataset"
 	"insightalign/internal/nn"
@@ -54,6 +55,15 @@ type TrainOptions struct {
 	Patience int
 	// Progress, if non-nil, receives per-epoch statistics.
 	Progress func(epoch int, stats EpochStats)
+	// BatchSize, if positive, replaces Algorithm 1's per-pair updates with
+	// minibatch Adam steps on the mean pair gradient, computed by the
+	// data-parallel TrainEngine. 0 keeps the paper's per-pair schedule on a
+	// single goroutine.
+	BatchSize int
+	// Workers sizes the data-parallel worker pool used when BatchSize > 0
+	// (0 = NumCPU). The trained parameters are bit-identical at any worker
+	// count; only wall-clock changes.
+	Workers int
 }
 
 // DefaultTrainOptions returns the paper's hyperparameters with practical
@@ -82,6 +92,11 @@ type EpochStats struct {
 	PairAccuracy float64
 	// ValAccuracy is the held-out pair accuracy (0 without validation).
 	ValAccuracy float64
+	// Duration is the wall-clock time of the epoch's update loop
+	// (excluding pair construction and validation).
+	Duration time.Duration
+	// PairsPerSec is the update-loop throughput, Pairs / Duration.
+	PairsPerSec float64
 }
 
 // TrainStats summarize a full alignment run.
@@ -121,7 +136,11 @@ func buildPairs(points []dataset.Point, maxPerDesign int, minGap float64, rng *r
 				if gap < 0 {
 					w, l, gap = pts[j], pts[i], -gap
 				}
-				if gap < minGap {
+				// A zero-gap pair carries no preference: with MinQoRGap=0 it
+				// would label a "winner" by point order, injecting a
+				// contradictory pair for every tied duplicate. Skip ties
+				// unconditionally.
+				if gap == 0 || gap < minGap {
 					continue
 				}
 				all = append(all, pair{
@@ -156,8 +175,82 @@ func (m *Model) pairLoss(p pair, opt TrainOptions) *tensor.Tensor {
 	return margin.Sub(diff).Hinge()
 }
 
+// pairAccurate reports whether the loss value indicates the model already
+// prefers the winner: DPO loss below ln 2 means σ(β·diff) > ½, and an MDPO
+// hinge below the full margin λ·gap means diff > 0.
+func pairAccurate(v float64, p pair, opt TrainOptions) bool {
+	if opt.Loss == LossDPO {
+		return v < math.Ln2
+	}
+	return v < opt.Lambda*p.gap
+}
+
+// runEpochSerial is Algorithm 1's schedule: one Adam step per pair, on the
+// calling goroutine.
+func (m *Model) runEpochSerial(adam *nn.Adam, pairs []pair, opt TrainOptions, es *EpochStats) {
+	for _, p := range pairs {
+		adam.ZeroGrad()
+		loss := m.pairLoss(p, opt)
+		v := loss.Item()
+		es.MeanLoss += v
+		if v == 0 {
+			es.ZeroLossFrac++
+		}
+		if pairAccurate(v, p, opt) {
+			es.PairAccuracy++
+		}
+		if v > 0 {
+			loss.Backward()
+			adam.Step()
+		}
+	}
+}
+
+// runEpochBatched shards each minibatch across the engine's worker pool and
+// takes one Adam step on the mean pair gradient. All forward passes in a
+// minibatch see the same parameter snapshot, so per-pair loss values — and
+// every EpochStats field except Duration/PairsPerSec — are invariant across
+// worker counts.
+func (m *Model) runEpochBatched(engine *TrainEngine, adam *nn.Adam, pairs []pair, opt TrainOptions, es *EpochStats) {
+	// Hinge subgradient at zero is zero, so satisfied-margin pairs can skip
+	// backward; the DPO loss is strictly positive so the flag is moot there.
+	skipZero := opt.Loss != LossDPO
+	losses := make([]LossFunc, 0, opt.BatchSize)
+	for lo := 0; lo < len(pairs); lo += opt.BatchSize {
+		hi := lo + opt.BatchSize
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		losses = losses[:0]
+		for _, p := range pairs[lo:hi] {
+			p := p
+			losses = append(losses, func(rep *Model) *tensor.Tensor { return rep.pairLoss(p, opt) })
+		}
+		vals := engine.Accumulate(losses, skipZero)
+		step := false
+		for i, v := range vals {
+			es.MeanLoss += v
+			if v == 0 {
+				es.ZeroLossFrac++
+			} else {
+				step = true
+			}
+			if pairAccurate(v, pairs[lo+i], opt) {
+				es.PairAccuracy++
+			}
+		}
+		// Mirror the serial schedule: a batch whose every pair already
+		// satisfies its margin contributes no gradient and no Adam step.
+		if step {
+			adam.Step()
+		}
+	}
+}
+
 // AlignmentTrain runs offline QoR alignment (Algorithm 1, ALIGNMENTTRAIN):
-// per-pair stochastic updates of the margin-based DPO loss with Adam.
+// per-pair stochastic updates of the margin-based DPO loss with Adam, or —
+// with BatchSize > 0 — minibatch updates computed by the data-parallel
+// TrainEngine.
 func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*TrainStats, error) {
 	if opt.Lambda <= 0 {
 		return nil, fmt.Errorf("core: Lambda must be positive")
@@ -177,6 +270,10 @@ func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*Train
 	rng := rand.New(rand.NewSource(opt.Seed))
 	adam := nn.NewAdam(m.Params(), opt.LR)
 	adam.ClipNorm = opt.ClipNorm
+	var engine *TrainEngine
+	if opt.BatchSize > 0 {
+		engine = NewTrainEngine(m, opt.Workers)
+	}
 
 	stats := &TrainStats{}
 	bestVal, sinceBest := -1.0, 0
@@ -198,43 +295,30 @@ func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*Train
 		}
 
 		es := EpochStats{Pairs: len(pairs)}
-		ln2 := math.Log(2)
-		for _, p := range pairs {
-			adam.ZeroGrad()
-			loss := m.pairLoss(p, opt)
-			v := loss.Item()
-			es.MeanLoss += v
-			if v == 0 {
-				es.ZeroLossFrac++
-			}
-			// Winner already more likely than loser?
-			switch opt.Loss {
-			case LossDPO:
-				if v < ln2 {
-					es.PairAccuracy++
-				}
-			default:
-				if v < opt.Lambda*p.gap {
-					es.PairAccuracy++
-				}
-			}
-			if v > 0 {
-				loss.Backward()
-				adam.Step()
-			}
+		start := time.Now()
+		if engine != nil {
+			m.runEpochBatched(engine, adam, pairs, opt, &es)
+		} else {
+			m.runEpochSerial(adam, pairs, opt, &es)
+		}
+		es.Duration = time.Since(start)
+		if es.Duration > 0 {
+			es.PairsPerSec = float64(es.Pairs) / es.Duration.Seconds()
 		}
 		es.MeanLoss /= float64(es.Pairs)
 		es.ZeroLossFrac /= float64(es.Pairs)
 		es.PairAccuracy /= float64(es.Pairs)
 		if len(valPairs) > 0 {
 			correct := 0
-			for _, p := range valPairs {
-				lw := m.LogProb(p.insight, p.winBits).Item()
-				ll := m.LogProb(p.insight, p.losBits).Item()
-				if lw > ll {
-					correct++
+			tensor.NoGrad(func() {
+				for _, p := range valPairs {
+					lw := m.LogProb(p.insight, p.winBits).Item()
+					ll := m.LogProb(p.insight, p.losBits).Item()
+					if lw > ll {
+						correct++
+					}
 				}
-			}
+			})
 			es.ValAccuracy = float64(correct) / float64(len(valPairs))
 		}
 		stats.Epochs = append(stats.Epochs, es)

@@ -263,8 +263,20 @@ func (d *Dataset) BestKnown(design string) (Point, bool) {
 
 // Folds partitions designs into k groups with approximately equal datapoint
 // counts (the paper's 4-fold cross-validation) using greedy size balancing.
-// The assignment is deterministic for a fixed seed.
+// The assignment is deterministic for a fixed seed. k is clamped to
+// [1, len(Designs)] so every returned fold is non-empty — k beyond the
+// design count would otherwise emit empty folds, which flow into Split as
+// an empty holdout and poison downstream accuracy averages with 0/0.
 func (d *Dataset) Folds(k int, seed int64) [][]string {
+	if len(d.Designs) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(d.Designs) {
+		k = len(d.Designs)
+	}
 	type dc struct {
 		name  string
 		count int

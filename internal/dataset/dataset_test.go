@@ -154,6 +154,41 @@ func TestFoldsBalanced(t *testing.T) {
 	}
 }
 
+func TestFoldsClampsK(t *testing.T) {
+	ds := buildTiny(t)
+	// k > len(Designs) used to return empty folds that flow into Split as
+	// an empty holdout; now k is clamped to the design count and every
+	// returned fold is non-empty.
+	for _, k := range []int{len(ds.Designs) + 1, 100} {
+		folds := ds.Folds(k, 7)
+		if len(folds) != len(ds.Designs) {
+			t.Fatalf("Folds(%d): got %d folds, want %d", k, len(folds), len(ds.Designs))
+		}
+		for i, f := range folds {
+			if len(f) == 0 {
+				t.Fatalf("Folds(%d): fold %d is empty", k, i)
+			}
+		}
+	}
+	// k == 1: everything in one fold.
+	one := ds.Folds(1, 7)
+	if len(one) != 1 || len(one[0]) != len(ds.Designs) {
+		t.Fatalf("Folds(1): got %d folds with %d designs", len(one), len(one[0]))
+	}
+	// k == 0 and negative k clamp up to 1 instead of panicking.
+	for _, k := range []int{0, -3} {
+		folds := ds.Folds(k, 7)
+		if len(folds) != 1 || len(folds[0]) != len(ds.Designs) {
+			t.Fatalf("Folds(%d): got %v", k, folds)
+		}
+	}
+	// Empty dataset yields no folds.
+	empty := &Dataset{}
+	if got := empty.Folds(4, 7); got != nil {
+		t.Fatalf("empty dataset Folds = %v, want nil", got)
+	}
+}
+
 func TestSplit(t *testing.T) {
 	ds := buildTiny(t)
 	folds := ds.Folds(4, 7)

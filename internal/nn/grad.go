@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"fmt"
+
+	"insightalign/internal/tensor"
+)
+
+// Gradient accumulation helpers for the data-parallel training engine:
+// workers accumulate gradients on private parameter shadows, snapshot them
+// into GradBuffers, and a single reducer adds the buffers into the master
+// parameters in a fixed order so the reduced gradient is bit-identical at
+// any worker count.
+
+// ZeroGrads clears the gradient buffer of every parameter.
+func ZeroGrads(ps []*tensor.Tensor) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// ScaleGrads multiplies every parameter gradient by s (e.g. 1/batchSize to
+// turn a summed minibatch gradient into a mean).
+func ScaleGrads(ps []*tensor.Tensor, s float64) {
+	for _, p := range ps {
+		for i := range p.Grad {
+			p.Grad[i] *= s
+		}
+	}
+}
+
+// GradBuffer is a detached copy of the gradients of one parameter list —
+// one summand of the deterministic reduction. Buffers are reused across
+// minibatches to avoid per-step allocation.
+type GradBuffer struct {
+	bufs [][]float64
+}
+
+// NewGradBuffer allocates a zeroed buffer shaped like ps.
+func NewGradBuffer(ps []*tensor.Tensor) *GradBuffer {
+	g := &GradBuffer{bufs: make([][]float64, len(ps))}
+	for i, p := range ps {
+		g.bufs[i] = make([]float64, p.Numel())
+	}
+	return g
+}
+
+// CaptureFrom copies the current gradients of ps into the buffer,
+// overwriting previous contents. A parameter whose gradient was never
+// allocated captures as zero.
+func (g *GradBuffer) CaptureFrom(ps []*tensor.Tensor) {
+	if len(ps) != len(g.bufs) {
+		panic(fmt.Sprintf("nn: GradBuffer.CaptureFrom %d params, want %d", len(ps), len(g.bufs)))
+	}
+	for i, p := range ps {
+		if p.Grad == nil {
+			for j := range g.bufs[i] {
+				g.bufs[i][j] = 0
+			}
+			continue
+		}
+		copy(g.bufs[i], p.Grad)
+	}
+}
+
+// AddInto accumulates the buffer into the gradients of ps. The caller
+// controls reduction order by the sequence of AddInto calls.
+func (g *GradBuffer) AddInto(ps []*tensor.Tensor) {
+	if len(ps) != len(g.bufs) {
+		panic(fmt.Sprintf("nn: GradBuffer.AddInto %d params, want %d", len(ps), len(g.bufs)))
+	}
+	for i, p := range ps {
+		grad := p.Grad
+		for j, v := range g.bufs[i] {
+			grad[j] += v
+		}
+	}
+}

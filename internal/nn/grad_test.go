@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"testing"
+
+	"insightalign/internal/tensor"
+)
+
+func gradParams() []*tensor.Tensor {
+	a := tensor.Param(3)
+	copy(a.Data, []float64{1, 2, 3})
+	b := tensor.Param(2)
+	copy(b.Data, []float64{4, 5})
+	return []*tensor.Tensor{a, b}
+}
+
+func TestZeroAndScaleGrads(t *testing.T) {
+	ps := gradParams()
+	ps[0].Grad = []float64{1, -2, 3}
+	ps[1].Grad = []float64{0.5, 4}
+	ScaleGrads(ps, 0.5)
+	if ps[0].Grad[1] != -1 || ps[1].Grad[1] != 2 {
+		t.Fatalf("ScaleGrads: got %v %v", ps[0].Grad, ps[1].Grad)
+	}
+	ZeroGrads(ps)
+	for i, p := range ps {
+		for j, g := range p.Grad {
+			if g != 0 {
+				t.Fatalf("param %d grad[%d] = %v after ZeroGrads", i, j, g)
+			}
+		}
+	}
+}
+
+func TestGradBufferCaptureAddRoundTrip(t *testing.T) {
+	ps := gradParams()
+	ps[0].Grad = []float64{1, 2, 3}
+	ps[1].Grad = []float64{-1, 10}
+	g := NewGradBuffer(ps)
+	g.CaptureFrom(ps)
+
+	// Capture is a detached copy: mutating the live grads afterwards must
+	// not change what AddInto contributes.
+	ps[0].Grad[0] = 99
+	ZeroGrads(ps)
+	g.AddInto(ps)
+	g.AddInto(ps)
+	want0 := []float64{2, 4, 6}
+	for i, w := range want0 {
+		if ps[0].Grad[i] != w {
+			t.Fatalf("after two AddInto: grad %v, want %v", ps[0].Grad, want0)
+		}
+	}
+	if ps[1].Grad[1] != 20 {
+		t.Fatalf("param 1 grad = %v, want [−2 20]", ps[1].Grad)
+	}
+}
+
+func TestGradBufferCapturesNilGradAsZero(t *testing.T) {
+	ps := gradParams()
+	g := NewGradBuffer(ps)
+	ps[0].Grad = []float64{7, 7, 7}
+	g.CaptureFrom(ps)
+	// Second capture with a never-backwarded param must overwrite with 0.
+	ps[0].Grad = nil
+	ps[1].Grad = nil
+	g.CaptureFrom(ps)
+	target := gradParams()
+	ZeroGrads(target)
+	target[0].Grad[2] = 1
+	g.AddInto(target)
+	if target[0].Grad[0] != 0 || target[0].Grad[2] != 1 {
+		t.Fatalf("nil-grad capture contributed non-zero: %v", target[0].Grad)
+	}
+}
+
+func TestGradBufferShapeMismatchPanics(t *testing.T) {
+	ps := gradParams()
+	g := NewGradBuffer(ps)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CaptureFrom with mismatched param list did not panic")
+		}
+	}()
+	g.CaptureFrom(ps[:1])
+}

@@ -45,6 +45,14 @@ type Options struct {
 	RefreshInsights bool
 	// Seed drives exploration and flow noise.
 	Seed int64
+	// BatchPairs, if positive, batches each iteration's MDPO pairs into
+	// minibatch Adam steps computed by the core data-parallel TrainEngine;
+	// 0 keeps per-pair updates. The PPO term is at most K losses per
+	// iteration and stays serial either way.
+	BatchPairs int
+	// Workers sizes the worker pool used when BatchPairs > 0 (0 = NumCPU).
+	// Updates are bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper's setup (K = 5) with practical
@@ -121,6 +129,7 @@ type Tuner struct {
 
 	rng     *rand.Rand
 	adam    *nn.Adam
+	engine  *core.TrainEngine // lazily built when BatchPairs > 0
 	history []Evaluation
 	records []IterationRecord
 	seen    map[recipe.Set]bool
@@ -275,18 +284,21 @@ func (t *Tuner) Run(n int) ([]IterationRecord, error) {
 	return t.records, nil
 }
 
-// update applies the MDPO + PPO parameter updates for this iteration's
-// evaluations and returns the mean loss.
-func (t *Tuner) update(newEvals []Evaluation) float64 {
-	iv := t.insight.Slice()
-	totalLoss, updates := 0.0, 0
+// mdpoPair is one selected (winner, loser) comparison for an iteration's
+// MDPO update.
+type mdpoPair struct {
+	winBits, losBits []int
+	gap              float64
+}
 
-	// --- Margin-based DPO over (new × archive) pairs ---
-	pairs := 0
+// selectPairs enumerates this iteration's (new × archive) MDPO pairs with
+// the same ordering and caps as the historical per-pair loop.
+func (t *Tuner) selectPairs(newEvals []Evaluation) []mdpoPair {
+	var sel []mdpoPair
 	for _, a := range newEvals {
 		for _, b := range t.history {
-			if pairs >= t.opt.MDPOPairsPerIter {
-				break
+			if len(sel) >= t.opt.MDPOPairsPerIter {
+				return sel
 			}
 			if a.Set == b.Set {
 				continue
@@ -299,10 +311,61 @@ func (t *Tuner) update(newEvals []Evaluation) float64 {
 			if gap < 0.05 {
 				continue
 			}
+			sel = append(sel, mdpoPair{winBits: w.Set.Bits(), losBits: l.Set.Bits(), gap: gap})
+		}
+	}
+	return sel
+}
+
+// mdpoLoss is Eq. 2 for one selected pair against the given model (the
+// tuner's model, or a worker replica under batched updates).
+func (t *Tuner) mdpoLoss(m *core.Model, iv []float64, p mdpoPair) *tensor.Tensor {
+	lw := m.LogProb(iv, p.winBits)
+	ll := m.LogProb(iv, p.losBits)
+	return tensor.Scalar(t.opt.Lambda * p.gap).Sub(lw.Sub(ll)).Hinge()
+}
+
+// update applies the MDPO + PPO parameter updates for this iteration's
+// evaluations and returns the mean loss.
+func (t *Tuner) update(newEvals []Evaluation) float64 {
+	iv := t.insight.Slice()
+	totalLoss, updates := 0.0, 0
+
+	// --- Margin-based DPO over (new × archive) pairs ---
+	sel := t.selectPairs(newEvals)
+	if t.opt.BatchPairs > 0 {
+		if t.engine == nil {
+			t.engine = core.NewTrainEngine(t.model, t.opt.Workers)
+		}
+		losses := make([]core.LossFunc, 0, t.opt.BatchPairs)
+		for lo := 0; lo < len(sel); lo += t.opt.BatchPairs {
+			hi := lo + t.opt.BatchPairs
+			if hi > len(sel) {
+				hi = len(sel)
+			}
+			losses = losses[:0]
+			for _, p := range sel[lo:hi] {
+				p := p
+				losses = append(losses, func(m *core.Model) *tensor.Tensor {
+					return t.mdpoLoss(m, iv, p)
+				})
+			}
+			step := false
+			for _, v := range t.engine.Accumulate(losses, true) {
+				totalLoss += v
+				updates++
+				if v != 0 {
+					step = true
+				}
+			}
+			if step {
+				t.adam.Step()
+			}
+		}
+	} else {
+		for _, p := range sel {
 			t.adam.ZeroGrad()
-			lw := t.model.LogProb(iv, w.Set.Bits())
-			ll := t.model.LogProb(iv, l.Set.Bits())
-			loss := tensor.Scalar(t.opt.Lambda * gap).Sub(lw.Sub(ll)).Hinge()
+			loss := t.mdpoLoss(t.model, iv, p)
 			v := loss.Item()
 			totalLoss += v
 			updates++
@@ -310,7 +373,6 @@ func (t *Tuner) update(newEvals []Evaluation) float64 {
 				loss.Backward()
 				t.adam.Step()
 			}
-			pairs++
 		}
 	}
 

@@ -336,3 +336,38 @@ func TestInsightRefreshOffKeepsConditioning(t *testing.T) {
 		t.Fatal("insight must stay fixed with refresh disabled")
 	}
 }
+
+// TestBatchedUpdateWorkerEquivalence extends the training engine's
+// determinism guard to the tuner: with BatchPairs set, two tuners on
+// identical fixtures must land on bit-identical parameters whether the
+// MDPO minibatches are computed by 1 worker or 8.
+func TestBatchedUpdateWorkerEquivalence(t *testing.T) {
+	run := func(workers int) []float64 {
+		model, runner, iv, st := fixture(t, 85)
+		opt := fastOptions()
+		opt.BatchPairs = 8
+		opt.Workers = workers
+		tuner, err := NewTuner(model, runner, iv, st, qor.Default(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tuner.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, p := range model.Params() {
+			flat = append(flat, p.Data...)
+		}
+		return flat
+	}
+	p1 := run(1)
+	p8 := run(8)
+	if len(p1) != len(p8) || len(p1) == 0 {
+		t.Fatalf("param count mismatch: %d vs %d", len(p1), len(p8))
+	}
+	for i := range p1 {
+		if p1[i] != p8[i] {
+			t.Fatalf("param[%d] differs: Workers=1 %v, Workers=8 %v", i, p1[i], p8[i])
+		}
+	}
+}

@@ -139,6 +139,17 @@ func (b *Batcher) Close() {
 // runs.
 func (b *Batcher) collect() {
 	defer b.wg.Done()
+	// One window timer for the life of the collector, re-armed per batch.
+	// It starts disarmed: Reset requires a stopped, drained timer, so after
+	// every gather that did not consume the fire we Stop and non-blockingly
+	// drain. The drain must not block — depending on the Go runtime's timer
+	// semantics a false Stop may leave the channel empty, and a blocking
+	// receive would deadlock the collector.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		var first *batchRequest
 		select {
@@ -148,19 +159,28 @@ func (b *Batcher) collect() {
 			return
 		}
 		batch := append(make([]*batchRequest, 0, b.maxBatch), first)
-		timer := time.NewTimer(b.window)
-	gather:
-		for len(batch) < b.maxBatch {
-			select {
-			case r := <-b.queue:
-				batch = append(batch, r)
-			case <-timer.C:
-				break gather
-			case <-b.stop:
-				break gather
+		if len(batch) < b.maxBatch {
+			timer.Reset(b.window)
+			fired := false
+		gather:
+			for len(batch) < b.maxBatch {
+				select {
+				case r := <-b.queue:
+					batch = append(batch, r)
+				case <-timer.C:
+					fired = true
+					break gather
+				case <-b.stop:
+					break gather
+				}
+			}
+			if !fired && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
 			}
 		}
-		timer.Stop()
 		b.execSem <- struct{}{}
 		b.wg.Add(1)
 		go b.run(batch)

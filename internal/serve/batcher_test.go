@@ -129,6 +129,72 @@ func TestBatcherNoModel(t *testing.T) {
 	}
 }
 
+// Expired requests must be dropped before the batch-size histogram is
+// observed: a coalesced batch of three where two deadlines already passed
+// records batch size 1 — the decoder call size — not 3, and an entirely
+// expired batch records nothing.
+func TestBatcherExpiredRequestsNotInHistogram(t *testing.T) {
+	reg, _ := loadedRegistry(t)
+	met := NewMetrics(nil, nil)
+	b := &Batcher{reg: reg, met: met, execSem: make(chan struct{}, 1), stop: make(chan struct{})}
+	expired := func() *batchRequest {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return &batchRequest{ctx: ctx, iv: testInsight(9), k: 1, done: make(chan batchResult, 1)}
+	}
+	live := &batchRequest{ctx: context.Background(), iv: testInsight(0), k: 1, done: make(chan batchResult, 1)}
+
+	b.execSem <- struct{}{}
+	b.wg.Add(1)
+	b.run([]*batchRequest{expired(), live, expired()})
+	res := <-live.done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.batchSize != 1 {
+		t.Fatalf("live request saw batchSize %d, want 1", res.batchSize)
+	}
+	if got := met.BatchMax(); got != 1 {
+		t.Fatalf("histogram max %d, want 1 (expired requests must not be counted)", got)
+	}
+
+	b.execSem <- struct{}{}
+	b.wg.Add(1)
+	b.run([]*batchRequest{expired(), expired()})
+	if got := met.BatchMax(); got != 1 {
+		t.Fatalf("fully expired batch observed in histogram: max %d", got)
+	}
+}
+
+// Many sequential batches through one collector exercise every state of
+// the reused window timer — fired (window elapsed), stopped before firing
+// (batch filled), and the Stop+drain re-arm in between. Run under -race in
+// CI; a mis-drained timer would stall the collector or fire into a later
+// batch's gather.
+func TestBatcherTimerReuseAcrossBatches(t *testing.T) {
+	reg, _ := loadedRegistry(t)
+	b := NewBatcher(reg, nil, 64, 2, 2, 2*time.Millisecond)
+	defer b.Close()
+	for round := 0; round < 12; round++ {
+		n := 1 + round%3 // under-full, exactly-full, and overflowing windows
+		results := make([]batchResult, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = b.Submit(context.Background(), testInsight(i), 1)
+			}(i)
+		}
+		wg.Wait()
+		for i, res := range results {
+			if res.err != nil {
+				t.Fatalf("round %d request %d: %v", round, i, res.err)
+			}
+		}
+	}
+}
+
 func TestBatcherShutdownRejects(t *testing.T) {
 	reg, _ := loadedRegistry(t)
 	b := NewBatcher(reg, nil, 4, 4, 1, time.Millisecond)
