@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-inference bench-train serve loadtest
+.PHONY: check vet build test race bench bench-inference bench-train serve loadtest profile
 
 check: vet build race
 
@@ -55,3 +55,19 @@ LOADTEST_REQUESTS ?= 200
 loadtest:
 	$(GO) run ./cmd/insightalign-serve loadgen -url $(LOADTEST_URL) \
 		-clients $(LOADTEST_CLIENTS) -requests $(LOADTEST_REQUESTS)
+
+# Capture a CPU profile of the server under load: boot a fresh-model
+# server on PROFILE_ADDR, drive it with the load generator while pulling
+# /debug/pprof/profile for PROFILE_SECONDS, then shut the server down.
+# Inspect with: go tool pprof cpu.pprof
+PROFILE_ADDR ?= 127.0.0.1:8080
+PROFILE_SECONDS ?= 10
+profile:
+	@$(GO) build -o /tmp/insightalign-serve ./cmd/insightalign-serve
+	@/tmp/insightalign-serve serve -addr $(PROFILE_ADDR) & SRV=$$!; \
+	sleep 1; \
+	( $(GO) run ./cmd/insightalign-serve loadgen -url http://$(PROFILE_ADDR) \
+		-clients $(LOADTEST_CLIENTS) -requests 100000 -timeout 60s >/dev/null & echo $$! > /tmp/ia-loadgen.pid ); \
+	curl -s -o cpu.pprof "http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=$(PROFILE_SECONDS)"; \
+	kill $$(cat /tmp/ia-loadgen.pid) 2>/dev/null; kill $$SRV 2>/dev/null; rm -f /tmp/ia-loadgen.pid; \
+	echo "wrote cpu.pprof — inspect with: go tool pprof cpu.pprof"

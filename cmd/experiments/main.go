@@ -19,6 +19,7 @@ import (
 
 	"insightalign/internal/dataset"
 	"insightalign/internal/experiments"
+	"insightalign/internal/obs"
 )
 
 func main() {
@@ -33,14 +34,25 @@ func main() {
 		budget   = flag.Int("budget", 30, "baseline evaluation budget")
 		batch    = flag.Int("train-batch", 0, "alignment minibatch size (0 = per-pair updates)")
 		workers  = flag.Int("workers", 0, "data-parallel training workers when -train-batch > 0 (0 = NumCPU)")
+		journal  = flag.String("journal", "", "write a JSONL run journal (train epochs + online iterations) to this path")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/traces and pprof on this sidecar address")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table4|fig5|fig6|fig7|figs|ablation|baselines|transfer|intentions|all>")
 		os.Exit(2)
 	}
+	dbg, err := obs.StartDebugServer(*debug, nil, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if dbg != nil {
+		fmt.Printf("debug endpoints on http://%s/metrics (pprof at /debug/pprof/)\n", dbg.Addr())
+		defer dbg.Close()
+	}
 	what := flag.Arg(0)
-	if err := run(what, *dataPath, *scale, *points, *seed, *outDir, *quick, *iters, *budget, *batch, *workers); err != nil {
+	if err := run(what, *dataPath, *scale, *points, *seed, *outDir, *quick, *iters, *budget, *batch, *workers, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -59,7 +71,7 @@ func emitFig5SVGs(emit func(string, string) error, series []experiments.Fig5Seri
 	return nil
 }
 
-func run(what, dataPath string, scale float64, points int, seed int64, outDir string, quick bool, iters, budget, batch, workers int) error {
+func run(what, dataPath string, scale float64, points int, seed int64, outDir string, quick bool, iters, budget, batch, workers int, journalPath string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -103,6 +115,15 @@ func run(what, dataPath string, scale float64, points int, seed int64, outDir st
 	cfg.OnlineIterations = iters
 	cfg.Train.BatchSize = batch
 	cfg.Train.Workers = workers
+	if journalPath != "" {
+		j, err := obs.NewJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		cfg.Train.Journal = j
+		cfg.OnlineOptions.Journal = j
+		fmt.Printf("journaling run to %s\n", journalPath)
+	}
 	env, err := experiments.NewEnv(ds, cfg)
 	if err != nil {
 		return err

@@ -1,8 +1,11 @@
 // Command insightalign-serve runs the recommendation serving subsystem: a
 // batched HTTP inference server over a trained InsightAlign model with a
-// hot-swappable model registry, Prometheus metrics, and graceful
-// shutdown. It also embeds a load-generator mode for benchmarking a
-// running server.
+// hot-swappable model registry and graceful shutdown. The full
+// observability surface is mounted on the serving listener itself:
+// Prometheus metrics at /metrics, span traces at /debug/traces (every
+// /v1/recommend response carries a trace_id resolvable there), and pprof
+// at /debug/pprof/. It also embeds a load-generator mode for benchmarking
+// a running server.
 //
 // Usage:
 //

@@ -28,9 +28,23 @@ import (
 	"insightalign/internal/experiments"
 	"insightalign/internal/flow"
 	"insightalign/internal/insight"
+	"insightalign/internal/obs"
 	"insightalign/internal/recipe"
 	"insightalign/internal/sta"
 )
+
+// startDebugSidecar binds the opt-in -debug-addr observability listener
+// (/metrics, /debug/traces, /debug/pprof). Empty addr is a no-op.
+func startDebugSidecar(addr string) (*obs.DebugServer, error) {
+	dbg, err := obs.StartDebugServer(addr, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if dbg != nil {
+		fmt.Printf("debug endpoints on http://%s/metrics (pprof at /debug/pprof/)\n", dbg.Addr())
+	}
+	return dbg, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -131,8 +145,15 @@ func cmdTrain(args []string) error {
 	holdout := fs.String("holdout", "", "comma-separated designs to exclude from training")
 	batch := fs.Int("batch", 0, "minibatch size (0 = per-pair updates, Algorithm 1)")
 	workers := fs.Int("workers", 0, "data-parallel training workers when -batch > 0 (0 = NumCPU)")
+	journal := fs.String("journal", "", "write a JSONL run journal (per-epoch stats) to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces and pprof on this sidecar address")
 	fs.Parse(args)
 
+	dbg, err := startDebugSidecar(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer dbg.Close()
 	ds, err := loadData(*data)
 	if err != nil {
 		return err
@@ -154,6 +175,13 @@ func cmdTrain(args []string) error {
 	topt.Seed = *seed
 	topt.BatchSize = *batch
 	topt.Workers = *workers
+	if *journal != "" {
+		j, err := obs.NewJournal(*journal)
+		if err != nil {
+			return err
+		}
+		topt.Journal = j
+	}
 	topt.Progress = func(epoch int, es core.EpochStats) {
 		fmt.Printf("epoch %d: %d pairs, loss %.4f, pair accuracy %.3f, %.0f pairs/s\n",
 			epoch, es.Pairs, es.MeanLoss, es.PairAccuracy, es.PairsPerSec)
@@ -237,10 +265,17 @@ func cmdFinetune(args []string) error {
 	iters := fs.Int("iters", 10, "online iterations")
 	batch := fs.Int("batch", 0, "MDPO minibatch size (0 = per-pair updates)")
 	workers := fs.Int("workers", 0, "data-parallel update workers when -batch > 0 (0 = NumCPU)")
+	journal := fs.String("journal", "", "write a JSONL run journal (per-iteration trajectory) to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces and pprof on this sidecar address")
 	fs.Parse(args)
 	if *design == "" {
 		return fmt.Errorf("-design is required")
 	}
+	dbg, err := startDebugSidecar(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer dbg.Close()
 	ds, err := loadData(*data)
 	if err != nil {
 		return err
@@ -262,6 +297,13 @@ func cmdFinetune(args []string) error {
 	tunerOpt := insightalign.DefaultTunerOptions()
 	tunerOpt.BatchPairs = *batch
 	tunerOpt.Workers = *workers
+	if *journal != "" {
+		j, err := obs.NewJournal(*journal)
+		if err != nil {
+			return err
+		}
+		tunerOpt.Journal = j
+	}
 	tuner, err := insightalign.NewTuner(model, runner, iv, st, ds.Intention, tunerOpt)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"insightalign/internal/nn"
 	"insightalign/internal/recipe"
@@ -112,6 +113,12 @@ func (d *Decoder) BeamSearch(k int) []Candidate {
 	if k < 1 {
 		k = 1
 	}
+	coreMetrics()
+	sessionStart := time.Now()
+	defer func() {
+		beamSessionSecs.Observe(time.Since(sessionStart).Seconds())
+		beamSessions.Inc()
+	}()
 	type beam struct {
 		seq   []int
 		score float64

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"insightalign/internal/nn"
+	"insightalign/internal/obs"
 	"insightalign/internal/tensor"
 )
 
@@ -89,7 +92,10 @@ func (m *Model) shadowReplica() *Model {
 // With skipZero set, terms whose forward value is exactly zero skip the
 // backward pass — valid for hinge losses, whose subgradient at zero is
 // zero, and a large win once most preference pairs satisfy their margin.
-func (e *TrainEngine) Accumulate(losses []LossFunc, skipZero bool) []float64 {
+// When ctx carries an obs trace (a training run's minibatch span), each
+// worker chunk records a child span, so a train-epoch trace descends
+// epoch -> minibatch -> worker chunk.
+func (e *TrainEngine) Accumulate(ctx context.Context, losses []LossFunc, skipZero bool) []float64 {
 	vals := make([]float64, len(losses))
 	if len(losses) == 0 {
 		nn.ZeroGrads(e.params)
@@ -110,6 +116,9 @@ func (e *TrainEngine) Accumulate(losses []LossFunc, skipZero bool) []float64 {
 	}
 	close(next)
 
+	// Only span-instrument chunks when the caller's context is already
+	// traced: rooting a fresh trace per chunk would flood the trace ring.
+	traced := obs.TraceIDFrom(ctx) != ""
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -117,6 +126,12 @@ func (e *TrainEngine) Accumulate(losses []LossFunc, skipZero bool) []float64 {
 			defer wg.Done()
 			rep, rp := e.replicas[w], e.repParams[w]
 			for ci := range next {
+				var span *obs.Span
+				if traced {
+					_, span = obs.StartSpan(ctx, "worker_chunk")
+					span.SetAttr("chunk", strconv.Itoa(ci))
+					span.SetAttr("worker", strconv.Itoa(w))
+				}
 				nn.ZeroGrads(rp)
 				lo := ci * trainChunkSize
 				hi := lo + trainChunkSize
@@ -133,6 +148,9 @@ func (e *TrainEngine) Accumulate(losses []LossFunc, skipZero bool) []float64 {
 					loss.Backward()
 				}
 				e.chunks[ci].CaptureFrom(rp)
+				if span != nil {
+					span.End()
+				}
 			}
 		}(w)
 	}

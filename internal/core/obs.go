@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync"
+
+	"insightalign/internal/obs"
+)
+
+// Core metrics, bound lazily into the process-wide obs registry so the
+// decoder and trainer show up in the same /metrics scrape as the serving
+// edge. Binding is deferred to first use: importing core (e.g. from a unit
+// test of another package) must not populate the registry.
+var (
+	coreMetricsOnce sync.Once
+	beamSessionSecs *obs.Histogram // insightalign_beam_session_seconds
+	beamSessions    *obs.Counter   // insightalign_beam_sessions_total
+	trainPairsTotal *obs.Counter   // insightalign_train_pairs_total
+	trainEpochsStat *obs.Counter   // insightalign_train_epochs_total
+	trainEpochLoss  *obs.Gauge     // insightalign_train_epoch_loss
+	trainPairAcc    *obs.Gauge     // insightalign_train_pair_accuracy
+	trainPairsRate  *obs.Gauge     // insightalign_train_pairs_per_second
+)
+
+// beamSessionBounds cover the millisecond-to-seconds range one KV-cached
+// 40-step decode session spans across model sizes.
+var beamSessionBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+func coreMetrics() {
+	coreMetricsOnce.Do(func() {
+		reg := obs.Default()
+		beamSessionSecs = reg.Histogram("insightalign_beam_session_seconds",
+			"Wall-clock duration of one beam-search decoder session.", beamSessionBounds)
+		beamSessions = reg.Counter("insightalign_beam_sessions_total",
+			"Completed beam-search decoder sessions.")
+		trainPairsTotal = reg.Counter("insightalign_train_pairs_total",
+			"Preference pairs consumed by alignment training.")
+		trainEpochsStat = reg.Counter("insightalign_train_epochs_total",
+			"Completed alignment training epochs.")
+		trainEpochLoss = reg.Gauge("insightalign_train_epoch_loss",
+			"Mean pair loss of the most recent alignment epoch.")
+		trainPairAcc = reg.Gauge("insightalign_train_pair_accuracy",
+			"Training pair accuracy of the most recent alignment epoch.")
+		trainPairsRate = reg.Gauge("insightalign_train_pairs_per_second",
+			"Update-loop throughput of the most recent alignment epoch.")
+	})
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"insightalign/internal/dataset"
 	"insightalign/internal/nn"
+	"insightalign/internal/obs"
 	"insightalign/internal/tensor"
 )
 
@@ -72,6 +74,8 @@ func (m *Model) SupervisedTrain(points []dataset.Point, opt SupervisedOptions) (
 	if opt.BatchSize > 0 {
 		engine = NewTrainEngine(m, opt.Workers)
 	}
+	runCtx, runSpan := obs.StartSpan(context.Background(), "supervised_train")
+	defer runSpan.End()
 	lastNLL := 0.0
 	for e := 0; e < opt.Epochs; e++ {
 		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
@@ -91,7 +95,7 @@ func (m *Model) SupervisedTrain(points []dataset.Point, opt SupervisedOptions) (
 					})
 				}
 				// The NLL is never exactly zero, so no skip-zero shortcut.
-				for _, v := range engine.Accumulate(losses, false) {
+				for _, v := range engine.Accumulate(runCtx, losses, false) {
 					total += v
 				}
 				adam.Step()

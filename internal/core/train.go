@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"insightalign/internal/dataset"
 	"insightalign/internal/nn"
+	"insightalign/internal/obs"
 	"insightalign/internal/tensor"
 )
 
@@ -64,6 +67,9 @@ type TrainOptions struct {
 	// (0 = NumCPU). The trained parameters are bit-identical at any worker
 	// count; only wall-clock changes.
 	Workers int
+	// Journal, if non-nil, receives one "train_epoch" record per epoch so
+	// the run's loss/accuracy trajectory can be reconstructed offline.
+	Journal *obs.Journal
 }
 
 // DefaultTrainOptions returns the paper's hyperparameters with practical
@@ -104,6 +110,32 @@ type TrainStats struct {
 	Epochs     []EpochStats
 	FinalLoss  float64
 	TotalPairs int
+}
+
+// EpochJournalEntry is the "data" payload of a "train_epoch" journal
+// record — EpochStats in stable JSON field names.
+type EpochJournalEntry struct {
+	Epoch        int     `json:"epoch"`
+	Pairs        int     `json:"pairs"`
+	MeanLoss     float64 `json:"mean_loss"`
+	ZeroLossFrac float64 `json:"zero_loss_frac"`
+	PairAccuracy float64 `json:"pair_accuracy"`
+	ValAccuracy  float64 `json:"val_accuracy"`
+	DurationSec  float64 `json:"duration_sec"`
+	PairsPerSec  float64 `json:"pairs_per_sec"`
+}
+
+func epochJournal(epoch int, es EpochStats) EpochJournalEntry {
+	return EpochJournalEntry{
+		Epoch:        epoch,
+		Pairs:        es.Pairs,
+		MeanLoss:     es.MeanLoss,
+		ZeroLossFrac: es.ZeroLossFrac,
+		PairAccuracy: es.PairAccuracy,
+		ValAccuracy:  es.ValAccuracy,
+		DurationSec:  es.Duration.Seconds(),
+		PairsPerSec:  es.PairsPerSec,
+	}
 }
 
 // pair is one oriented preference comparison.
@@ -211,7 +243,7 @@ func (m *Model) runEpochSerial(adam *nn.Adam, pairs []pair, opt TrainOptions, es
 // minibatch see the same parameter snapshot, so per-pair loss values — and
 // every EpochStats field except Duration/PairsPerSec — are invariant across
 // worker counts.
-func (m *Model) runEpochBatched(engine *TrainEngine, adam *nn.Adam, pairs []pair, opt TrainOptions, es *EpochStats) {
+func (m *Model) runEpochBatched(ctx context.Context, engine *TrainEngine, adam *nn.Adam, pairs []pair, opt TrainOptions, es *EpochStats) {
 	// Hinge subgradient at zero is zero, so satisfied-margin pairs can skip
 	// backward; the DPO loss is strictly positive so the flag is moot there.
 	skipZero := opt.Loss != LossDPO
@@ -226,7 +258,9 @@ func (m *Model) runEpochBatched(engine *TrainEngine, adam *nn.Adam, pairs []pair
 			p := p
 			losses = append(losses, func(rep *Model) *tensor.Tensor { return rep.pairLoss(p, opt) })
 		}
-		vals := engine.Accumulate(losses, skipZero)
+		mbCtx, mbSpan := obs.StartSpan(ctx, "minibatch")
+		mbSpan.SetAttr("pairs", strconv.Itoa(hi-lo))
+		vals := engine.Accumulate(mbCtx, losses, skipZero)
 		step := false
 		for i, v := range vals {
 			es.MeanLoss += v
@@ -244,6 +278,7 @@ func (m *Model) runEpochBatched(engine *TrainEngine, adam *nn.Adam, pairs []pair
 		if step {
 			adam.Step()
 		}
+		mbSpan.End()
 	}
 }
 
@@ -274,6 +309,10 @@ func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*Train
 	if opt.BatchSize > 0 {
 		engine = NewTrainEngine(m, opt.Workers)
 	}
+	coreMetrics()
+	runCtx, runSpan := obs.StartSpan(context.Background(), "alignment_train")
+	runSpan.SetAttr("epochs", strconv.Itoa(opt.Epochs))
+	defer runSpan.End()
 
 	stats := &TrainStats{}
 	bestVal, sinceBest := -1.0, 0
@@ -295,12 +334,16 @@ func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*Train
 		}
 
 		es := EpochStats{Pairs: len(pairs)}
+		epochCtx, epochSpan := obs.StartSpan(runCtx, "train_epoch")
+		epochSpan.SetAttr("epoch", strconv.Itoa(epoch))
+		epochSpan.SetAttr("pairs", strconv.Itoa(len(pairs)))
 		start := time.Now()
 		if engine != nil {
-			m.runEpochBatched(engine, adam, pairs, opt, &es)
+			m.runEpochBatched(epochCtx, engine, adam, pairs, opt, &es)
 		} else {
 			m.runEpochSerial(adam, pairs, opt, &es)
 		}
+		epochSpan.End()
 		es.Duration = time.Since(start)
 		if es.Duration > 0 {
 			es.PairsPerSec = float64(es.Pairs) / es.Duration.Seconds()
@@ -324,6 +367,14 @@ func (m *Model) AlignmentTrain(points []dataset.Point, opt TrainOptions) (*Train
 		stats.Epochs = append(stats.Epochs, es)
 		stats.TotalPairs += es.Pairs
 		stats.FinalLoss = es.MeanLoss
+		trainPairsTotal.Add(float64(es.Pairs))
+		trainEpochsStat.Inc()
+		trainEpochLoss.Set(es.MeanLoss)
+		trainPairAcc.Set(es.PairAccuracy)
+		trainPairsRate.Set(es.PairsPerSec)
+		if err := opt.Journal.Record("train_epoch", epochJournal(epoch, es)); err != nil {
+			return nil, fmt.Errorf("core: journal epoch %d: %w", epoch, err)
+		}
 		if opt.Progress != nil {
 			opt.Progress(epoch, es)
 		}

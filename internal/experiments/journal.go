@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"insightalign/internal/core"
+	"insightalign/internal/obs"
+	"insightalign/internal/online"
+)
+
+// TrajectoryFromJournal reconstructs the Fig. 6 online fine-tuning
+// trajectory from a JSONL run journal written by online.Tuner (the
+// finetune -journal flag): one point per "online_iteration" record, in
+// journal order. Records of other events (train epochs, checkpoints) are
+// skipped, so the same journal file can interleave a warm-up training run
+// with the online campaign.
+func TrajectoryFromJournal(path string) ([]online.IterationJournalEntry, error) {
+	entries, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []online.IterationJournalEntry
+	for _, e := range entries {
+		if e.Event != "online_iteration" {
+			continue
+		}
+		var it online.IterationJournalEntry
+		if err := json.Unmarshal(e.Data, &it); err != nil {
+			return nil, fmt.Errorf("experiments: journal seq %d: %w", e.Seq, err)
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// EpochsFromJournal reconstructs the offline alignment loss curve from a
+// journal written by core.AlignmentTrain (the train -journal flag).
+func EpochsFromJournal(path string) ([]core.EpochJournalEntry, error) {
+	entries, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.EpochJournalEntry
+	for _, e := range entries {
+		if e.Event != "train_epoch" {
+			continue
+		}
+		var ep core.EpochJournalEntry
+		if err := json.Unmarshal(e.Data, &ep); err != nil {
+			return nil, fmt.Errorf("experiments: journal seq %d: %w", e.Seq, err)
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+// FormatTrajectory renders a journal-reconstructed trajectory in the same
+// CSV layout as Fig. 6, so a crashed or remote campaign can be replotted
+// from its journal without the in-memory IterationRecords.
+func FormatTrajectory(design string, traj []online.IterationJournalEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 (journal replay): online trajectory for %s\n", design)
+	fmt.Fprintln(&b, "iter,qor_best,qor_avg_topk,mean_loss,evals")
+	for _, it := range traj {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%d\n",
+			it.Iteration, it.BestQoR, it.AvgTopK, it.MeanLoss, len(it.Sets))
+	}
+	return b.String()
+}

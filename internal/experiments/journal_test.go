@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"insightalign/internal/obs"
+)
+
+// The run journal is the durable record of an online campaign: every Fig. 6
+// series must be reconstructable from the JSONL alone. Golden check: run a
+// journaled campaign and require the replayed trajectory to match the
+// in-memory IterationRecords field for field.
+func TestJournalReconstructsOnlineTrajectory(t *testing.T) {
+	env, t4 := sharedEnv(t)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy the env so the journal doesn't leak into other tests' runs, and
+	// use a design no other test fine-tunes (RunOnline mutates fold models).
+	env2 := *env
+	env2.Cfg.OnlineOptions.Journal = j
+	res, err := env2.RunOnline(t4, "D12")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traj, err := TrajectoryFromJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != len(res.Records) {
+		t.Fatalf("journal has %d iterations, in-memory run has %d", len(traj), len(res.Records))
+	}
+	for i, it := range traj {
+		rec := res.Records[i]
+		if it.Iteration != rec.Iteration {
+			t.Fatalf("entry %d: iteration %d != %d", i, it.Iteration, rec.Iteration)
+		}
+		// encoding/json round-trips float64 exactly, so golden equality holds.
+		if it.BestQoR != rec.BestQoR || it.AvgTopK != rec.AvgTopK || it.MeanLoss != rec.MeanLoss {
+			t.Fatalf("entry %d: journal (%g, %g, %g) != records (%g, %g, %g)",
+				i, it.BestQoR, it.AvgTopK, it.MeanLoss, rec.BestQoR, rec.AvgTopK, rec.MeanLoss)
+		}
+		if len(it.Sets) != len(rec.Evaluations) || len(it.QoRs) != len(rec.Evaluations) {
+			t.Fatalf("entry %d: %d sets / %d qors for %d evaluations",
+				i, len(it.Sets), len(it.QoRs), len(rec.Evaluations))
+		}
+		for k, ev := range rec.Evaluations {
+			if it.Sets[k] != ev.Set.String() {
+				t.Fatalf("entry %d eval %d: set %q != %q", i, k, it.Sets[k], ev.Set.String())
+			}
+			if it.QoRs[k] != ev.QoR {
+				t.Fatalf("entry %d eval %d: qor %g != %g", i, k, it.QoRs[k], ev.QoR)
+			}
+		}
+	}
+
+	out := FormatTrajectory("D12", traj)
+	if !strings.Contains(out, "D12") || !strings.Contains(out, "iter,qor_best") {
+		t.Fatal("trajectory replay output malformed")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2+len(traj) {
+		t.Fatal("trajectory replay row count wrong")
+	}
+}
+
+func TestTrajectoryFromJournalMissingFile(t *testing.T) {
+	if _, err := TrajectoryFromJournal(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("expected error for missing journal")
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Debug endpoints. DebugMux bundles the observability surface one mux:
+//
+//	GET /metrics               Prometheus text exposition of reg
+//	GET /debug/traces[?id=..]  recent trace ring / one span tree
+//	GET /debug/pprof/...       net/http/pprof (profile, heap, goroutine, …)
+//
+// The serving binary mounts these on its main listener; the train /
+// finetune / experiments CLIs start an opt-in sidecar listener with
+// StartDebugServer(-debug-addr), so a long offline run can be profiled
+// and watched without a serving stack around it.
+
+// RegisterDebug mounts /metrics, /debug/traces, and /debug/pprof/* on mux.
+// A nil reg or tracer falls back to the process-wide default.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
+	if reg == nil {
+		reg = Default()
+	}
+	if tracer == nil {
+		tracer = DefaultTracer()
+	}
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracer.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugMux returns a fresh mux carrying the full debug surface.
+func DebugMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, tracer)
+	return mux
+}
+
+// DebugServer is a running sidecar debug listener.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer binds addr and serves DebugMux in the background —
+// the CLI -debug-addr sidecar. Empty addr returns (nil, nil) so callers
+// can wire the flag unconditionally.
+func StartDebugServer(addr string, reg *Registry, tracer *Tracer) (*DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugMux(reg, tracer)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The sidecar is best-effort; a failed Serve only loses debug
+			// endpoints, never the run itself.
+			_ = err
+		}
+	}()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil || d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close shuts the sidecar down, waiting briefly for in-flight scrapes.
+// Safe on a nil receiver (the empty-addr case).
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return d.srv.Shutdown(ctx)
+}

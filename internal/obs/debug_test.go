@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMuxSurface(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg_total", "x").Inc()
+	tr := NewTracer(4)
+	ts := httptest.NewServer(DebugMux(reg, tr))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "dbg_total 1") {
+		t.Fatalf("/metrics: %d %s", code, body)
+	}
+	if code, body := get("/debug/traces"); code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Fatalf("/debug/traces: %d %s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	d, err := StartDebugServer("", nil, nil)
+	if err != nil || d != nil {
+		t.Fatalf("empty addr: %v %v", d, err)
+	}
+	if err := d.Close(); err != nil { // nil receiver is safe
+		t.Fatal(err)
+	}
+	d, err = StartDebugServer("127.0.0.1:0", NewRegistry(), NewTracer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sidecar /metrics: %d", resp.StatusCode)
+	}
+}

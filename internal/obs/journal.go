@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"insightalign/internal/atomicfile"
+)
+
+// Journal is a machine-readable JSONL run record: one JSON object per
+// line, each stamped with a sequence number, wall-clock time, and an event
+// name. Training runs journal per-epoch EpochStats, the online tuner
+// journals each iteration's chosen recipe sets and QoR, and checkpoint
+// save/reload events mark where a trajectory was persisted — enough to
+// reconstruct a Fig. 6-style trajectory from the file alone.
+//
+// Durability: the active segment is kept in memory and rewritten through
+// internal/atomicfile on every Record, so a crash never leaves a torn
+// line — readers see either the previous complete segment or the new one.
+// When the active segment exceeds MaxBytes it rotates: the segment is
+// atomically written to <path>.1 (replacing any previous rotation) and the
+// active file restarts empty. ReadJournalFile reassembles <path>.1 +
+// <path> transparently.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	buf      []byte
+	seq      uint64
+	maxBytes int
+	now      func() time.Time // test hook
+}
+
+// defaultJournalMaxBytes bounds the active segment (and therefore the
+// per-Record rewrite cost) before rotation.
+const defaultJournalMaxBytes = 1 << 20
+
+// Entry is one journal line.
+type Entry struct {
+	Seq   uint64          `json:"seq"`
+	Time  time.Time       `json:"ts"`
+	Event string          `json:"event"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// NewJournal opens a journal at path, truncating any previous run's file
+// (and its rotation) so the journal describes exactly one run.
+func NewJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, maxBytes: defaultJournalMaxBytes, now: time.Now}
+	os.Remove(path + ".1")
+	if err := atomicfile.Write(path, func(io.Writer) error { return nil }); err != nil {
+		return nil, fmt.Errorf("obs: create journal: %w", err)
+	}
+	return j, nil
+}
+
+// Path returns the journal's active file path.
+func (j *Journal) Path() string { return j.path }
+
+// Record appends one event. data is marshalled as the entry's "data"
+// field; a nil data writes the event line alone. The write is crash-safe:
+// the full active segment is atomically replaced.
+func (j *Journal) Record(event string, data any) error {
+	if j == nil {
+		return nil // a nil journal is a disabled journal; callers need no guard
+	}
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return fmt.Errorf("obs: journal %s: %w", event, err)
+		}
+		raw = b
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	line, err := json.Marshal(Entry{Seq: j.seq, Time: j.now().UTC(), Event: event, Data: raw})
+	if err != nil {
+		return err
+	}
+	if len(j.buf)+len(line)+1 > j.maxBytes && len(j.buf) > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	j.buf = append(j.buf, line...)
+	j.buf = append(j.buf, '\n')
+	return atomicfile.Write(j.path, func(w io.Writer) error {
+		_, err := w.Write(j.buf)
+		return err
+	})
+}
+
+// rotateLocked moves the active segment to <path>.1 and restarts empty.
+func (j *Journal) rotateLocked() error {
+	if err := atomicfile.Write(j.path+".1", func(w io.Writer) error {
+		_, err := w.Write(j.buf)
+		return err
+	}); err != nil {
+		return fmt.Errorf("obs: rotate journal: %w", err)
+	}
+	j.buf = j.buf[:0]
+	return nil
+}
+
+// ReadJournal parses JSONL entries from r, skipping blank lines.
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReadJournalFile reads a journal written by Journal, reassembling the
+// rotated segment (<path>.1, if present) before the active one.
+func ReadJournalFile(path string) ([]Entry, error) {
+	var out []Entry
+	for _, p := range []string{path + ".1", path} {
+		f, err := os.Open(p)
+		if err != nil {
+			if os.IsNotExist(err) && p != path {
+				continue
+			}
+			return nil, err
+		}
+		es, rerr := ReadJournal(f)
+		f.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		out = append(out, es...)
+	}
+	return out, nil
+}

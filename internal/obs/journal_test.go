@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type epoch struct {
+		Epoch int     `json:"epoch"`
+		Loss  float64 `json:"loss"`
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record("train_epoch", epoch{Epoch: i, Loss: 1.0 / float64(i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Record("checkpoint_saved", map[string]string{"path": "ckpt.bin"}); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d seq %d", i, e.Seq)
+		}
+		if e.Time.IsZero() || time.Since(e.Time) > time.Minute {
+			t.Fatalf("entry %d bad timestamp %v", i, e.Time)
+		}
+	}
+	var ep epoch
+	if err := json.Unmarshal(entries[2].Data, &ep); err != nil || ep.Epoch != 2 {
+		t.Fatalf("payload: %v %+v", err, ep)
+	}
+	if entries[3].Event != "checkpoint_saved" {
+		t.Fatalf("event %q", entries[3].Event)
+	}
+}
+
+func TestJournalNilDisabled(t *testing.T) {
+	var j *Journal
+	if err := j.Record("anything", map[string]int{"x": 1}); err != nil {
+		t.Fatal("nil journal must be a no-op")
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.maxBytes = 512
+	big := strings.Repeat("x", 100)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := j.Record("ev", map[string]any{"i": i, "pad": big}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() > 1024 {
+		t.Fatalf("active segment not rotated: %v", err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("rotated segment missing: %v", err)
+	}
+	// Rotation drops at most the segments before <path>.1, keeping a
+	// contiguous, ordered tail ending at the latest entry.
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || entries[len(entries)-1].Seq != n {
+		t.Fatalf("latest entry missing (got %d entries)", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq != entries[i-1].Seq+1 {
+			t.Fatal("journal tail not contiguous")
+		}
+	}
+}
+
+func TestJournalTruncatesPreviousRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j1, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Record("old", nil)
+	j2, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Record("new", nil)
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Event != "new" {
+		t.Fatalf("entries %+v", entries)
+	}
+}

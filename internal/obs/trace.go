@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing. A trace is a tree of spans sharing one monotonically
+// assigned trace ID (rendered as 16 hex digits, e.g. "000000000000002a");
+// span IDs are monotonic within the process. StartSpan reads the parent
+// span from the context, so a trace crosses goroutine and subsystem
+// boundaries wherever the context is propagated: HTTP handler → admission
+// queue → micro-batch → decoder session, or train epoch → minibatch →
+// worker chunk. Completed traces land in a bounded ring served at
+// /debug/traces.
+
+// maxSpansPerTrace bounds one trace's span list; further spans are
+// counted, not stored, so a pathological epoch cannot hold the heap.
+const maxSpansPerTrace = 512
+
+// defaultTraceRing is how many completed traces the ring retains.
+const defaultTraceRing = 128
+
+// Tracer assigns IDs and retains completed traces.
+type Tracer struct {
+	nextTrace atomic.Uint64
+	nextSpan  atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []*TraceRecord // newest last
+	ringSz int
+}
+
+// NewTracer creates a tracer retaining up to ringSize completed traces
+// (<= 0 uses the default of 128).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = defaultTraceRing
+	}
+	return &Tracer{ringSz: ringSize}
+}
+
+var (
+	defTracerOnce sync.Once
+	defTracer     *Tracer
+)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer {
+	defTracerOnce.Do(func() { defTracer = NewTracer(defaultTraceRing) })
+	return defTracer
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	SpanID   uint64            `json:"span_id"`
+	ParentID uint64            `json:"parent_id,omitempty"` // 0 for the root
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one completed trace: the root span plus every descendant
+// that ended before the trace was finalized.
+type TraceRecord struct {
+	TraceID string       `json:"trace_id"`
+	Root    string       `json:"root"`
+	Start   time.Time    `json:"start"`
+	DurUS   int64        `json:"dur_us"`
+	Spans   []SpanRecord `json:"spans"`
+	Dropped int          `json:"dropped_spans,omitempty"`
+}
+
+// activeTrace collects spans while the trace is open.
+type activeTrace struct {
+	tracer  *Tracer
+	traceID string
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+	done    bool
+}
+
+// Span is one in-flight operation. End() must be called exactly once;
+// ending the root span finalizes the trace into the tracer's ring.
+type Span struct {
+	at     *activeTrace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	root   bool
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+type ctxKey struct{}
+
+// WithTracer returns a context whose future root spans are assigned by tr
+// instead of the default tracer.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, ctxKey{}, &Span{at: &activeTrace{tracer: tr}})
+}
+
+// StartSpan opens a span named name. If ctx already carries a span, the
+// new span joins that trace as a child; otherwise a fresh trace is rooted
+// here (on the context's tracer if WithTracer was used, else the default
+// tracer). The returned context carries the new span for further nesting.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	var at *activeTrace
+	var parentID uint64
+	root := false
+	if parent != nil && parent.at.traceID != "" {
+		at = parent.at
+		parentID = parent.id
+	} else {
+		tr := DefaultTracer()
+		if parent != nil && parent.at.tracer != nil {
+			tr = parent.at.tracer // WithTracer sentinel: tracer set, no trace yet
+		}
+		at = &activeTrace{tracer: tr, traceID: fmt.Sprintf("%016x", tr.nextTrace.Add(1))}
+		root = true
+	}
+	sp := &Span{
+		at:     at,
+		id:     at.tracer.nextSpan.Add(1),
+		parent: parentID,
+		name:   name,
+		start:  time.Now(),
+		root:   root,
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// TraceID returns the span's trace ID.
+func (s *Span) TraceID() string { return s.at.traceID }
+
+// SetAttr attaches a key=value annotation to the span.
+func (s *Span) SetAttr(k, v string) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End completes the span, recording it into its trace. Ending the root
+// span finalizes the trace into the tracer's ring; spans that end after
+// their root are discarded (the record is already published), and spans
+// beyond the per-trace cap are counted in Dropped. End is idempotent.
+func (s *Span) End() {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := SpanRecord{
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		DurUS:    time.Since(s.start).Microseconds(),
+		Attrs:    attrs,
+	}
+	at := s.at
+	at.mu.Lock()
+	if at.done {
+		at.mu.Unlock()
+		return
+	}
+	if len(at.spans) >= maxSpansPerTrace {
+		at.dropped++
+	} else {
+		at.spans = append(at.spans, rec)
+	}
+	if s.root && !at.done {
+		at.done = true
+		tr := &TraceRecord{
+			TraceID: at.traceID,
+			Root:    s.name,
+			Start:   s.start,
+			DurUS:   rec.DurUS,
+			Spans:   at.spans,
+			Dropped: at.dropped,
+		}
+		sort.Slice(tr.Spans, func(i, j int) bool { return tr.Spans[i].SpanID < tr.Spans[j].SpanID })
+		at.mu.Unlock()
+		at.tracer.push(tr)
+		return
+	}
+	at.mu.Unlock()
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "" when the context
+// is untraced.
+func TraceIDFrom(ctx context.Context) string {
+	if sp, _ := ctx.Value(ctxKey{}).(*Span); sp != nil {
+		return sp.at.traceID
+	}
+	return ""
+}
+
+func (t *Tracer) push(rec *TraceRecord) {
+	t.mu.Lock()
+	t.ring = append(t.ring, rec)
+	if over := len(t.ring) - t.ringSz; over > 0 {
+		t.ring = append(t.ring[:0], t.ring[over:]...)
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed traces, newest first (n <= 0: all).
+func (t *Tracer) Recent(n int) []*TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]*TraceRecord, 0, n)
+	for i := len(t.ring) - 1; i >= len(t.ring)-n; i-- {
+		out = append(out, t.ring[i])
+	}
+	return out
+}
+
+// Lookup returns the completed trace with the given ID, or nil.
+func (t *Tracer) Lookup(traceID string) *TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].TraceID == traceID {
+			return t.ring[i]
+		}
+	}
+	return nil
+}
+
+// traceSummary is the list form served without ?id.
+type traceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	DurUS   int64     `json:"dur_us"`
+	Spans   int       `json:"spans"`
+}
+
+// Handler serves recent traces as JSON: GET /debug/traces lists
+// summaries (newest first), GET /debug/traces?id=<trace_id> returns one
+// full span tree.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			rec := t.Lookup(id)
+			if rec == nil {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": "trace not found", "trace_id": id})
+				return
+			}
+			json.NewEncoder(w).Encode(rec)
+			return
+		}
+		recs := t.Recent(0)
+		sums := make([]traceSummary, 0, len(recs))
+		for _, rec := range recs {
+			sums = append(sums, traceSummary{
+				TraceID: rec.TraceID, Root: rec.Root, Start: rec.Start,
+				DurUS: rec.DurUS, Spans: len(rec.Spans),
+			})
+		}
+		json.NewEncoder(w).Encode(sums)
+	})
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAcrossGoroutines(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	rootCtx, root := StartSpan(ctx, "request")
+	id := root.TraceID()
+	if id == "" || len(id) != 16 {
+		t.Fatalf("trace ID %q", id)
+	}
+	if TraceIDFrom(rootCtx) != id {
+		t.Fatal("context does not carry the trace ID")
+	}
+
+	// Children on other goroutines join the same trace via the context.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			childCtx, child := StartSpan(rootCtx, "decode")
+			child.SetAttr("batch", "3")
+			_, grand := StartSpan(childCtx, "chunk")
+			grand.End()
+			child.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	rec := tr.Lookup(id)
+	if rec == nil {
+		t.Fatal("completed trace not in ring")
+	}
+	if rec.Root != "request" {
+		t.Fatalf("root %q", rec.Root)
+	}
+	names := map[string]int{}
+	rootSpans := 0
+	for _, sp := range rec.Spans {
+		names[sp.Name]++
+		if sp.ParentID == 0 {
+			rootSpans++
+		}
+	}
+	if names["request"] != 1 || names["decode"] != 3 || names["chunk"] != 3 {
+		t.Fatalf("span names %v", names)
+	}
+	if rootSpans != 1 {
+		t.Fatalf("%d root spans", rootSpans)
+	}
+	// Every chunk's parent must be a decode span in the same trace.
+	byID := map[uint64]SpanRecord{}
+	for _, sp := range rec.Spans {
+		byID[sp.SpanID] = sp
+	}
+	for _, sp := range rec.Spans {
+		if sp.Name == "chunk" && byID[sp.ParentID].Name != "decode" {
+			t.Fatalf("chunk parented to %q", byID[sp.ParentID].Name)
+		}
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	var last string
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "op")
+		last = sp.TraceID()
+		sp.End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if recent[0].TraceID != last {
+		t.Fatal("newest trace not first")
+	}
+}
+
+func TestSpanEndIdempotentAndLateChildren(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	rootCtx, root := StartSpan(ctx, "root")
+	_, late := StartSpan(rootCtx, "late")
+	root.End()
+	root.End() // idempotent
+	late.End() // after finalize: discarded, never a panic or a data race
+	rec := tr.Lookup(root.TraceID())
+	if rec == nil || rec.Dropped != 0 || len(rec.Spans) != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	c, sp := StartSpan(ctx, "req")
+	_, child := StartSpan(c, "inner")
+	child.End()
+	sp.End()
+
+	// List form.
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var sums []traceSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &sums); err != nil || len(sums) != 1 {
+		t.Fatalf("list: %v %s", err, rr.Body)
+	}
+	if sums[0].Spans != 2 || sums[0].Root != "req" {
+		t.Fatalf("summary %+v", sums[0])
+	}
+	// Lookup form.
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id="+sp.TraceID(), nil))
+	if !strings.Contains(rr.Body.String(), `"name":"inner"`) {
+		t.Fatalf("trace body %s", rr.Body)
+	}
+	// Missing trace -> 404.
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id=ffffffffffffffff", nil))
+	if rr.Code != 404 {
+		t.Fatalf("missing trace: %d", rr.Code)
+	}
+}
+
+func TestUntracedContext(t *testing.T) {
+	if TraceIDFrom(context.Background()) != "" {
+		t.Fatal("background context should be untraced")
+	}
+	// StartSpan on a bare context roots a trace on the default tracer and
+	// must not panic.
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if TraceIDFrom(ctx) == "" {
+		t.Fatal("orphan span has no trace")
+	}
+	sp.End()
+}

@@ -30,17 +30,33 @@ func (t *Tuner) SaveCheckpoint(w io.Writer) error {
 	return nil
 }
 
+// checkpointEvent is the "data" payload of checkpoint journal records.
+type checkpointEvent struct {
+	Path       string `json:"path"`
+	Iterations int    `json:"iterations"`
+}
+
 // SaveCheckpointFile persists the checkpoint crash-safely: the stream is
 // written to a temp file in path's directory, fsynced, and renamed over
 // the target, so the serving registry's checkpoint poller (and any
-// resuming campaign) never observes a truncated checkpoint.
+// resuming campaign) never observes a truncated checkpoint. The save is
+// journaled (when a journal is configured) so a trajectory replay knows
+// where the campaign was persisted.
 func (t *Tuner) SaveCheckpointFile(path string) error {
-	return atomicfile.Write(path, t.SaveCheckpoint)
+	if err := atomicfile.Write(path, t.SaveCheckpoint); err != nil {
+		return err
+	}
+	return t.opt.Journal.Record("checkpoint_saved",
+		checkpointEvent{Path: path, Iterations: len(t.records)})
 }
 
 // LoadCheckpointFile restores a checkpoint written by SaveCheckpointFile.
 func (t *Tuner) LoadCheckpointFile(path string) error {
-	return atomicfile.Read(path, t.LoadCheckpoint)
+	if err := atomicfile.Read(path, t.LoadCheckpoint); err != nil {
+		return err
+	}
+	return t.opt.Journal.Record("checkpoint_loaded",
+		checkpointEvent{Path: path, Iterations: len(t.records)})
 }
 
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint into this

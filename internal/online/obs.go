@@ -1,0 +1,35 @@
+package online
+
+import (
+	"sync"
+
+	"insightalign/internal/obs"
+)
+
+// Online-tuning metrics, bound lazily into the process-wide obs registry
+// so a finetune run's /metrics (the -debug-addr sidecar) carries the
+// closed-loop trajectory next to the decoder and training families.
+var (
+	onlineMetricsOnce sync.Once
+	onlineIters       *obs.Counter // insightalign_online_iterations_total
+	onlineFlowRuns    *obs.Counter // insightalign_online_flow_runs_total
+	onlineIterQoR     *obs.Gauge   // insightalign_online_iteration_qor
+	onlineBestQoR     *obs.Gauge   // insightalign_online_best_qor
+	onlineMeanLoss    *obs.Gauge   // insightalign_online_mean_loss
+)
+
+func onlineMetrics() {
+	onlineMetricsOnce.Do(func() {
+		reg := obs.Default()
+		onlineIters = reg.Counter("insightalign_online_iterations_total",
+			"Completed online fine-tuning iterations.")
+		onlineFlowRuns = reg.Counter("insightalign_online_flow_runs_total",
+			"Physical-design flow executions spent by the online tuner.")
+		onlineIterQoR = reg.Gauge("insightalign_online_iteration_qor",
+			"Best QoR among the most recent iteration's evaluations.")
+		onlineBestQoR = reg.Gauge("insightalign_online_best_qor",
+			"Best QoR seen across the whole online campaign.")
+		onlineMeanLoss = reg.Gauge("insightalign_online_mean_loss",
+			"Mean combined MDPO+PPO loss of the most recent iteration.")
+	})
+}

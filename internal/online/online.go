@@ -7,14 +7,17 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"insightalign/internal/core"
 	"insightalign/internal/flow"
 	"insightalign/internal/insight"
 	"insightalign/internal/nn"
+	"insightalign/internal/obs"
 	"insightalign/internal/qor"
 	"insightalign/internal/recipe"
 	"insightalign/internal/tensor"
@@ -53,6 +56,10 @@ type Options struct {
 	// Workers sizes the worker pool used when BatchPairs > 0 (0 = NumCPU).
 	// Updates are bit-identical at any worker count.
 	Workers int
+	// Journal, if non-nil, receives one "online_iteration" record per
+	// iteration (chosen sets, QoR, best-so-far) plus checkpoint events —
+	// enough to replot the Fig. 6 trajectory from the file alone.
+	Journal *obs.Journal
 }
 
 // DefaultOptions returns the paper's setup (K = 5) with practical
@@ -116,6 +123,18 @@ type IterationRecord struct {
 	AvgTopK float64
 	// MeanLoss is the mean combined update loss.
 	MeanLoss float64
+}
+
+// IterationJournalEntry is the "data" payload of an "online_iteration"
+// journal record: the iteration's chosen recipe sets (40-bit strings,
+// aligned with QoRs) and the trajectory series of Fig. 6.
+type IterationJournalEntry struct {
+	Iteration int       `json:"iteration"`
+	Sets      []string  `json:"sets"`
+	QoRs      []float64 `json:"qors"`
+	BestQoR   float64   `json:"best_qor"`
+	AvgTopK   float64   `json:"avg_top_k"`
+	MeanLoss  float64   `json:"mean_loss"`
 }
 
 // Tuner runs online fine-tuning for one specific design.
@@ -227,16 +246,26 @@ func (t *Tuner) propose() []core.Candidate {
 // Iterate runs one closed-loop iteration: propose K → run the flow → score
 // → update the policy with MDPO + PPO.
 func (t *Tuner) Iterate() (IterationRecord, error) {
+	onlineMetrics()
 	iter := len(t.records)
+	ctx, iterSpan := obs.StartSpan(context.Background(), "online_iteration")
+	iterSpan.SetAttr("iteration", strconv.Itoa(iter))
+	defer iterSpan.End()
+
+	_, propSpan := obs.StartSpan(ctx, "propose")
 	proposals := t.propose()
+	propSpan.End()
 
 	rec := IterationRecord{Iteration: iter}
 	for _, c := range proposals {
 		params := recipe.ApplySet(flow.DefaultParams(), c.Set)
+		_, flowSpan := obs.StartSpan(ctx, "flow_run")
 		m, tr, err := t.runner.Run(params, t.rng.Int63())
+		flowSpan.End()
 		if err != nil {
 			return rec, fmt.Errorf("online: flow run: %w", err)
 		}
+		onlineFlowRuns.Inc()
 		if t.opt.RefreshInsights {
 			t.acc.Add(insight.Extract(m, tr))
 		}
@@ -252,7 +281,9 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 		rec.Evaluations = append(rec.Evaluations, e)
 	}
 
-	rec.MeanLoss = t.update(rec.Evaluations)
+	updCtx, updSpan := obs.StartSpan(ctx, "policy_update")
+	rec.MeanLoss = t.update(updCtx, rec.Evaluations)
+	updSpan.End()
 	if t.opt.RefreshInsights {
 		// Condition subsequent proposals and updates on the accumulated
 		// (averaged) insight view.
@@ -271,6 +302,28 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 	rec.TNSOfBest = best.Metrics.TNSns
 	rec.AvgTopK = t.avgTopK(t.opt.K)
 	t.records = append(t.records, rec)
+
+	iterBest := math.Inf(-1)
+	entry := IterationJournalEntry{
+		Iteration: iter,
+		BestQoR:   rec.BestQoR,
+		AvgTopK:   rec.AvgTopK,
+		MeanLoss:  rec.MeanLoss,
+	}
+	for _, e := range rec.Evaluations {
+		entry.Sets = append(entry.Sets, e.Set.String())
+		entry.QoRs = append(entry.QoRs, e.QoR)
+		if e.QoR > iterBest {
+			iterBest = e.QoR
+		}
+	}
+	onlineIters.Inc()
+	onlineIterQoR.Set(iterBest)
+	onlineBestQoR.Set(rec.BestQoR)
+	onlineMeanLoss.Set(rec.MeanLoss)
+	if err := t.opt.Journal.Record("online_iteration", entry); err != nil {
+		return rec, fmt.Errorf("online: journal iteration %d: %w", iter, err)
+	}
 	return rec, nil
 }
 
@@ -326,8 +379,9 @@ func (t *Tuner) mdpoLoss(m *core.Model, iv []float64, p mdpoPair) *tensor.Tensor
 }
 
 // update applies the MDPO + PPO parameter updates for this iteration's
-// evaluations and returns the mean loss.
-func (t *Tuner) update(newEvals []Evaluation) float64 {
+// evaluations and returns the mean loss. ctx carries the iteration's
+// policy_update span for the engine's worker-chunk children.
+func (t *Tuner) update(ctx context.Context, newEvals []Evaluation) float64 {
 	iv := t.insight.Slice()
 	totalLoss, updates := 0.0, 0
 
@@ -351,7 +405,7 @@ func (t *Tuner) update(newEvals []Evaluation) float64 {
 				})
 			}
 			step := false
-			for _, v := range t.engine.Accumulate(losses, true) {
+			for _, v := range t.engine.Accumulate(ctx, losses, true) {
 				totalLoss += v
 				updates++
 				if v != 0 {

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"insightalign/internal/core"
+	"insightalign/internal/obs"
 )
 
 // Admission / batching errors, mapped to HTTP codes by the handlers.
@@ -94,6 +96,11 @@ func (b *Batcher) Depth() int { return len(b.queue) }
 // context expires, or the server drains. The returned batchResult carries
 // the producing model version and the size of the coalesced batch.
 func (b *Batcher) Submit(ctx context.Context, iv []float64, k int) batchResult {
+	// The admission span covers queue wait + decode; the executor roots its
+	// decoder_session span off this context, so one trace ID runs HTTP
+	// handler -> admission queue -> micro-batch -> decoder session.
+	ctx, span := obs.StartSpan(ctx, "admission_queue")
+	defer span.End()
 	req := &batchRequest{ctx: ctx, iv: iv, k: k, done: make(chan batchResult, 1)}
 	select {
 	case <-b.stop:
@@ -226,11 +233,21 @@ func (b *Batcher) run(batch []*batchRequest) {
 	}
 	ivs := make([][]float64, len(live))
 	ks := make([]int, len(live))
+	spans := make([]*obs.Span, len(live))
+	size := strconv.Itoa(len(live))
 	for i, r := range live {
 		ivs[i] = r.iv
 		ks[i] = r.k
+		// One decoder_session span per coalesced request, in that
+		// request's own trace, all covering the same shared decode call.
+		_, spans[i] = obs.StartSpan(r.ctx, "decoder_session")
+		spans[i].SetAttr("batch_size", size)
+		spans[i].SetAttr("model_version", snap.Version)
 	}
 	outs := snap.Model.BeamSearchBatchK(ivs, ks)
+	for _, sp := range spans {
+		sp.End()
+	}
 	if b.met != nil {
 		b.met.ObserveBatch(len(live))
 	}

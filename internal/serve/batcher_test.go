@@ -38,7 +38,7 @@ func testInsight(seed int) []float64 {
 // BeamSearch with its own beam width.
 func TestBatcherCoalescesAndMatchesDirect(t *testing.T) {
 	reg, m := loadedRegistry(t)
-	met := NewMetrics(nil, nil)
+	met := NewMetrics(nil, nil, nil)
 	b := NewBatcher(reg, met, 64, 16, 2, 50*time.Millisecond)
 	defer b.Close()
 
@@ -135,7 +135,7 @@ func TestBatcherNoModel(t *testing.T) {
 // expired batch records nothing.
 func TestBatcherExpiredRequestsNotInHistogram(t *testing.T) {
 	reg, _ := loadedRegistry(t)
-	met := NewMetrics(nil, nil)
+	met := NewMetrics(nil, nil, nil)
 	b := &Batcher{reg: reg, met: met, execSem: make(chan struct{}, 1), stop: make(chan struct{})}
 	expired := func() *batchRequest {
 		ctx, cancel := context.WithCancel(context.Background())

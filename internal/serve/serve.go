@@ -23,11 +23,13 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"insightalign/internal/core"
+	"insightalign/internal/obs"
 	"insightalign/internal/qor"
 	"insightalign/internal/recipe"
 )
@@ -60,6 +62,12 @@ type Config struct {
 	DisableBatching bool
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
+	// Metrics is the registry the server's metric families bind into;
+	// nil means the process-wide obs.Default().
+	Metrics *obs.Registry
+	// Tracer assigns and retains request traces; nil means the
+	// process-wide obs.DefaultTracer().
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns production-leaning defaults around the paper's
@@ -81,11 +89,12 @@ func DefaultConfig() Config {
 // Server is the serving subsystem: admission queue -> micro-batcher ->
 // decoder sessions, against a hot-swappable model registry.
 type Server struct {
-	cfg Config
-	reg *Registry
-	bat *Batcher
-	met *Metrics
-	log *slog.Logger
+	cfg    Config
+	reg    *Registry
+	bat    *Batcher
+	met    *Metrics
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -113,9 +122,12 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	s := &Server{cfg: cfg, reg: reg, log: cfg.Logger}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer()
+	}
+	s := &Server{cfg: cfg, reg: reg, tracer: cfg.Tracer, log: cfg.Logger}
 	s.bat = NewBatcher(reg, nil, cfg.QueueDepth, cfg.MaxBatch, cfg.MaxConcurrentBatches, cfg.BatchWindow)
-	s.met = NewMetrics(s.bat.Depth, reg.Version)
+	s.met = NewMetrics(cfg.Metrics, s.bat.Depth, reg.Version)
 	s.bat.met = s.met
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s, nil
@@ -136,7 +148,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/recommend/batch", s.handleRecommendBatch)
 	mux.HandleFunc("/v1/models/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	// /metrics, /debug/traces, and /debug/pprof/* come from the shared
+	// observability layer, so one scrape of this listener also carries the
+	// decoder and training metrics registered in the same registry.
+	obs.RegisterDebug(mux, s.met.Registry(), s.tracer)
 	return s.instrument(mux)
 }
 
@@ -234,6 +249,8 @@ type RecommendResponse struct {
 	BeamWidth    int             `json:"beam_width"`
 	BatchSize    int             `json:"batch_size"`
 	Candidates   []CandidateJSON `json:"candidates"`
+	// TraceID names this request's trace, resolvable at /debug/traces?id=.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is set per-item in batch responses instead of failing the
 	// whole batch.
 	Error string `json:"error,omitempty"`
@@ -278,23 +295,23 @@ const maxBodyBytes = 4 << 20
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req RecommendRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if msg := s.validate(&req); msg != "" {
-		s.writeError(w, http.StatusBadRequest, msg)
+		s.writeError(w, r, http.StatusBadRequest, msg)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	resp, code := s.recommend(ctx, &req)
 	if code != http.StatusOK {
-		s.writeError(w, code, resp.Error)
+		s.writeError(w, r, code, resp.Error)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -302,21 +319,21 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req BatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Requests) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty batch")
+		s.writeError(w, r, http.StatusBadRequest, "empty batch")
 		return
 	}
 	for i := range req.Requests {
 		if msg := s.validate(&req.Requests[i]); msg != "" {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %s", i, msg))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("request %d: %s", i, msg))
 			return
 		}
 	}
@@ -357,11 +374,14 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 		if snap == nil {
 			res = batchResult{err: ErrNoModel}
 		} else {
+			_, sp := obs.StartSpan(ctx, "decoder_session")
+			sp.SetAttr("batch_size", "1")
 			res = batchResult{
 				cands:     snap.Model.NewDecoder(req.Insight).BeamSearch(k),
 				version:   snap.Version,
 				batchSize: 1,
 			}
+			sp.End()
 			s.met.ObserveBatch(1)
 		}
 	} else {
@@ -375,6 +395,7 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 		BeamWidth:    k,
 		BatchSize:    res.batchSize,
 		Candidates:   make([]CandidateJSON, 0, len(res.cands)),
+		TraceID:      obs.TraceIDFrom(ctx),
 	}
 	for _, c := range res.cands {
 		resp.Candidates = append(resp.Candidates, toCandidateJSON(c))
@@ -416,13 +437,13 @@ func (s *Server) validate(req *RecommendRequest) string {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req ReloadRequest
 	if r.ContentLength != 0 {
 		if err := decodeJSON(w, r, &req); err != nil {
-			s.writeError(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
@@ -434,8 +455,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		snap, err = s.reg.Reload()
 	}
 	if err != nil {
-		s.log.Error("model reload failed", "path", req.Path, "err", err)
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.log.Error("model reload failed", "path", req.Path, "err", err,
+			"trace_id", obs.TraceIDFrom(r.Context()))
+		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.log.Info("model reloaded", "version", snap.Version, "source", snap.Source)
@@ -461,26 +483,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte(s.met.Exposition()))
-}
-
-// instrument wraps the mux with per-request metrics and structured logs.
+// instrument wraps the mux with per-request metrics, span tracing, and
+// structured logs. API routes (/v1/...) root a trace whose ID is echoed in
+// the X-Trace-Id header, the response body, and the request log; scrape
+// and debug routes stay untraced so they don't churn the trace ring.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		startAt := time.Now()
+		route := normalizeRoute(r.URL.Path)
+		traceID := ""
+		var span *obs.Span
+		if strings.HasPrefix(route, "/v1/") {
+			ctx := obs.WithTracer(r.Context(), s.tracer)
+			ctx, span = obs.StartSpan(ctx, r.Method+" "+route)
+			traceID = span.TraceID()
+			w.Header().Set("X-Trace-Id", traceID)
+			r = r.WithContext(ctx)
+		}
 		rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rw, r)
 		d := time.Since(startAt)
-		route := normalizeRoute(r.URL.Path)
 		s.met.ObserveRequest(route, rw.code, d)
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(rw.code))
+			span.End()
+		}
 		if route != "/metrics" && route != "/healthz" {
 			s.log.Info("request",
 				"route", route, "method", r.Method, "status", rw.code,
 				"duration_ms", float64(d.Microseconds())/1000, "bytes", rw.bytes,
-				"remote", r.RemoteAddr)
+				"remote", r.RemoteAddr, "trace_id", traceID)
 		}
 	})
 }
@@ -532,10 +564,22 @@ func errStatus(err error) int {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// TraceID lets a failed request be looked up at /debug/traces?id=.
+	TraceID string `json:"trace_id,omitempty"`
+	// ModelVersion is the live model at the time of the error, so a 429 or
+	// timeout during a hot-swap is attributable to a specific version.
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	traceID := obs.TraceIDFrom(r.Context())
+	version := s.reg.Version()
+	if code >= http.StatusInternalServerError || code == http.StatusTooManyRequests {
+		s.log.Warn("request rejected",
+			"route", normalizeRoute(r.URL.Path), "status", code, "err", msg,
+			"trace_id", traceID, "model_version", version)
+	}
+	writeJSON(w, code, errorResponse{Error: msg, TraceID: traceID, ModelVersion: version})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

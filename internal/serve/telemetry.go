@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"insightalign/internal/obs"
+)
+
+// Histogram bounds for the serving metrics: request latency in seconds and
+// coalesced requests per decoder call.
+var (
+	latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	batchBounds   = []float64{1, 2, 4, 8, 16, 32, 64}
+)
+
+// Metrics bridges the serving subsystem into an obs.Registry (the
+// process-wide one by default), keeping the historical insightalign_*
+// metric names: request counts and latency histograms by route, the
+// micro-batcher's coalesced batch-size histogram, admission-queue depth,
+// rejection counts by reason, and the live model version. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	reg   *obs.Registry
+	start time.Time
+
+	requests   *obs.Counter   // insightalign_requests_total{route,code}
+	latency    *obs.Histogram // insightalign_request_duration_seconds{route}
+	batch      *obs.Histogram // insightalign_batch_size
+	batchPeak  *obs.Gauge     // insightalign_batch_size_max
+	rejections *obs.Counter   // insightalign_rejections_total{reason}
+
+	mu       sync.Mutex
+	batchMax int // this server's high-watermark; the gauge is registry-wide
+}
+
+// NewMetrics binds the serving metric families in reg (nil: the
+// process-wide obs.Default()). queueDepth and modelVersion are sampled at
+// scrape time; either may be nil.
+func NewMetrics(reg *obs.Registry, queueDepth func() int, modelVersion func() string) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &Metrics{
+		reg:   reg,
+		start: time.Now(),
+		requests: reg.Counter("insightalign_requests_total",
+			"Completed HTTP requests by route and status code.", "route", "code"),
+		latency: reg.Histogram("insightalign_request_duration_seconds",
+			"HTTP request latency by route.", latencyBounds, "route"),
+		batch: reg.Histogram("insightalign_batch_size",
+			"Requests coalesced per decoder call by the micro-batcher.", batchBounds),
+		batchPeak: reg.Gauge("insightalign_batch_size_max",
+			"Largest coalesced batch observed."),
+		rejections: reg.Counter("insightalign_rejections_total",
+			"Rejected requests by reason.", "reason"),
+	}
+	reg.GaugeFunc("insightalign_uptime_seconds",
+		"Time since the process-wide metrics registry was created.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	if queueDepth != nil {
+		reg.GaugeFunc("insightalign_queue_depth",
+			"Requests waiting in the admission queue.",
+			func() float64 { return float64(queueDepth()) })
+	}
+	if modelVersion != nil {
+		reg.InfoFunc("insightalign_model_info",
+			"Currently served model version (value is always 1).",
+			"version", modelVersion)
+	}
+	return m
+}
+
+// Registry returns the obs registry this bridge writes into.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// ObserveRequest records one completed HTTP request.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.requests.Inc(route, strconv.Itoa(code))
+	m.latency.Observe(d.Seconds(), route)
+}
+
+// ObserveBatch records the size of one coalesced decoder call.
+func (m *Metrics) ObserveBatch(size int) {
+	m.batch.Observe(float64(size))
+	m.batchPeak.SetMax(float64(size))
+	m.mu.Lock()
+	if size > m.batchMax {
+		m.batchMax = size
+	}
+	m.mu.Unlock()
+}
+
+// ObserveRejection records one rejected request ("queue_full",
+// "deadline", "shutdown", "no_model").
+func (m *Metrics) ObserveRejection(reason string) {
+	m.rejections.Inc(reason)
+}
+
+// BatchMax returns the largest coalesced batch this server has seen (the
+// exported gauge is the registry-wide maximum instead).
+func (m *Metrics) BatchMax() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batchMax
+}
+
+// Exposition renders the backing registry's metrics page.
+func (m *Metrics) Exposition() string { return m.reg.Exposition() }
