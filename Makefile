@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-inference bench-train serve loadtest profile
+.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train serve loadtest profile
 
 check: vet build race
 
@@ -21,6 +21,20 @@ test:
 # package alone can exceed go test's 10-minute default on small machines.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# Fault-tolerance gate: the deterministic fault-injection property tests,
+# the 50-iteration online chaos campaign, the serve degradation E2E, and
+# the breaker state machine — all under the race detector.
+chaos:
+	$(GO) test -race -timeout 10m -v \
+		-run 'Chaos|FaultInject|Schedule|Plan|Apply|Degrad|Breaker|Exec|RunContext' \
+		./internal/faultinject/ ./internal/flow/ ./internal/online/ ./internal/serve/
+
+# Coverage-guided corruption of the parameter loader (longer than CI's
+# 10s smoke; crashes land in internal/nn/testdata/fuzz/).
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime $(FUZZTIME) ./internal/nn/
 
 # Every benchmark (tables, figures, kernels); slow.
 bench:

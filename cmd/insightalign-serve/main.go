@@ -71,6 +71,12 @@ func cmdServe(args []string) error {
 	batches := fs.Int("concurrent-batches", 2, "decoder calls in flight at once")
 	noBatch := fs.Bool("no-batch", false, "disable micro-batching (per-request decode)")
 	seed := fs.Int64("seed", 1, "seed for the fresh model when -model is empty")
+	noBreaker := fs.Bool("no-breaker", false, "disable the backend circuit breaker")
+	brkWindow := fs.Int("breaker-window", 16, "sliding window of backend outcomes")
+	brkMin := fs.Int("breaker-min-samples", 8, "outcomes required before the breaker can trip")
+	brkRatio := fs.Float64("breaker-threshold", 0.5, "failure ratio that opens the breaker")
+	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open duration before half-open probing")
+	brkProbes := fs.Int("breaker-probes", 2, "consecutive probe successes that close the breaker")
 	fs.Parse(args)
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -82,6 +88,14 @@ func cmdServe(args []string) error {
 	cfg.RequestTimeout = *timeout
 	cfg.MaxConcurrentBatches = *batches
 	cfg.DisableBatching = *noBatch
+	cfg.Breaker = serve.BreakerConfig{
+		Disabled:       *noBreaker,
+		Window:         *brkWindow,
+		MinSamples:     *brkMin,
+		FailureRatio:   *brkRatio,
+		Cooldown:       *brkCooldown,
+		HalfOpenProbes: *brkProbes,
+	}
 	cfg.Logger = logger
 
 	reg, err := serve.NewRegistry(cfg.Model)

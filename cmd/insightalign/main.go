@@ -267,6 +267,9 @@ func cmdFinetune(args []string) error {
 	workers := fs.Int("workers", 0, "data-parallel update workers when -batch > 0 (0 = NumCPU)")
 	journal := fs.String("journal", "", "write a JSONL run journal (per-iteration trajectory) to this path")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces and pprof on this sidecar address")
+	flowTimeout := fs.Duration("flow-timeout", 0, "per-flow-run deadline; hung runs are abandoned and retried (0 = none)")
+	flowRetries := fs.Int("flow-retries", 0, "retries per flow run after a timeout or transient failure")
+	flowBackoff := fs.Duration("flow-backoff", 0, "base retry backoff, doubled per attempt (0 = 10ms default)")
 	fs.Parse(args)
 	if *design == "" {
 		return fmt.Errorf("-design is required")
@@ -297,6 +300,9 @@ func cmdFinetune(args []string) error {
 	tunerOpt := insightalign.DefaultTunerOptions()
 	tunerOpt.BatchPairs = *batch
 	tunerOpt.Workers = *workers
+	tunerOpt.FlowTimeout = *flowTimeout
+	tunerOpt.FlowRetries = *flowRetries
+	tunerOpt.FlowBackoff = *flowBackoff
 	if *journal != "" {
 		j, err := obs.NewJournal(*journal)
 		if err != nil {
@@ -310,14 +316,18 @@ func cmdFinetune(args []string) error {
 	}
 	best, _ := ds.BestKnown(*design)
 	fmt.Printf("online fine-tuning %s (best known QoR %.3f)\n", *design, best.QoR)
-	fmt.Printf("%-5s %12s %12s %9s %9s\n", "iter", "power(mW)", "TNS(ns)", "bestQoR", "avgTopK")
+	fmt.Printf("%-5s %12s %12s %9s %9s %6s\n", "iter", "power(mW)", "TNS(ns)", "bestQoR", "avgTopK", "fails")
 	for i := 0; i < *iters; i++ {
 		rec, err := tuner.Iterate()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-5d %12.4g %12.4g %9.3f %9.3f\n",
-			rec.Iteration, rec.PowerOfBest, rec.TNSOfBest, rec.BestQoR, rec.AvgTopK)
+		note := ""
+		if rec.Recovered {
+			note = " (update rolled back)"
+		}
+		fmt.Printf("%-5d %12.4g %12.4g %9.3f %9.3f %6d%s\n",
+			rec.Iteration, rec.PowerOfBest, rec.TNSOfBest, rec.BestQoR, rec.AvgTopK, rec.Failures, note)
 	}
 	return nil
 }

@@ -1,0 +1,223 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrKind is the typed classification of a failed flow run, driving the
+// retry policy: timeouts and transient errors are retried, fatal errors
+// (bad parameters, cancellation by the caller) are not.
+type ErrKind uint8
+
+const (
+	// KindFatal errors are not retryable: invalid parameters, engine
+	// invariant violations, caller cancellation.
+	KindFatal ErrKind = iota
+	// KindTransient errors are retryable tool hiccups (injected or real).
+	KindTransient
+	// KindTimeout means an attempt exceeded its per-run deadline.
+	KindTimeout
+)
+
+// String names the kind for metric labels and messages.
+func (k ErrKind) String() string {
+	switch k {
+	case KindTransient:
+		return "transient"
+	case KindTimeout:
+		return "timeout"
+	}
+	return "fatal"
+}
+
+// ErrCorruptQoR marks a run whose metrics came back non-finite — garbage
+// output from a nominally successful tool invocation. It is transient: the
+// run is retried with the same seed (tool noise and injected corruption
+// are keyed off the run, not the seed).
+var ErrCorruptQoR = errors.New("flow: non-finite QoR metrics")
+
+// transienter is the marker interface for retryable errors
+// (faultinject.InjectedError implements it).
+type transienter interface{ Transient() bool }
+
+// Classify maps an error from a flow run to its retry class.
+func Classify(err error) ErrKind {
+	switch {
+	case err == nil:
+		return KindFatal // not meaningful; callers classify failures only
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindTimeout
+	case errors.Is(err, context.Canceled):
+		return KindFatal
+	case errors.Is(err, ErrCorruptQoR):
+		return KindTransient
+	}
+	var tr transienter
+	if errors.As(err, &tr) && tr.Transient() {
+		return KindTransient
+	}
+	return KindFatal
+}
+
+// RunError is the terminal error of an Exec run: the classification of the
+// last attempt plus how many attempts were spent.
+type RunError struct {
+	Kind     ErrKind
+	Attempts int
+	Err      error
+}
+
+// Error summarizes the failure.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("flow: run failed (%s) after %d attempt(s): %v", e.Kind, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's error for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// ExecOptions parameterize the fault-tolerant execution wrapper.
+type ExecOptions struct {
+	// Timeout bounds each attempt; 0 means no per-attempt deadline.
+	Timeout time.Duration
+	// Retries is how many times a timed-out or transient failure is
+	// re-attempted after the first try.
+	Retries int
+	// BackoffBase is the first retry's backoff; each further retry
+	// doubles it up to BackoffMax, then a uniform ±Jitter fraction is
+	// applied to decorrelate concurrent retry storms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// Jitter is the relative jitter fraction in [0, 1).
+	Jitter float64
+	// Seed drives the jitter; the same seed reproduces the same delays.
+	Seed int64
+	// Sleep, if non-nil, replaces the context-aware backoff sleep (tests
+	// substitute a recording no-op).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultExecOptions returns a practical retry policy: 3 retries on a
+// 10 ms → 2 s exponential schedule with 20% jitter and no attempt deadline.
+func DefaultExecOptions() ExecOptions {
+	return ExecOptions{
+		Retries:     3,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		Jitter:      0.2,
+	}
+}
+
+// Exec wraps an Executor (normally a *Runner) with per-run deadlines,
+// bounded retries with exponential backoff + jitter, typed error
+// classification, and a non-finite QoR guard. It implements Executor, so
+// callers swap it in wherever a Runner was used.
+type Exec struct {
+	inner Executor
+	opt   ExecOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewExec builds the wrapper; nil-safe defaults are applied for the
+// backoff schedule.
+func NewExec(inner Executor, opt ExecOptions) *Exec {
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 10 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 2 * time.Second
+	}
+	if opt.Jitter < 0 || opt.Jitter >= 1 {
+		opt.Jitter = 0.2
+	}
+	if opt.Retries < 0 {
+		opt.Retries = 0
+	}
+	return &Exec{inner: inner, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// RunContext executes one flow run with the wrapper's fault policy. The
+// returned error, when non-nil, is a *RunError carrying the typed kind of
+// the final attempt.
+func (e *Exec) RunContext(ctx context.Context, p Params, runSeed int64) (*Metrics, *Trace, error) {
+	flowMetrics()
+	var lastErr error
+	var lastKind ErrKind
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, func() {}
+		if e.opt.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, e.opt.Timeout)
+		}
+		m, tr, err := e.inner.RunContext(actx, p, runSeed)
+		cancel()
+		if err == nil && !MetricsFinite(m) {
+			err = fmt.Errorf("%w: %+v", ErrCorruptQoR, *m)
+		}
+		if err == nil {
+			return m, tr, nil
+		}
+		lastErr, lastKind = err, Classify(err)
+		flowFailures.Inc(lastKind.String())
+		// Attribute an attempt-deadline hit to the attempt, not the
+		// caller: only stop on timeout when the parent context is done.
+		if lastKind == KindFatal || attempt >= e.opt.Retries || ctx.Err() != nil {
+			return nil, nil, &RunError{Kind: lastKind, Attempts: attempt + 1, Err: lastErr}
+		}
+		flowRetries.Inc()
+		if err := e.sleep(ctx, e.backoff(attempt)); err != nil {
+			return nil, nil, &RunError{Kind: KindFatal, Attempts: attempt + 1, Err: fmt.Errorf("flow: backoff: %w", err)}
+		}
+	}
+}
+
+// backoff computes the jittered exponential delay for retry #attempt.
+func (e *Exec) backoff(attempt int) time.Duration {
+	d := float64(e.opt.BackoffBase) * math.Pow(2, float64(attempt))
+	if d > float64(e.opt.BackoffMax) {
+		d = float64(e.opt.BackoffMax)
+	}
+	if e.opt.Jitter > 0 {
+		e.mu.Lock()
+		d *= 1 + e.opt.Jitter*(2*e.rng.Float64()-1)
+		e.mu.Unlock()
+	}
+	return time.Duration(d)
+}
+
+// sleep waits d or until ctx is done.
+func (e *Exec) sleep(ctx context.Context, d time.Duration) error {
+	if e.opt.Sleep != nil {
+		return e.opt.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// MetricsFinite reports whether every headline metric is a finite number —
+// the guard that turns corrupted tool output into a retryable error
+// instead of poisoning QoR scoring downstream.
+func MetricsFinite(m *Metrics) bool {
+	for _, v := range []float64{
+		m.TNSns, m.WNSns, m.PowerMW, m.LeakageMW, m.AreaUM2,
+		m.WirelengthUM, m.HoldTNSns, m.SkewPS,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,337 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeExecutor scripts per-attempt outcomes for Exec tests without paying
+// for real flow runs.
+type fakeExecutor struct {
+	calls int
+	fn    func(ctx context.Context, attempt int) (*Metrics, *Trace, error)
+}
+
+func (f *fakeExecutor) RunContext(ctx context.Context, p Params, runSeed int64) (*Metrics, *Trace, error) {
+	f.calls++
+	return f.fn(ctx, f.calls)
+}
+
+// transientErr is a retryable error outside the faultinject package.
+type transientErr struct{ msg string }
+
+func (e *transientErr) Error() string   { return e.msg }
+func (e *transientErr) Transient() bool { return true }
+
+func goodMetrics() *Metrics { return &Metrics{TNSns: 1, PowerMW: 2, AreaUM2: 3, WirelengthUM: 4} }
+
+// noSleep records requested backoffs without waiting.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRunContextCancelledBetweenStages(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := r.RunContext(ctx, DefaultParams(), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), StagePlacement) {
+		t.Fatalf("cancellation error should name the checkpoint stage: %v", err)
+	}
+}
+
+func TestRunContextStageHook(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	var stages []string
+	var runIdx []uint64
+	r.StageHook = func(_ context.Context, run uint64, stage string) error {
+		stages = append(stages, stage)
+		runIdx = append(runIdx, run)
+		return nil
+	}
+	if _, _, err := r.RunContext(context.Background(), DefaultParams(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The first checkpoints must fire in flow order (signoff only fires
+	// when leakage recovery swapped cells).
+	want := []string{StagePlacement, StageCTS, StageRoute, StageSTA, StagePower}
+	for i, s := range want {
+		if i >= len(stages) || stages[i] != s {
+			t.Fatalf("checkpoint order %v, want prefix %v", stages, want)
+		}
+	}
+	for _, ri := range runIdx {
+		if ri != 0 {
+			t.Fatalf("first run must have index 0, hook saw %d", ri)
+		}
+	}
+	// Second run gets the next index.
+	runIdx = runIdx[:0]
+	if _, _, err := r.RunContext(context.Background(), DefaultParams(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if runIdx[0] != 1 {
+		t.Fatalf("second run index = %d, want 1", runIdx[0])
+	}
+}
+
+func TestRunContextStageHookErrorAborts(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	boom := errors.New("tool crashed")
+	r.StageHook = func(_ context.Context, _ uint64, stage string) error {
+		if stage == StageRoute {
+			return boom
+		}
+		return nil
+	}
+	_, _, err := r.RunContext(context.Background(), DefaultParams(), 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want hook error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), StageRoute) {
+		t.Fatalf("error should name the failing stage: %v", err)
+	}
+}
+
+func TestRunContextMetricsHook(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	r.MetricsHook = func(_ uint64, m *Metrics) { m.PowerMW = math.NaN() }
+	m, _, err := r.RunContext(context.Background(), DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.PowerMW) {
+		t.Fatal("metrics hook mutation lost")
+	}
+}
+
+func TestRunEquivalentToRunContext(t *testing.T) {
+	r := NewRunner(testDesign(t, 1.0))
+	a, _, err := r.Run(DefaultParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.RunContext(context.Background(), DefaultParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("Run and RunContext diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrKind
+	}{
+		{context.DeadlineExceeded, KindTimeout},
+		{fmt.Errorf("flow: cts: %w", context.DeadlineExceeded), KindTimeout},
+		{context.Canceled, KindFatal},
+		{&transientErr{"blip"}, KindTransient},
+		{fmt.Errorf("wrapped: %w", &transientErr{"blip"}), KindTransient},
+		{ErrCorruptQoR, KindTransient},
+		{fmt.Errorf("%w: details", ErrCorruptQoR), KindTransient},
+		{errors.New("validate: bad params"), KindFatal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Fatalf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExecRetriesTransientThenSucceeds(t *testing.T) {
+	fe := &fakeExecutor{fn: func(_ context.Context, attempt int) (*Metrics, *Trace, error) {
+		if attempt < 3 {
+			return nil, nil, &transientErr{"blip"}
+		}
+		return goodMetrics(), &Trace{}, nil
+	}}
+	var delays []time.Duration
+	opt := DefaultExecOptions()
+	opt.Retries = 3
+	opt.Sleep = noSleep(&delays)
+	e := NewExec(fe, opt)
+	m, _, err := e.RunContext(context.Background(), DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || fe.calls != 3 {
+		t.Fatalf("want success on attempt 3, got %d calls", fe.calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("want 2 backoffs, got %v", delays)
+	}
+}
+
+func TestExecExhaustsRetries(t *testing.T) {
+	fe := &fakeExecutor{fn: func(_ context.Context, _ int) (*Metrics, *Trace, error) {
+		return nil, nil, &transientErr{"always"}
+	}}
+	var delays []time.Duration
+	opt := DefaultExecOptions()
+	opt.Retries = 2
+	opt.Sleep = noSleep(&delays)
+	e := NewExec(fe, opt)
+	_, _, err := e.RunContext(context.Background(), DefaultParams(), 1)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+	if re.Kind != KindTransient || re.Attempts != 3 {
+		t.Fatalf("RunError = %+v, want transient after 3 attempts", re)
+	}
+	if fe.calls != 3 {
+		t.Fatalf("calls = %d, want 3", fe.calls)
+	}
+}
+
+func TestExecFatalNotRetried(t *testing.T) {
+	fe := &fakeExecutor{fn: func(_ context.Context, _ int) (*Metrics, *Trace, error) {
+		return nil, nil, errors.New("validate: TargetUtil out of range")
+	}}
+	opt := DefaultExecOptions()
+	opt.Retries = 5
+	var delays []time.Duration
+	opt.Sleep = noSleep(&delays)
+	e := NewExec(fe, opt)
+	_, _, err := e.RunContext(context.Background(), DefaultParams(), 1)
+	var re *RunError
+	if !errors.As(err, &re) || re.Kind != KindFatal {
+		t.Fatalf("want fatal RunError, got %v", err)
+	}
+	if fe.calls != 1 {
+		t.Fatalf("fatal error retried: %d calls", fe.calls)
+	}
+}
+
+func TestExecTimeoutRetriedUntilParentDone(t *testing.T) {
+	// Each attempt hangs until its per-attempt deadline; the parent
+	// context stays alive, so timeouts are retried and classified as such.
+	fe := &fakeExecutor{fn: func(ctx context.Context, _ int) (*Metrics, *Trace, error) {
+		<-ctx.Done()
+		return nil, nil, fmt.Errorf("flow: placement: %w", ctx.Err())
+	}}
+	var delays []time.Duration
+	opt := DefaultExecOptions()
+	opt.Timeout = 5 * time.Millisecond
+	opt.Retries = 2
+	opt.Sleep = noSleep(&delays)
+	e := NewExec(fe, opt)
+	_, _, err := e.RunContext(context.Background(), DefaultParams(), 1)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+	if re.Kind != KindTimeout || re.Attempts != 3 {
+		t.Fatalf("RunError = %+v, want timeout after 3 attempts", re)
+	}
+}
+
+func TestExecParentCancelStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fe := &fakeExecutor{fn: func(_ context.Context, _ int) (*Metrics, *Trace, error) {
+		cancel() // parent dies during the first attempt
+		return nil, nil, &transientErr{"blip"}
+	}}
+	opt := DefaultExecOptions()
+	opt.Retries = 5
+	e := NewExec(fe, opt)
+	_, _, err := e.RunContext(ctx, DefaultParams(), 1)
+	if err == nil || fe.calls != 1 {
+		t.Fatalf("want single attempt after parent cancel, got %d calls, err %v", fe.calls, err)
+	}
+}
+
+func TestExecCorruptQoRGuard(t *testing.T) {
+	fe := &fakeExecutor{fn: func(_ context.Context, attempt int) (*Metrics, *Trace, error) {
+		if attempt == 1 {
+			m := goodMetrics()
+			m.TNSns = math.NaN()
+			return m, &Trace{}, nil
+		}
+		return goodMetrics(), &Trace{}, nil
+	}}
+	var delays []time.Duration
+	opt := DefaultExecOptions()
+	opt.Retries = 1
+	opt.Sleep = noSleep(&delays)
+	e := NewExec(fe, opt)
+	m, _, err := e.RunContext(context.Background(), DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MetricsFinite(m) || fe.calls != 2 {
+		t.Fatalf("corrupt metrics not retried: calls %d, metrics %+v", fe.calls, m)
+	}
+
+	// All attempts corrupt: the terminal error is classified transient and
+	// wraps ErrCorruptQoR.
+	fe2 := &fakeExecutor{fn: func(_ context.Context, _ int) (*Metrics, *Trace, error) {
+		m := goodMetrics()
+		m.PowerMW = math.Inf(1)
+		return m, &Trace{}, nil
+	}}
+	e2 := NewExec(fe2, opt)
+	_, _, err = e2.RunContext(context.Background(), DefaultParams(), 1)
+	if !errors.Is(err, ErrCorruptQoR) {
+		t.Fatalf("want ErrCorruptQoR, got %v", err)
+	}
+}
+
+func TestExecBackoffScheduleDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		fe := &fakeExecutor{fn: func(_ context.Context, _ int) (*Metrics, *Trace, error) {
+			return nil, nil, &transientErr{"always"}
+		}}
+		var delays []time.Duration
+		opt := ExecOptions{Retries: 6, BackoffBase: 10 * time.Millisecond,
+			BackoffMax: 80 * time.Millisecond, Jitter: 0.2, Seed: 42, Sleep: noSleep(&delays)}
+		e := NewExec(fe, opt)
+		e.RunContext(context.Background(), DefaultParams(), 1)
+		return delays
+	}
+	a, b := mk(), mk()
+	if len(a) != 6 {
+		t.Fatalf("want 6 backoffs, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+		lo := time.Duration(float64(10*time.Millisecond) * math.Pow(2, float64(i)) * 0.8)
+		hi := time.Duration(float64(10*time.Millisecond) * math.Pow(2, float64(i)) * 1.2)
+		if hi > time.Duration(float64(80*time.Millisecond)*1.2) {
+			hi = time.Duration(float64(80*time.Millisecond) * 1.2)
+		}
+		if lo > 80*time.Millisecond {
+			lo = time.Duration(float64(80*time.Millisecond) * 0.8)
+		}
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("backoff %d = %v outside jittered envelope [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+}
+
+func TestMetricsFinite(t *testing.T) {
+	if !MetricsFinite(goodMetrics()) {
+		t.Fatal("good metrics reported non-finite")
+	}
+	m := goodMetrics()
+	m.HoldTNSns = math.Inf(-1)
+	if MetricsFinite(m) {
+		t.Fatal("infinite hold TNS not caught")
+	}
+}

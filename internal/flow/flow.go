@@ -7,8 +7,10 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"insightalign/internal/cts"
 	"insightalign/internal/netlist"
@@ -179,12 +181,46 @@ type Trace struct {
 	RecoverySwaps int
 }
 
+// Stage names, in execution order — the cooperative checkpoints of
+// RunContext and the sites a fault injector can strike.
+const (
+	StagePlacement = "placement"
+	StageCTS       = "cts"
+	StageRoute     = "route"
+	StageSTA       = "sta"
+	StagePower     = "power"
+	StageSignoff   = "signoff"
+)
+
+// Stages lists the checkpoint names in execution order.
+func Stages() []string {
+	return []string{StagePlacement, StageCTS, StageRoute, StageSTA, StagePower, StageSignoff}
+}
+
+// Executor is anything that can execute one flow run under a context:
+// the Runner itself, or the Exec retry/deadline wrapper around it.
+type Executor interface {
+	RunContext(ctx context.Context, p Params, runSeed int64) (*Metrics, *Trace, error)
+}
+
 // Runner executes flows against one immutable design.
 type Runner struct {
 	design *netlist.Netlist
 	// NoiseSigma is the relative magnitude of run-to-run tool noise
 	// applied to the headline metrics (default 1%).
 	NoiseSigma float64
+	// StageHook, if non-nil, runs at every cooperative checkpoint before
+	// the named stage, with this runner's monotonically assigned run index.
+	// A returned error aborts the run (wrapped with the stage name); a
+	// blocking hook simulates a wedged tool and should watch ctx. This is
+	// the fault-injection seam (faultinject.Injector.Apply matches it).
+	StageHook func(ctx context.Context, run uint64, stage string) error
+	// MetricsHook, if non-nil, observes (and may corrupt) the final
+	// metrics of a run before they are returned — the seam through which
+	// the fault injector produces garbage QoR for the Exec guard to catch.
+	MetricsHook func(run uint64, m *Metrics)
+
+	runs atomic.Uint64 // run-index allocator for the hooks
 }
 
 // NewRunner wraps a design for repeated flow evaluation. The design itself
@@ -198,30 +234,67 @@ func (r *Runner) Design() *netlist.Netlist { return r.design }
 
 // Run executes the flow with parameters p. runSeed individualizes
 // stochastic stage decisions and measurement noise; the same (p, runSeed)
-// always reproduces the same result.
+// always reproduces the same result. It is a thin wrapper over RunContext
+// with no cancellation.
 func (r *Runner) Run(p Params, runSeed int64) (*Metrics, *Trace, error) {
+	return r.RunContext(context.Background(), p, runSeed)
+}
+
+// RunContext executes the flow with cooperative cancellation: between
+// every pair of stages (placement, CTS, routing, STA, leakage recovery,
+// signoff) the context is checked and the runner's StageHook (if any) is
+// invoked, so a deadline or cancel aborts at the next checkpoint instead
+// of running the flow to completion.
+func (r *Runner) RunContext(ctx context.Context, p Params, runSeed int64) (*Metrics, *Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("flow: %w", err)
+	}
+	run := r.runs.Add(1) - 1
+	check := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("flow: %s: %w", stage, err)
+		}
+		if r.StageHook != nil {
+			if err := r.StageHook(ctx, run, stage); err != nil {
+				return fmt.Errorf("flow: %s: %w", stage, err)
+			}
+		}
+		return nil
 	}
 	// Private copy: repair transforms mutate Drive/VT. Connectivity
 	// slices are shared (never mutated by any engine).
 	nl := cloneForRun(r.design)
 
+	if err := check(StagePlacement); err != nil {
+		return nil, nil, err
+	}
 	pl, err := placer.Place(nl, p.placerOptions(runSeed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: placement: %w", err)
+	}
+	if err := check(StageCTS); err != nil {
+		return nil, nil, err
 	}
 	clk, err := cts.Synthesize(nl, pl, p.ctsOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: cts: %w", err)
 	}
+	if err := check(StageRoute); err != nil {
+		return nil, nil, err
+	}
 	rt, err := router.Route(nl, pl, p.routerOptions(runSeed+1))
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: routing: %w", err)
 	}
+	if err := check(StageSTA); err != nil {
+		return nil, nil, err
+	}
 	timing, err := sta.Analyze(nl, rt, clk, p.staOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: sta: %w", err)
+	}
+	if err := check(StagePower); err != nil {
+		return nil, nil, err
 	}
 	swaps, err := power.RecoverLeakage(nl, timing, p.powerOptions())
 	if err != nil {
@@ -231,6 +304,9 @@ func (r *Runner) Run(p Params, runSeed int64) (*Metrics, *Trace, error) {
 	if swaps > 0 {
 		// Swapped cells got slower; sign off with a repair-free pass and
 		// carry the hold-fix bookkeeping forward (the inserted cells stay).
+		if err := check(StageSignoff); err != nil {
+			return nil, nil, err
+		}
 		timingFinal, err = sta.Analyze(nl, rt, clk, sta.Options{})
 		if err != nil {
 			return nil, nil, fmt.Errorf("flow: signoff sta: %w", err)
@@ -265,6 +341,10 @@ func (r *Runner) Run(p Params, runSeed int64) (*Metrics, *Trace, error) {
 		nrng := rand.New(rand.NewSource(runSeed ^ 0x5DEECE66D))
 		m.PowerMW *= 1 + nrng.NormFloat64()*r.NoiseSigma
 		m.TNSns *= 1 + nrng.NormFloat64()*r.NoiseSigma
+	}
+
+	if r.MetricsHook != nil {
+		r.MetricsHook(run, m)
 	}
 
 	tr := &Trace{

@@ -1,0 +1,26 @@
+package flow
+
+import (
+	"sync"
+
+	"insightalign/internal/obs"
+)
+
+// Fault-tolerant execution metrics, bound lazily into the process-wide obs
+// registry: every retry and classified failure of the Exec wrapper is
+// visible on the same /metrics page as the serving and training families.
+var (
+	flowMetricsOnce sync.Once
+	flowRetries     *obs.Counter // insightalign_flow_run_retries_total
+	flowFailures    *obs.Counter // insightalign_flow_run_failures_total{kind}
+)
+
+func flowMetrics() {
+	flowMetricsOnce.Do(func() {
+		reg := obs.Default()
+		flowRetries = reg.Counter("insightalign_flow_run_retries_total",
+			"Flow run attempts retried by the Exec wrapper after a timeout or transient failure.")
+		flowFailures = reg.Counter("insightalign_flow_run_failures_total",
+			"Failed flow run attempts by error classification.", "kind")
+	})
+}

@@ -1,0 +1,262 @@
+package online
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"insightalign/internal/core"
+	"insightalign/internal/faultinject"
+	"insightalign/internal/flow"
+	"insightalign/internal/obs"
+	"insightalign/internal/qor"
+)
+
+// chaosTuner wires a seeded fault injector into a fixture runner: hangs and
+// transient errors strike between flow stages via the StageHook, Corrupt
+// plans poison the run's metrics via the MetricsHook, and the tuner's Exec
+// wrapper (100 ms per-attempt deadline, 1 retry) is left to cope.
+func chaosTuner(t *testing.T, seed int64, cfg faultinject.Config, jnl *obs.Journal) (*Tuner, *faultinject.Injector) {
+	t.Helper()
+	model, runner, iv, st := fixture(t, seed)
+	inj := faultinject.New(cfg)
+	runner.StageHook = inj.Apply
+	runner.MetricsHook = func(run uint64, m *flow.Metrics) {
+		if f, ok := inj.Plan(run); ok && f.Kind == faultinject.Corrupt {
+			m.PowerMW = math.NaN()
+		}
+	}
+	opt := fastOptions()
+	opt.Journal = jnl
+	opt.FlowTimeout = 100 * time.Millisecond
+	opt.FlowRetries = 1
+	opt.FlowBackoff = time.Millisecond
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tuner, inj
+}
+
+// TestChaosOnlineTuning is the headline chaos test: 50 online iterations
+// with ~30% of flow runs faulted (hang / transient error / corrupted QoR).
+// The campaign must finish without error or deadlock, keep its best-so-far
+// QoR finite and monotone, degrade (not abort) when proposals are lost, and
+// leave a journal whose replay matches the in-memory trajectory exactly.
+func TestChaosOnlineTuning(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := obs.NewJournal(filepath.Join(dir, "run.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, inj := chaosTuner(t, 95, faultinject.Config{
+		Seed: 7, Rate: 0.3, Stages: flow.Stages(),
+	}, jnl)
+
+	before := runtime.NumGoroutine()
+	recs, err := tuner.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("got %d records, want 50", len(recs))
+	}
+
+	degraded, totalFailures := 0, 0
+	for i, r := range recs {
+		if !finite(r.BestQoR) || !finite(r.AvgTopK) || !finite(r.MeanLoss) {
+			t.Fatalf("iter %d has non-finite trajectory values: %+v", i, r)
+		}
+		if i > 0 && r.BestQoR < recs[i-1].BestQoR-1e-12 {
+			t.Fatalf("best-so-far QoR regressed at iter %d: %g -> %g",
+				i, recs[i-1].BestQoR, r.BestQoR)
+		}
+		if r.Degraded() {
+			degraded++
+		}
+		totalFailures += r.Failures
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded iterations at 30% fault rate: injector not wired")
+	}
+	if inj.Applied(faultinject.Hang) == 0 && inj.Applied(faultinject.Error) == 0 {
+		t.Fatal("injector never applied a stage fault")
+	}
+	// A faulted run must be recoverable: at least one iteration kept a
+	// surviving subset despite losing proposals.
+	partial := false
+	for _, r := range recs {
+		if r.Failures > 0 && len(r.Evaluations) > 0 {
+			partial = true
+			break
+		}
+	}
+	if !partial {
+		t.Fatal("no iteration survived in degraded mode with a partial subset")
+	}
+
+	// Replay: the journal alone must reproduce the in-memory trajectory.
+	entries, err := obs.ReadJournalFile(jnl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []IterationJournalEntry
+	failEvents := 0
+	for _, e := range entries {
+		switch e.Event {
+		case "online_iteration":
+			var ie IterationJournalEntry
+			if err := json.Unmarshal(e.Data, &ie); err != nil {
+				t.Fatal(err)
+			}
+			iters = append(iters, ie)
+		case "flow_run_failed":
+			var fe FailureJournalEntry
+			if err := json.Unmarshal(e.Data, &fe); err != nil {
+				t.Fatal(err)
+			}
+			if fe.Kind != "timeout" && fe.Kind != "transient" {
+				t.Fatalf("unexpected failure kind in journal: %q", fe.Kind)
+			}
+			failEvents++
+		}
+	}
+	if len(iters) != 50 {
+		t.Fatalf("journal has %d iteration entries, want 50", len(iters))
+	}
+	if failEvents != totalFailures {
+		t.Fatalf("journal has %d failure events, records count %d", failEvents, totalFailures)
+	}
+	for i, ie := range iters {
+		r := recs[i]
+		if ie.Iteration != r.Iteration || ie.Failures != r.Failures || ie.Recovered != r.Recovered {
+			t.Fatalf("journal iter %d diverges from record: %+v vs %+v", i, ie, r)
+		}
+		if ie.BestQoR != r.BestQoR || ie.AvgTopK != r.AvgTopK || ie.MeanLoss != r.MeanLoss {
+			t.Fatalf("journal iter %d trajectory diverges: %+v vs %+v", i, ie, r)
+		}
+		if len(ie.Sets) != len(r.Evaluations) || len(ie.QoRs) != len(r.Evaluations) {
+			t.Fatalf("journal iter %d has %d sets for %d evaluations", i, len(ie.Sets), len(r.Evaluations))
+		}
+		for k, e := range r.Evaluations {
+			if ie.Sets[k] != e.Set.String() || ie.QoRs[k] != e.QoR {
+				t.Fatalf("journal iter %d eval %d diverges", i, k)
+			}
+		}
+	}
+
+	// The surviving policy must checkpoint and restore cleanly.
+	if !tuner.paramsFinite() {
+		t.Fatal("model parameters non-finite after chaos campaign")
+	}
+	ckpt := filepath.Join(dir, "chaos.ckpt")
+	if err := tuner.SaveCheckpointFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim = 16
+	cfg.FFHidden = 24
+	cfg.Seed = 999
+	model2, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner2, err := NewTuner(model2, tuner.runner, tuner.insight, tuner.stats, qor.Default(), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner2.LoadCheckpointFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner2.History()) != len(tuner.History()) || len(tuner2.Records()) != 50 {
+		t.Fatal("checkpoint did not restore the chaos campaign's state")
+	}
+
+	// No goroutine leak: hangs release at the attempt deadline, retries do
+	// not strand timers or workers.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutine leak: %d before chaos, %d after settle", before, g)
+	}
+}
+
+// TestChaosAllProposalsFail drives an iteration where every flow run errors
+// (rate 1, error-only): the iteration must complete in full degraded mode —
+// zero evaluations, K failures, no panic, no poisoned trajectory.
+func TestChaosAllProposalsFail(t *testing.T) {
+	tuner, _ := chaosTuner(t, 96, faultinject.Config{
+		Seed: 11, Rate: 1, Stages: flow.Stages(), Kinds: []faultinject.Kind{faultinject.Error},
+	}, nil)
+	rec, err := tuner.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Evaluations) != 0 {
+		t.Fatalf("expected no survivors at rate 1, got %d", len(rec.Evaluations))
+	}
+	if rec.Failures != tuner.opt.K {
+		t.Fatalf("got %d failures, want K=%d", rec.Failures, tuner.opt.K)
+	}
+	if rec.BestQoR != 0 || rec.MeanLoss != 0 {
+		t.Fatalf("empty iteration must report zero trajectory, got %+v", rec)
+	}
+	if len(tuner.History()) != 0 {
+		t.Fatal("failed proposals must not enter the archive")
+	}
+}
+
+// TestChaosFaultWindowClears confirms the injector's [From, To) window: a
+// campaign faulted only in its opening runs recovers to clean, full-K
+// iterations once the window passes.
+func TestChaosFaultWindowClears(t *testing.T) {
+	tuner, _ := chaosTuner(t, 97, faultinject.Config{
+		Seed: 13, Rate: 1, Stages: flow.Stages(),
+		Kinds: []faultinject.Kind{faultinject.Error},
+		From:  0, To: 30,
+	}, nil)
+	recs, err := tuner.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Failures == 0 {
+		t.Fatal("opening iteration should be inside the fault window")
+	}
+	last := recs[len(recs)-1]
+	if last.Failures != 0 || len(last.Evaluations) != tuner.opt.K {
+		t.Fatalf("campaign did not recover after the fault window: %+v", last)
+	}
+}
+
+// TestParamsSnapshotRecovery exercises the poisoned-update rollback seam
+// directly: a snapshot taken before poisoning restores the exact parameters
+// and paramsFinite detects the poison in between.
+func TestParamsSnapshotRecovery(t *testing.T) {
+	model, runner, iv, st := fixture(t, 98)
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuner.paramsFinite() {
+		t.Fatal("fresh model must be finite")
+	}
+	tuner.snapshotParams()
+	p := model.Params()[0]
+	orig := p.Data[0]
+	p.Data[0] = math.NaN()
+	if tuner.paramsFinite() {
+		t.Fatal("paramsFinite missed a NaN parameter")
+	}
+	tuner.restoreParams()
+	if p.Data[0] != orig {
+		t.Fatalf("restore did not roll back: got %v want %v", p.Data[0], orig)
+	}
+	if !tuner.paramsFinite() {
+		t.Fatal("restored model must be finite")
+	}
+}

@@ -10,12 +10,16 @@ import (
 // so a finetune run's /metrics (the -debug-addr sidecar) carries the
 // closed-loop trajectory next to the decoder and training families.
 var (
-	onlineMetricsOnce sync.Once
-	onlineIters       *obs.Counter // insightalign_online_iterations_total
-	onlineFlowRuns    *obs.Counter // insightalign_online_flow_runs_total
-	onlineIterQoR     *obs.Gauge   // insightalign_online_iteration_qor
-	onlineBestQoR     *obs.Gauge   // insightalign_online_best_qor
-	onlineMeanLoss    *obs.Gauge   // insightalign_online_mean_loss
+	onlineMetricsOnce   sync.Once
+	onlineIters         *obs.Counter // insightalign_online_iterations_total
+	onlineFlowRuns      *obs.Counter // insightalign_online_flow_runs_total
+	onlineFlowFailures  *obs.Counter // insightalign_online_flow_failures_total
+	onlineDegradedIters *obs.Counter // insightalign_online_degraded_iterations_total
+	onlineNonfinite     *obs.Counter // insightalign_online_nonfinite_losses_total
+	onlineRecoveries    *obs.Counter // insightalign_online_update_recoveries_total
+	onlineIterQoR       *obs.Gauge   // insightalign_online_iteration_qor
+	onlineBestQoR       *obs.Gauge   // insightalign_online_best_qor
+	onlineMeanLoss      *obs.Gauge   // insightalign_online_mean_loss
 )
 
 func onlineMetrics() {
@@ -25,6 +29,14 @@ func onlineMetrics() {
 			"Completed online fine-tuning iterations.")
 		onlineFlowRuns = reg.Counter("insightalign_online_flow_runs_total",
 			"Physical-design flow executions spent by the online tuner.")
+		onlineFlowFailures = reg.Counter("insightalign_online_flow_failures_total",
+			"Proposals dropped because their flow run failed (after retries).")
+		onlineDegradedIters = reg.Counter("insightalign_online_degraded_iterations_total",
+			"Iterations that lost at least one proposal and proceeded on the surviving subset.")
+		onlineNonfinite = reg.Counter("insightalign_online_nonfinite_losses_total",
+			"MDPO/PPO losses rejected before gradient application because they were NaN or Inf.")
+		onlineRecoveries = reg.Counter("insightalign_online_update_recoveries_total",
+			"Policy updates rolled back to the pre-update snapshot after producing non-finite parameters.")
 		onlineIterQoR = reg.Gauge("insightalign_online_iteration_qor",
 			"Best QoR among the most recent iteration's evaluations.")
 		onlineBestQoR = reg.Gauge("insightalign_online_best_qor",

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"time"
 
 	"insightalign/internal/core"
 	"insightalign/internal/flow"
@@ -60,6 +61,16 @@ type Options struct {
 	// iteration (chosen sets, QoR, best-so-far) plus checkpoint events —
 	// enough to replot the Fig. 6 trajectory from the file alone.
 	Journal *obs.Journal
+	// FlowTimeout bounds each flow run attempt; with FlowRetries it
+	// wraps the runner in a flow.Exec so hung or flaky tool invocations
+	// cost a bounded slice of the iteration instead of stalling it. 0
+	// means no per-run deadline.
+	FlowTimeout time.Duration
+	// FlowRetries re-attempts timed-out / transient flow failures per
+	// proposal before the proposal is dropped from the iteration.
+	FlowRetries int
+	// FlowBackoff overrides the retry backoff base (default 10ms).
+	FlowBackoff time.Duration
 }
 
 // DefaultOptions returns the paper's setup (K = 5) with practical
@@ -123,7 +134,16 @@ type IterationRecord struct {
 	AvgTopK float64
 	// MeanLoss is the mean combined update loss.
 	MeanLoss float64
+	// Failures counts proposals whose flow run failed this iteration; the
+	// iteration proceeded in degraded mode over the surviving subset.
+	Failures int
+	// Recovered marks that this iteration's policy update produced
+	// non-finite parameters and was rolled back to the pre-update state.
+	Recovered bool
 }
+
+// Degraded reports whether this iteration lost at least one proposal.
+func (r IterationRecord) Degraded() bool { return r.Failures > 0 }
 
 // IterationJournalEntry is the "data" payload of an "online_iteration"
 // journal record: the iteration's chosen recipe sets (40-bit strings,
@@ -135,6 +155,17 @@ type IterationJournalEntry struct {
 	BestQoR   float64   `json:"best_qor"`
 	AvgTopK   float64   `json:"avg_top_k"`
 	MeanLoss  float64   `json:"mean_loss"`
+	Failures  int       `json:"failures,omitempty"`
+	Recovered bool      `json:"recovered,omitempty"`
+}
+
+// FailureJournalEntry is the "data" payload of a "flow_run_failed" journal
+// record: one dropped proposal of a degraded iteration.
+type FailureJournalEntry struct {
+	Iteration int    `json:"iteration"`
+	Set       string `json:"set"`
+	Kind      string `json:"kind"`
+	Error     string `json:"error"`
 }
 
 // Tuner runs online fine-tuning for one specific design.
@@ -149,10 +180,14 @@ type Tuner struct {
 	rng     *rand.Rand
 	adam    *nn.Adam
 	engine  *core.TrainEngine // lazily built when BatchPairs > 0
+	exec    flow.Executor     // runner, or flow.Exec when deadlines/retries are on
 	history []Evaluation
 	records []IterationRecord
 	seen    map[recipe.Set]bool
 	acc     insight.Accumulator
+	// lastGood snapshots the parameters before each policy update so a
+	// poisoned (non-finite) update can be rolled back.
+	lastGood [][]float64
 }
 
 // NewTuner builds a tuner on top of an offline-aligned model. stats must be
@@ -177,6 +212,17 @@ func NewTuner(model *core.Model, runner *flow.Runner, iv insight.Vector, st qor.
 		rng:       rand.New(rand.NewSource(opt.Seed)),
 		adam:      adam,
 		seen:      map[recipe.Set]bool{},
+	}
+	t.exec = runner
+	if opt.FlowTimeout > 0 || opt.FlowRetries > 0 {
+		eo := flow.DefaultExecOptions()
+		eo.Timeout = opt.FlowTimeout
+		eo.Retries = opt.FlowRetries
+		if opt.FlowBackoff > 0 {
+			eo.BackoffBase = opt.FlowBackoff
+		}
+		eo.Seed = opt.Seed
+		t.exec = flow.NewExec(runner, eo)
 	}
 	// The probe-run insight seeds the accumulated view.
 	t.acc.Add(iv)
@@ -244,7 +290,13 @@ func (t *Tuner) propose() []core.Candidate {
 }
 
 // Iterate runs one closed-loop iteration: propose K → run the flow → score
-// → update the policy with MDPO + PPO.
+// → update the policy with MDPO + PPO. Iterations are fault tolerant:
+// each of the K proposals is evaluated independently through the tuner's
+// executor (a flow.Exec with deadlines and retries when Options enables
+// them); failed runs are journaled and dropped, MDPO preferences are
+// re-paired over the surviving subset, and a policy update that produces
+// non-finite parameters is rolled back to the pre-update snapshot. Only
+// journal I/O errors abort an iteration.
 func (t *Tuner) Iterate() (IterationRecord, error) {
 	onlineMetrics()
 	iter := len(t.records)
@@ -259,48 +311,87 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 	rec := IterationRecord{Iteration: iter}
 	for _, c := range proposals {
 		params := recipe.ApplySet(flow.DefaultParams(), c.Set)
+		runSeed := t.rng.Int63()
 		_, flowSpan := obs.StartSpan(ctx, "flow_run")
-		m, tr, err := t.runner.Run(params, t.rng.Int63())
+		m, tr, err := t.exec.RunContext(ctx, params, runSeed)
 		flowSpan.End()
-		if err != nil {
-			return rec, fmt.Errorf("online: flow run: %w", err)
+		if err == nil {
+			// Degenerate stats can still score garbage QoR from finite
+			// metrics; a non-finite score is a failed evaluation too.
+			if q := qor.Score(*m, t.stats, t.intention); !math.IsNaN(q) && !math.IsInf(q, 0) {
+				onlineFlowRuns.Inc()
+				if t.opt.RefreshInsights {
+					t.acc.Add(insight.Extract(m, tr))
+				}
+				e := Evaluation{
+					Set:        c.Set,
+					Metrics:    *m,
+					QoR:        q,
+					LogProbOld: c.LogProb,
+					Iteration:  iter,
+				}
+				t.history = append(t.history, e)
+				t.seen[e.Set] = true
+				rec.Evaluations = append(rec.Evaluations, e)
+				continue
+			}
+			err = fmt.Errorf("online: %w: non-finite QoR score", flow.ErrCorruptQoR)
 		}
-		onlineFlowRuns.Inc()
+		// Degraded mode: drop the proposal, keep the iteration. The set
+		// stays un-seen so a later iteration may propose it again.
+		rec.Failures++
+		onlineFlowFailures.Inc()
+		if jerr := t.opt.Journal.Record("flow_run_failed", FailureJournalEntry{
+			Iteration: iter,
+			Set:       c.Set.String(),
+			Kind:      flow.Classify(err).String(),
+			Error:     err.Error(),
+		}); jerr != nil {
+			return rec, fmt.Errorf("online: journal flow failure: %w", jerr)
+		}
+	}
+	if rec.Degraded() {
+		onlineDegradedIters.Inc()
+	}
+
+	if len(rec.Evaluations) > 0 {
+		// Snapshot before updating so a poisoned update (NaN/Inf loss or
+		// parameters) recovers to the last good policy instead of
+		// corrupting every subsequent proposal.
+		t.snapshotParams()
+		updCtx, updSpan := obs.StartSpan(ctx, "policy_update")
+		rec.MeanLoss = t.update(updCtx, rec.Evaluations)
+		updSpan.End()
+		if !finite(rec.MeanLoss) || !t.paramsFinite() {
+			t.restoreParams()
+			rec.Recovered = true
+			rec.MeanLoss = 0
+			onlineRecoveries.Inc()
+			if jerr := t.opt.Journal.Record("online_recovered", map[string]int{"iteration": iter}); jerr != nil {
+				return rec, fmt.Errorf("online: journal recovery: %w", jerr)
+			}
+		}
 		if t.opt.RefreshInsights {
-			t.acc.Add(insight.Extract(m, tr))
+			// Condition subsequent proposals and updates on the
+			// accumulated (averaged) insight view.
+			t.insight = t.acc.Mean()
 		}
-		e := Evaluation{
-			Set:        c.Set,
-			Metrics:    *m,
-			QoR:        qor.Score(*m, t.stats, t.intention),
-			LogProbOld: c.LogProb,
-			Iteration:  iter,
-		}
-		t.history = append(t.history, e)
-		t.seen[e.Set] = true
-		rec.Evaluations = append(rec.Evaluations, e)
 	}
 
-	updCtx, updSpan := obs.StartSpan(ctx, "policy_update")
-	rec.MeanLoss = t.update(updCtx, rec.Evaluations)
-	updSpan.End()
-	if t.opt.RefreshInsights {
-		// Condition subsequent proposals and updates on the accumulated
-		// (averaged) insight view.
-		t.insight = t.acc.Mean()
-	}
-
-	// Trajectory bookkeeping.
-	best := t.history[0]
-	for _, e := range t.history {
-		if e.QoR > best.QoR {
-			best = e
+	// Trajectory bookkeeping (history may still be empty if every
+	// proposal of every iteration so far failed).
+	if len(t.history) > 0 {
+		best := t.history[0]
+		for _, e := range t.history {
+			if e.QoR > best.QoR {
+				best = e
+			}
 		}
+		rec.BestQoR = best.QoR
+		rec.PowerOfBest = best.Metrics.PowerMW
+		rec.TNSOfBest = best.Metrics.TNSns
+		rec.AvgTopK = t.avgTopK(t.opt.K)
 	}
-	rec.BestQoR = best.QoR
-	rec.PowerOfBest = best.Metrics.PowerMW
-	rec.TNSOfBest = best.Metrics.TNSns
-	rec.AvgTopK = t.avgTopK(t.opt.K)
 	t.records = append(t.records, rec)
 
 	iterBest := math.Inf(-1)
@@ -309,6 +400,8 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 		BestQoR:   rec.BestQoR,
 		AvgTopK:   rec.AvgTopK,
 		MeanLoss:  rec.MeanLoss,
+		Failures:  rec.Failures,
+		Recovered: rec.Recovered,
 	}
 	for _, e := range rec.Evaluations {
 		entry.Sets = append(entry.Sets, e.Set.String())
@@ -318,7 +411,9 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 		}
 	}
 	onlineIters.Inc()
-	onlineIterQoR.Set(iterBest)
+	if len(rec.Evaluations) > 0 {
+		onlineIterQoR.Set(iterBest)
+	}
 	onlineBestQoR.Set(rec.BestQoR)
 	onlineMeanLoss.Set(rec.MeanLoss)
 	if err := t.opt.Journal.Record("online_iteration", entry); err != nil {
@@ -326,6 +421,42 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 	}
 	return rec, nil
 }
+
+// snapshotParams copies the model parameters into the tuner's last-good
+// buffer (allocated once and reused).
+func (t *Tuner) snapshotParams() {
+	ps := t.model.Params()
+	if t.lastGood == nil {
+		t.lastGood = make([][]float64, len(ps))
+		for i, p := range ps {
+			t.lastGood[i] = make([]float64, len(p.Data))
+		}
+	}
+	for i, p := range ps {
+		copy(t.lastGood[i], p.Data)
+	}
+}
+
+// restoreParams rolls the model back to the last snapshot.
+func (t *Tuner) restoreParams() {
+	for i, p := range t.model.Params() {
+		copy(p.Data, t.lastGood[i])
+	}
+}
+
+// paramsFinite reports whether every model parameter is a finite number.
+func (t *Tuner) paramsFinite() bool {
+	for _, p := range t.model.Params() {
+		for _, v := range p.Data {
+			if !finite(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Run executes n iterations and returns the full trajectory.
 func (t *Tuner) Run(n int) ([]IterationRecord, error) {
@@ -406,6 +537,13 @@ func (t *Tuner) update(ctx context.Context, newEvals []Evaluation) float64 {
 			}
 			step := false
 			for _, v := range t.engine.Accumulate(ctx, losses, true) {
+				if !finite(v) {
+					// Poisoned minibatch: discard the whole accumulated
+					// step rather than mix NaN gradients into Adam.
+					onlineNonfinite.Inc()
+					step = false
+					break
+				}
 				totalLoss += v
 				updates++
 				if v != 0 {
@@ -421,6 +559,12 @@ func (t *Tuner) update(ctx context.Context, newEvals []Evaluation) float64 {
 			t.adam.ZeroGrad()
 			loss := t.mdpoLoss(t.model, iv, p)
 			v := loss.Item()
+			if !finite(v) {
+				// A NaN/Inf pair loss would backpropagate poison into
+				// every parameter; reject it before any gradient flows.
+				onlineNonfinite.Inc()
+				continue
+			}
 			totalLoss += v
 			updates++
 			if v > 0 {
@@ -442,6 +586,10 @@ func (t *Tuner) update(ctx context.Context, newEvals []Evaluation) float64 {
 			lp := t.model.LogProb(iv, e.Set.Bits())
 			ratioT := lp.AddScalar(-e.LogProbOld).Exp()
 			r := ratioT.Item()
+			if !finite(r) {
+				onlineNonfinite.Inc()
+				continue
+			}
 			clipped := math.Max(1-t.opt.PPOEpsilon, math.Min(1+t.opt.PPOEpsilon, r))
 			// Surrogate: min(r·A, clip(r)·A). When the clipped branch is
 			// active the gradient is zero — skip the step.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -22,7 +23,31 @@ var (
 	// ErrNoModel rejects a request because no model has been installed
 	// yet (HTTP 503).
 	ErrNoModel = errors.New("serve: no model loaded")
+	// ErrBackend marks a failed backend (decoder) invocation — the hook
+	// seam errored (HTTP 502). These failures feed the circuit breaker.
+	ErrBackend = errors.New("serve: backend failure")
 )
+
+// runBackendHook executes the backend fault seam (nil hook: healthy).
+// Context errors pass through unchanged (they map to 504/499); anything
+// else is normalized to ErrBackend so the handlers and the circuit breaker
+// classify it as backend ill-health.
+func runBackendHook(ctx context.Context, hook func(context.Context) error) error {
+	err := func() error {
+		if hook == nil {
+			return nil
+		}
+		return hook(ctx)
+	}()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return err
+	default:
+		return fmt.Errorf("%w: %v", ErrBackend, err)
+	}
+}
 
 // batchRequest is one enqueued recommendation query.
 type batchRequest struct {
@@ -48,8 +73,13 @@ type batchResult struct {
 // callers. Expired requests (per-request deadlines) are dropped at
 // execution time; a full queue rejects immediately with ErrQueueFull.
 type Batcher struct {
-	reg      *Registry
-	met      *Metrics
+	reg *Registry
+	met *Metrics
+	// hook, if non-nil, runs before every decoder call (the serve-side
+	// fault-injection seam): an error fails the whole coalesced batch
+	// with ErrBackend, a blocking hook simulates a hung backend and is
+	// bounded by the first live request's deadline.
+	hook     func(ctx context.Context) error
 	queue    chan *batchRequest
 	window   time.Duration
 	maxBatch int
@@ -228,6 +258,14 @@ func (b *Batcher) run(batch []*batchRequest) {
 	if snap == nil {
 		for _, r := range live {
 			r.done <- batchResult{err: ErrNoModel}
+		}
+		return
+	}
+	// A hung hook parks this executor until the first live request's
+	// deadline fires, so the stall is bounded and the execSem slot frees.
+	if err := runBackendHook(live[0].ctx, b.hook); err != nil {
+		for _, r := range live {
+			r.done <- batchResult{err: err}
 		}
 		return
 	}

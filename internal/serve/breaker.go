@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and samples outcomes.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a limited number of probe requests; their
+	// outcomes decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for /healthz and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}
+
+// BreakerConfig parameterizes the serving circuit breaker. The zero value
+// (with Disabled false) is normalized to the defaults noted per field.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely: no shedding, no recording.
+	Disabled bool
+	// Window is the sliding window of recorded backend outcomes (default 16).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the failure ratio can trip the breaker (default 8).
+	MinSamples int
+	// FailureRatio trips the breaker when failures/window reaches it
+	// (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long the breaker stays open before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker; any probe failure re-opens it (default 2).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+// Breaker is a count-based sliding-window circuit breaker over backend
+// (decoder) health: when at least MinSamples of the last Window outcomes
+// are failures at FailureRatio or above, it opens and the server sheds
+// requests with 503 + Retry-After instead of queueing them behind a dying
+// backend. After Cooldown it admits HalfOpenProbes probes; all succeeding
+// closes it, any failing re-opens it. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	// now is the clock (a test hook).
+	now func() time.Time
+	// onTransition, if non-nil, observes every state change (metric seam).
+	// Called with the breaker lock held: keep it non-blocking.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring of outcomes; true = failure
+	idx      int    // next ring slot
+	samples  int    // occupied ring slots
+	fails    int    // failures currently in the ring
+	openedAt time.Time
+	probes   int // probes admitted in half-open
+	probeOKs int // probe successes in half-open
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig, onTransition func(from, to BreakerState)) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:          cfg,
+		now:          time.Now,
+		onTransition: onTransition,
+		window:       make([]bool, cfg.Window),
+	}
+}
+
+// State returns the current state (transitioning open -> half-open if the
+// cooldown has elapsed, so /healthz reports what the next request would see).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeProbeLocked()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. When it returns false the
+// second value is how long the caller should tell the client to wait
+// (the Retry-After hint).
+func (b *Breaker) Allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeProbeLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true, 0
+		}
+		// Probe quota in flight; shed briefly while they resolve.
+		return false, b.cfg.Cooldown
+	default: // BreakerOpen
+		wait := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+		if wait < 0 {
+			wait = 0
+		}
+		return false, wait
+	}
+}
+
+// Record feeds one backend outcome into the state machine.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if !ok {
+			b.openLocked()
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenProbes {
+			b.transitionLocked(BreakerClosed)
+			b.resetWindowLocked()
+		}
+	case BreakerClosed:
+		if b.window[b.idx] {
+			b.fails--
+		}
+		b.window[b.idx] = !ok
+		if !ok {
+			b.fails++
+		}
+		b.idx = (b.idx + 1) % len(b.window)
+		if b.samples < len(b.window) {
+			b.samples++
+		}
+		if b.samples >= b.cfg.MinSamples &&
+			float64(b.fails) >= b.cfg.FailureRatio*float64(b.samples) {
+			b.openLocked()
+		}
+	default: // BreakerOpen: late results from requests admitted earlier
+		// carry no new information; the cooldown clock decides.
+	}
+}
+
+// maybeProbeLocked moves open -> half-open once the cooldown elapses.
+func (b *Breaker) maybeProbeLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.transitionLocked(BreakerHalfOpen)
+		b.probes, b.probeOKs = 0, 0
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.openedAt = b.now()
+	b.transitionLocked(BreakerOpen)
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.samples, b.fails = 0, 0, 0
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker builds a breaker on a settable fake clock and records its
+// transitions.
+func testBreaker(cfg BreakerConfig) (*Breaker, *time.Time, *[]string) {
+	var transitions []string
+	b := NewBreaker(cfg, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now, &transitions
+}
+
+func TestBreakerTripsAtFailureRatio(t *testing.T) {
+	b, _, trans := testBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5})
+	b.Record(true)
+	b.Record(false)
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	b.Record(false) // 4 samples, 2 failures = exactly the 0.5 ratio
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s, want open at ratio", b.State())
+	}
+	if len(*trans) != 1 || (*trans)[0] != "closed->open" {
+		t.Fatalf("transitions %v", *trans)
+	}
+	if ok, wait := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("open breaker allowed a request (ok=%v wait=%v)", ok, wait)
+	}
+}
+
+func TestBreakerStaysClosedUnderRatio(t *testing.T) {
+	b, _, _ := testBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5})
+	for i := 0; i < 32; i++ {
+		b.Record(i%4 != 0) // 25% failures against a 50% threshold
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker tripped at 25%% failures with a 50%% threshold")
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerCooldownProbeClose(t *testing.T) {
+	b, now, trans := testBreaker(BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRatio: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// Before cooldown: still shedding, Retry-After counts down.
+	*now = now.Add(400 * time.Millisecond)
+	if ok, wait := b.Allow(); ok || wait != 600*time.Millisecond {
+		t.Fatalf("want shed with 600ms left, got ok=%v wait=%v", ok, wait)
+	}
+	// After cooldown: half-open, exactly HalfOpenProbes probes pass.
+	*now = now.Add(700 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("probe %d not admitted", i)
+		}
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("probe quota exceeded")
+	}
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one probe success must not close a 2-probe breaker")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after all probes succeeded, want closed", b.State())
+	}
+	want := []string{"closed->open", "open->half_open", "half_open->closed"}
+	if len(*trans) != len(want) {
+		t.Fatalf("transitions %v, want %v", *trans, want)
+	}
+	for i := range want {
+		if (*trans)[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, (*trans)[i], want[i])
+		}
+	}
+	// Closed again with a fresh window: one failure must not re-trip.
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("window not reset after close")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, now, _ := testBreaker(BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRatio: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 1,
+	})
+	b.Record(false)
+	b.Record(false)
+	*now = now.Add(time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after failed probe, want open", b.State())
+	}
+	// The cooldown clock restarted at the failed probe.
+	if ok, wait := b.Allow(); ok || wait != time.Second {
+		t.Fatalf("want full cooldown again, got ok=%v wait=%v", ok, wait)
+	}
+}
+
+func TestBreakerOpenIgnoresLateResults(t *testing.T) {
+	b, _, _ := testBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRatio: 0.5})
+	b.Record(false)
+	b.Record(false)
+	// Requests admitted before the trip finish afterwards; their outcomes
+	// must not perturb the open state or the next half-open round.
+	b.Record(true)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("late results must not move an open breaker")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Window != 16 || cfg.MinSamples != 8 || cfg.FailureRatio != 0.5 ||
+		cfg.Cooldown != 5*time.Second || cfg.HalfOpenProbes != 2 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	// MinSamples is clamped to the window.
+	cfg = BreakerConfig{Window: 4, MinSamples: 9}.withDefaults()
+	if cfg.MinSamples != 4 {
+		t.Fatalf("MinSamples %d not clamped to window", cfg.MinSamples)
+	}
+}

@@ -60,6 +60,14 @@ type Config struct {
 	// DisableBatching bypasses the admission queue and decodes each
 	// request inline — the unbatched comparison mode of the load tests.
 	DisableBatching bool
+	// Breaker configures the backend circuit breaker: when the recent
+	// backend failure ratio trips it, requests are shed with 503 +
+	// Retry-After instead of queueing behind a dying backend.
+	Breaker BreakerConfig
+	// BackendHook, if non-nil, runs before every decoder call — the
+	// fault-injection seam the degradation tests use to simulate hung or
+	// failing backends (faultinject.Injector.HookFunc matches it).
+	BackendHook func(ctx context.Context) error
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 	// Metrics is the registry the server's metric families bind into;
@@ -93,6 +101,7 @@ type Server struct {
 	reg    *Registry
 	bat    *Batcher
 	met    *Metrics
+	brk    *Breaker // nil when cfg.Breaker.Disabled
 	tracer *obs.Tracer
 	log    *slog.Logger
 
@@ -129,6 +138,13 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	s.bat = NewBatcher(reg, nil, cfg.QueueDepth, cfg.MaxBatch, cfg.MaxConcurrentBatches, cfg.BatchWindow)
 	s.met = NewMetrics(cfg.Metrics, s.bat.Depth, reg.Version)
 	s.bat.met = s.met
+	s.bat.hook = cfg.BackendHook
+	if !cfg.Breaker.Disabled {
+		s.brk = NewBreaker(cfg.Breaker, func(from, to BreakerState) {
+			s.met.ObserveBreakerTransition(from, to)
+			s.log.Warn("circuit breaker transition", "from", from.String(), "to", to.String())
+		})
+	}
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s, nil
 }
@@ -285,6 +301,9 @@ type HealthResponse struct {
 	ModelVersion  string  `json:"model_version,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	QueueDepth    int     `json:"queue_depth"`
+	// Breaker is the circuit breaker state ("closed" / "open" /
+	// "half_open"); omitted when the breaker is disabled.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies; a 72-dim vector is ~2 KB, a full
@@ -296,6 +315,9 @@ const maxBodyBytes = 4 << 20
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.maybeShed(w, r) {
 		return
 	}
 	var req RecommendRequest
@@ -320,6 +342,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.maybeShed(w, r) {
 		return
 	}
 	var req BatchRequest
@@ -373,6 +398,8 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 		snap := s.reg.Current()
 		if snap == nil {
 			res = batchResult{err: ErrNoModel}
+		} else if err := runBackendHook(ctx, s.cfg.BackendHook); err != nil {
+			res = batchResult{err: err}
 		} else {
 			_, sp := obs.StartSpan(ctx, "decoder_session")
 			sp.SetAttr("batch_size", "1")
@@ -387,6 +414,7 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	} else {
 		res = s.bat.Submit(ctx, req.Insight, k)
 	}
+	s.recordOutcome(res.err)
 	if res.err != nil {
 		return RecommendResponse{Error: res.err.Error()}, errStatus(res.err)
 	}
@@ -415,6 +443,41 @@ func toCandidateJSON(c core.Candidate) CandidateJSON {
 		Names:   names,
 		Count:   c.Set.Count(),
 		LogProb: c.LogProb,
+	}
+}
+
+// maybeShed rejects the request with 503 + Retry-After while the circuit
+// breaker is open (or its half-open probe quota is in flight). Returns
+// true when the request was shed.
+func (s *Server) maybeShed(w http.ResponseWriter, r *http.Request) bool {
+	if s.brk == nil {
+		return false
+	}
+	ok, wait := s.brk.Allow()
+	if ok {
+		return false
+	}
+	s.met.ObserveShed()
+	// Round the hint up so "0.8s left" does not tell clients to hammer
+	// immediately.
+	w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
+	s.writeError(w, r, http.StatusServiceUnavailable, "circuit breaker open: backend unhealthy")
+	return true
+}
+
+// recordOutcome feeds one request's terminal result into the breaker.
+// Only signals about backend health count: successes close, backend
+// failures and deadline expiries open. Queue-full, shutdown, missing
+// model, and client cancels say nothing about the backend.
+func (s *Server) recordOutcome(err error) {
+	if s.brk == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		s.brk.Record(true)
+	case errors.Is(err, ErrBackend), errors.Is(err, context.DeadlineExceeded):
+		s.brk.Record(false)
 	}
 }
 
@@ -474,6 +537,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ModelVersion:  s.reg.Version(),
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
 		QueueDepth:    s.bat.Depth(),
+	}
+	if s.brk != nil {
+		resp.Breaker = s.brk.State().String()
 	}
 	code := http.StatusOK
 	if resp.ModelVersion == "" {
@@ -551,6 +617,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBackend):
+		return http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

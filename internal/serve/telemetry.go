@@ -25,11 +25,14 @@ type Metrics struct {
 	reg   *obs.Registry
 	start time.Time
 
-	requests   *obs.Counter   // insightalign_requests_total{route,code}
-	latency    *obs.Histogram // insightalign_request_duration_seconds{route}
-	batch      *obs.Histogram // insightalign_batch_size
-	batchPeak  *obs.Gauge     // insightalign_batch_size_max
-	rejections *obs.Counter   // insightalign_rejections_total{reason}
+	requests     *obs.Counter   // insightalign_requests_total{route,code}
+	latency      *obs.Histogram // insightalign_request_duration_seconds{route}
+	batch        *obs.Histogram // insightalign_batch_size
+	batchPeak    *obs.Gauge     // insightalign_batch_size_max
+	rejections   *obs.Counter   // insightalign_rejections_total{reason}
+	shed         *obs.Counter   // insightalign_serve_shed_total
+	breakerTrans *obs.Counter   // insightalign_breaker_transitions_total{to}
+	breakerState *obs.Gauge     // insightalign_breaker_state
 
 	mu       sync.Mutex
 	batchMax int // this server's high-watermark; the gauge is registry-wide
@@ -55,6 +58,12 @@ func NewMetrics(reg *obs.Registry, queueDepth func() int, modelVersion func() st
 			"Largest coalesced batch observed."),
 		rejections: reg.Counter("insightalign_rejections_total",
 			"Rejected requests by reason.", "reason"),
+		shed: reg.Counter("insightalign_serve_shed_total",
+			"Requests shed with 503 while the circuit breaker was open."),
+		breakerTrans: reg.Counter("insightalign_breaker_transitions_total",
+			"Circuit breaker state transitions by destination state.", "to"),
+		breakerState: reg.Gauge("insightalign_breaker_state",
+			"Circuit breaker state (0 closed, 1 open, 2 half-open)."),
 	}
 	reg.GaugeFunc("insightalign_uptime_seconds",
 		"Time since the process-wide metrics registry was created.",
@@ -96,6 +105,18 @@ func (m *Metrics) ObserveBatch(size int) {
 // "deadline", "shutdown", "no_model").
 func (m *Metrics) ObserveRejection(reason string) {
 	m.rejections.Inc(reason)
+}
+
+// ObserveShed records one request shed by the open circuit breaker.
+func (m *Metrics) ObserveShed() {
+	m.shed.Inc()
+}
+
+// ObserveBreakerTransition records one breaker state change and moves the
+// state gauge.
+func (m *Metrics) ObserveBreakerTransition(from, to BreakerState) {
+	m.breakerTrans.Inc(to.String())
+	m.breakerState.Set(float64(to))
 }
 
 // BatchMax returns the largest coalesced batch this server has seen (the
