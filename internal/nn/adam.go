@@ -79,6 +79,48 @@ func (a *Adam) Step() {
 	}
 }
 
+// AdamState is a deep copy of an optimizer's moment buffers and step
+// counter, snapshotted alongside the parameters they update. Rolling
+// back parameters without the moments is not enough after a poisoned
+// update: a NaN gradient leaves NaN in m/v, and every later Step would
+// write NaN parameters again.
+type AdamState struct {
+	m    [][]float64
+	v    [][]float64
+	step int
+}
+
+// Snapshot copies the optimizer's moments and step counter into st,
+// allocating its buffers on first use and reusing them afterwards.
+func (a *Adam) Snapshot(st *AdamState) {
+	if st.m == nil {
+		st.m = make([][]float64, len(a.m))
+		st.v = make([][]float64, len(a.v))
+		for i := range a.m {
+			st.m[i] = make([]float64, len(a.m[i]))
+			st.v[i] = make([]float64, len(a.v[i]))
+		}
+	}
+	for i := range a.m {
+		copy(st.m[i], a.m[i])
+		copy(st.v[i], a.v[i])
+	}
+	st.step = a.step
+}
+
+// Restore overwrites the optimizer's moments and step counter from a
+// previous Snapshot. A zero (never-snapshotted) state is a no-op.
+func (a *Adam) Restore(st *AdamState) {
+	if st.m == nil {
+		return
+	}
+	for i := range a.m {
+		copy(a.m[i], st.m[i])
+		copy(a.v[i], st.v[i])
+	}
+	a.step = st.step
+}
+
 // StepCount returns how many updates have been applied.
 func (a *Adam) StepCount() int { return a.step }
 

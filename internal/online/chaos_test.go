@@ -245,18 +245,58 @@ func TestParamsSnapshotRecovery(t *testing.T) {
 	if !tuner.paramsFinite() {
 		t.Fatal("fresh model must be finite")
 	}
-	tuner.snapshotParams()
+	tuner.snapshotState()
 	p := model.Params()[0]
 	orig := p.Data[0]
 	p.Data[0] = math.NaN()
 	if tuner.paramsFinite() {
 		t.Fatal("paramsFinite missed a NaN parameter")
 	}
-	tuner.restoreParams()
+	tuner.restoreState()
 	if p.Data[0] != orig {
 		t.Fatalf("restore did not roll back: got %v want %v", p.Data[0], orig)
 	}
 	if !tuner.paramsFinite() {
 		t.Fatal("restored model must be finite")
+	}
+}
+
+// TestOptimizerSnapshotRecovery covers the Adam-moment half of the
+// rollback: a non-finite gradient that reaches adam.Step poisons the
+// persistent m/v buffers, so restoring the parameters alone would see
+// every subsequent (finite-gradient) step write NaN parameters again and
+// learning silently halt behind repeated recoveries.
+func TestOptimizerSnapshotRecovery(t *testing.T) {
+	model, runner, iv, st := fixture(t, 99)
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.snapshotState()
+
+	// A poisoned update: finite-looking bookkeeping, NaN gradient.
+	for _, p := range model.Params() {
+		p.ZeroGrad()
+		p.Grad[0] = math.NaN()
+	}
+	tuner.adam.Step()
+	if tuner.paramsFinite() {
+		t.Fatal("NaN gradient step should have poisoned the parameters")
+	}
+	tuner.restoreState()
+	if !tuner.paramsFinite() {
+		t.Fatal("restored model must be finite")
+	}
+
+	// The moments rolled back too: a clean step must stay finite.
+	for _, p := range model.Params() {
+		p.ZeroGrad()
+		for j := range p.Grad {
+			p.Grad[j] = 1e-3
+		}
+	}
+	tuner.adam.Step()
+	if !tuner.paramsFinite() {
+		t.Fatal("clean step after recovery wrote non-finite parameters; Adam moments were not restored")
 	}
 }

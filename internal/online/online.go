@@ -185,9 +185,13 @@ type Tuner struct {
 	records []IterationRecord
 	seen    map[recipe.Set]bool
 	acc     insight.Accumulator
-	// lastGood snapshots the parameters before each policy update so a
-	// poisoned (non-finite) update can be rolled back.
-	lastGood [][]float64
+	// lastGood and lastGoodOpt snapshot the parameters and the Adam
+	// moments before each policy update so a poisoned (non-finite) update
+	// can be rolled back. Both must roll back together: restoring the
+	// parameters alone would leave NaN moments re-poisoning every
+	// subsequent optimizer step.
+	lastGood    [][]float64
+	lastGoodOpt nn.AdamState
 }
 
 // NewTuner builds a tuner on top of an offline-aligned model. stats must be
@@ -358,12 +362,12 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 		// Snapshot before updating so a poisoned update (NaN/Inf loss or
 		// parameters) recovers to the last good policy instead of
 		// corrupting every subsequent proposal.
-		t.snapshotParams()
+		t.snapshotState()
 		updCtx, updSpan := obs.StartSpan(ctx, "policy_update")
 		rec.MeanLoss = t.update(updCtx, rec.Evaluations)
 		updSpan.End()
 		if !finite(rec.MeanLoss) || !t.paramsFinite() {
-			t.restoreParams()
+			t.restoreState()
 			rec.Recovered = true
 			rec.MeanLoss = 0
 			onlineRecoveries.Inc()
@@ -414,7 +418,12 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 	if len(rec.Evaluations) > 0 {
 		onlineIterQoR.Set(iterBest)
 	}
-	onlineBestQoR.Set(rec.BestQoR)
+	// Publish best-QoR only once an evaluation exists: with an all-failed
+	// history rec.BestQoR is still its zero value, and 0 on the gauge
+	// would be indistinguishable from a genuine QoR of 0.
+	if len(t.history) > 0 {
+		onlineBestQoR.Set(rec.BestQoR)
+	}
 	onlineMeanLoss.Set(rec.MeanLoss)
 	if err := t.opt.Journal.Record("online_iteration", entry); err != nil {
 		return rec, fmt.Errorf("online: journal iteration %d: %w", iter, err)
@@ -422,9 +431,10 @@ func (t *Tuner) Iterate() (IterationRecord, error) {
 	return rec, nil
 }
 
-// snapshotParams copies the model parameters into the tuner's last-good
-// buffer (allocated once and reused).
-func (t *Tuner) snapshotParams() {
+// snapshotState copies the model parameters and the optimizer's Adam
+// moments/step counter into the tuner's last-good buffers (allocated
+// once and reused).
+func (t *Tuner) snapshotState() {
 	ps := t.model.Params()
 	if t.lastGood == nil {
 		t.lastGood = make([][]float64, len(ps))
@@ -435,13 +445,19 @@ func (t *Tuner) snapshotParams() {
 	for i, p := range ps {
 		copy(t.lastGood[i], p.Data)
 	}
+	t.adam.Snapshot(&t.lastGoodOpt)
 }
 
-// restoreParams rolls the model back to the last snapshot.
-func (t *Tuner) restoreParams() {
+// restoreState rolls the model and the optimizer back to the last
+// snapshot. Restoring the optimizer matters: a non-finite gradient with
+// a finite loss reaches adam.Step and poisons the persistent m/v
+// moments, which would otherwise rewrite NaN parameters on every later
+// step and silently halt learning behind repeated recoveries.
+func (t *Tuner) restoreState() {
 	for i, p := range t.model.Params() {
 		copy(p.Data, t.lastGood[i])
 	}
+	t.adam.Restore(&t.lastGoodOpt)
 }
 
 // paramsFinite reports whether every model parameter is a finite number.

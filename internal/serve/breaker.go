@@ -72,6 +72,22 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
+// Admission is the resolution token Allow returns for an admitted
+// request. Every admission must be resolved exactly once: Record feeds a
+// backend-health outcome into the state machine, Release frees the slot
+// when the request never produced one (JSON/validation failure,
+// queue-full, missing model, client cancel). The generation stamp lets
+// the breaker discard resolutions from requests admitted before its
+// latest state change, so a slow failure from the closed era is never
+// mistaken for a probe verdict.
+type Admission struct {
+	gen   uint64
+	probe bool
+}
+
+// Probe reports whether this admission consumed a half-open probe slot.
+func (a Admission) Probe() bool { return a.probe }
+
 // Breaker is a count-based sliding-window circuit breaker over backend
 // (decoder) health: when at least MinSamples of the last Window outcomes
 // are failures at FailureRatio or above, it opens and the server sheds
@@ -88,6 +104,7 @@ type Breaker struct {
 
 	mu       sync.Mutex
 	state    BreakerState
+	gen      uint64 // bumped on every transition; stamps admissions
 	window   []bool // ring of outcomes; true = failure
 	idx      int    // next ring slot
 	samples  int    // occupied ring slots
@@ -117,38 +134,47 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
-// Allow reports whether a request may proceed. When it returns false the
-// second value is how long the caller should tell the client to wait
-// (the Retry-After hint).
-func (b *Breaker) Allow() (bool, time.Duration) {
+// Allow reports whether a request may proceed. When allowed, the
+// returned Admission must be resolved exactly once with Record or
+// Release; otherwise the duration is how long the caller should tell the
+// client to wait (the Retry-After hint).
+func (b *Breaker) Allow() (Admission, bool, time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.maybeProbeLocked()
 	switch b.state {
 	case BreakerClosed:
-		return true, 0
+		return Admission{gen: b.gen}, true, 0
 	case BreakerHalfOpen:
 		if b.probes < b.cfg.HalfOpenProbes {
 			b.probes++
-			return true, 0
+			return Admission{gen: b.gen, probe: true}, true, 0
 		}
 		// Probe quota in flight; shed briefly while they resolve.
-		return false, b.cfg.Cooldown
+		return Admission{}, false, b.cfg.Cooldown
 	default: // BreakerOpen
 		wait := b.cfg.Cooldown - b.now().Sub(b.openedAt)
 		if wait < 0 {
 			wait = 0
 		}
-		return false, wait
+		return Admission{}, false, wait
 	}
 }
 
-// Record feeds one backend outcome into the state machine.
-func (b *Breaker) Record(ok bool) {
+// Record resolves an admission with one backend outcome. Resolutions
+// from admissions older than the latest state transition are discarded:
+// a slow failure from the closed era must not re-open a half-open
+// breaker, and a stale success must not close it before a real probe
+// has run.
+func (b *Breaker) Record(adm Admission, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if adm.gen != b.gen {
+		return
+	}
 	switch b.state {
 	case BreakerHalfOpen:
+		// The generation matched, so this is one of this round's probes.
 		if !ok {
 			b.openLocked()
 			return
@@ -174,8 +200,23 @@ func (b *Breaker) Record(ok bool) {
 			float64(b.fails) >= b.cfg.FailureRatio*float64(b.samples) {
 			b.openLocked()
 		}
-	default: // BreakerOpen: late results from requests admitted earlier
-		// carry no new information; the cooldown clock decides.
+	default: // BreakerOpen issues no admissions, so a matching generation
+		// is impossible here; nothing to do.
+	}
+}
+
+// Release resolves an admission without a backend-health signal, freeing
+// its half-open probe slot. Without it a probe request dying before the
+// backend (malformed body, queue-full, client cancel) would leak its
+// slot permanently and wedge the breaker in half-open, shedding forever.
+func (b *Breaker) Release(adm Admission) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !adm.probe || adm.gen != b.gen || b.state != BreakerHalfOpen {
+		return
+	}
+	if b.probes > 0 {
+		b.probes--
 	}
 }
 
@@ -206,6 +247,7 @@ func (b *Breaker) transitionLocked(to BreakerState) {
 	}
 	from := b.state
 	b.state = to
+	b.gen++
 	if b.onTransition != nil {
 		b.onTransition(from, to)
 	}

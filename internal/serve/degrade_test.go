@@ -163,6 +163,72 @@ func TestServeBackendErrorIs502(t *testing.T) {
 	}
 }
 
+// TestServeHalfOpenSurvivesMalformedRequests is the probe-slot-leak
+// regression over HTTP: requests admitted during half-open that die
+// before reaching the backend (bad JSON, validation failures) must
+// release their probe slot. Before the fix, two such requests against a
+// 1-probe quota wedged the breaker in half-open and the server shed
+// every subsequent request with 503 forever.
+func TestServeHalfOpenSurvivesMalformedRequests(t *testing.T) {
+	// Hang the first 2 backend calls to open the breaker, then run clean.
+	inj := faultinject.New(faultinject.Config{
+		Seed: 11, Rate: 1,
+		Stages: []string{"backend"},
+		Kinds:  []faultinject.Kind{faultinject.Hang},
+		To:     2,
+	})
+	cfg := DefaultConfig()
+	cfg.Model = smallCfg()
+	cfg.RequestTimeout = 150 * time.Millisecond
+	cfg.BatchWindow = time.Millisecond
+	cfg.MaxConcurrentBatches = 1
+	cfg.BackendHook = inj.HookFunc("backend")
+	cfg.Breaker = BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRatio: 0.5,
+		Cooldown: 200 * time.Millisecond, HalfOpenProbes: 1,
+	}
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(64)
+	ts, _, _, _ := newTestServer(t, cfg)
+
+	iv := make([]float64, cfg.Model.InsightDim)
+	req := RecommendRequest{Insight: iv}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/recommend", req); resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("hang %d: got %d (%s), want 504", i, resp.StatusCode, body)
+		}
+	}
+	if st := breakerFromHealthz(t, ts.URL); st != "open" {
+		t.Fatalf("breaker %q after hangs, want open", st)
+	}
+	time.Sleep(cfg.Breaker.Cooldown + 50*time.Millisecond)
+	if st := breakerFromHealthz(t, ts.URL); st != "half_open" {
+		t.Fatalf("breaker %q after cooldown, want half_open", st)
+	}
+
+	// Burn the probe quota repeatedly with requests that never reach the
+	// backend: a syntactically invalid body and a wrong-width insight.
+	resp, err := http.Post(ts.URL+"/v1/recommend", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{Insight: []float64{1}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad insight width: got %d, want 400", resp.StatusCode)
+	}
+
+	// The slots freed: a valid request still probes and closes the breaker.
+	if resp, body := postJSON(t, ts.URL+"/v1/recommend", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after malformed requests: got %d (%s), want 200", resp.StatusCode, body)
+	}
+	if st := breakerFromHealthz(t, ts.URL); st != "closed" {
+		t.Fatalf("breaker %q after successful probe, want closed", st)
+	}
+}
+
 // TestServeBreakerDisabled confirms the default path is unchanged: no
 // breaker, no shedding, /healthz omits the state.
 func TestServeBreakerDisabled(t *testing.T) {

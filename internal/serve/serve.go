@@ -317,21 +317,25 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if s.maybeShed(w, r) {
+	adm, shed := s.maybeShed(w, r)
+	if shed {
 		return
 	}
 	var req RecommendRequest
 	if err := decodeJSON(w, r, &req); err != nil {
+		s.releaseAdmission(adm)
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if msg := s.validate(&req); msg != "" {
+		s.releaseAdmission(adm)
 		s.writeError(w, r, http.StatusBadRequest, msg)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	resp, code := s.recommend(ctx, &req)
+	resp, code, err := s.recommend(ctx, &req)
+	s.recordOutcome(adm, err)
 	if code != http.StatusOK {
 		s.writeError(w, r, code, resp.Error)
 		return
@@ -344,20 +348,24 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if s.maybeShed(w, r) {
+	adm, shed := s.maybeShed(w, r)
+	if shed {
 		return
 	}
 	var req BatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
+		s.releaseAdmission(adm)
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Requests) == 0 {
+		s.releaseAdmission(adm)
 		s.writeError(w, r, http.StatusBadRequest, "empty batch")
 		return
 	}
 	for i := range req.Requests {
 		if msg := s.validate(&req.Requests[i]); msg != "" {
+			s.releaseAdmission(adm)
 			s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("request %d: %s", i, msg))
 			return
 		}
@@ -367,25 +375,29 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	// Submit every element to the shared admission queue so a client
 	// batch coalesces with concurrent singles (and with other batches).
 	results := make([]RecommendResponse, len(req.Requests))
+	errs := make([]error, len(req.Requests))
 	var wg sync.WaitGroup
 	for i := range req.Requests {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, code := s.recommend(ctx, &req.Requests[i])
+			resp, code, err := s.recommend(ctx, &req.Requests[i])
 			if code != http.StatusOK && resp.Error == "" {
 				resp.Error = http.StatusText(code)
 			}
 			results[i] = resp
+			errs[i] = err
 		}(i)
 	}
 	wg.Wait()
+	s.recordBatchOutcome(adm, errs)
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
 // recommend runs one validated request through the batcher (or inline in
-// unbatched mode) and shapes the response. Returns the HTTP status.
-func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (RecommendResponse, int) {
+// unbatched mode) and shapes the response. Returns the HTTP status and
+// the raw terminal error for breaker outcome classification.
+func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (RecommendResponse, int, error) {
 	k := req.BeamWidth
 	if k <= 0 {
 		k = s.cfg.DefaultBeamWidth
@@ -414,9 +426,8 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	} else {
 		res = s.bat.Submit(ctx, req.Insight, k)
 	}
-	s.recordOutcome(res.err)
 	if res.err != nil {
-		return RecommendResponse{Error: res.err.Error()}, errStatus(res.err)
+		return RecommendResponse{Error: res.err.Error()}, errStatus(res.err), res.err
 	}
 	resp := RecommendResponse{
 		ModelVersion: res.version,
@@ -428,7 +439,7 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	for _, c := range res.cands {
 		resp.Candidates = append(resp.Candidates, toCandidateJSON(c))
 	}
-	return resp, http.StatusOK
+	return resp, http.StatusOK, nil
 }
 
 func toCandidateJSON(c core.Candidate) CandidateJSON {
@@ -447,38 +458,79 @@ func toCandidateJSON(c core.Candidate) CandidateJSON {
 }
 
 // maybeShed rejects the request with 503 + Retry-After while the circuit
-// breaker is open (or its half-open probe quota is in flight). Returns
-// true when the request was shed.
-func (s *Server) maybeShed(w http.ResponseWriter, r *http.Request) bool {
+// breaker is open (or its half-open probe quota is in flight). When the
+// request may proceed it returns the breaker admission, which the
+// handler must resolve exactly once via recordOutcome, recordBatchOutcome,
+// or releaseAdmission; true means the request was shed.
+func (s *Server) maybeShed(w http.ResponseWriter, r *http.Request) (Admission, bool) {
 	if s.brk == nil {
-		return false
+		return Admission{}, false
 	}
-	ok, wait := s.brk.Allow()
+	adm, ok, wait := s.brk.Allow()
 	if ok {
-		return false
+		return adm, false
 	}
 	s.met.ObserveShed()
 	// Round the hint up so "0.8s left" does not tell clients to hammer
 	// immediately.
 	w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
 	s.writeError(w, r, http.StatusServiceUnavailable, "circuit breaker open: backend unhealthy")
-	return true
+	return Admission{}, true
 }
 
-// recordOutcome feeds one request's terminal result into the breaker.
-// Only signals about backend health count: successes close, backend
-// failures and deadline expiries open. Queue-full, shutdown, missing
-// model, and client cancels say nothing about the backend.
-func (s *Server) recordOutcome(err error) {
+// releaseAdmission frees an admission that will never produce a backend
+// outcome (the request died before reaching the batcher), so half-open
+// probe slots are not leaked by malformed requests.
+func (s *Server) releaseAdmission(adm Admission) {
+	if s.brk != nil {
+		s.brk.Release(adm)
+	}
+}
+
+// recordOutcome resolves one request's admission with its terminal
+// result. Only signals about backend health count: successes close,
+// backend failures and deadline expiries open. Queue-full, shutdown,
+// missing model, and client cancels say nothing about the backend, so
+// they release the admission instead of recording an outcome.
+func (s *Server) recordOutcome(adm Admission, err error) {
 	if s.brk == nil {
 		return
 	}
 	switch {
 	case err == nil:
-		s.brk.Record(true)
+		s.brk.Record(adm, true)
 	case errors.Is(err, ErrBackend), errors.Is(err, context.DeadlineExceeded):
-		s.brk.Record(false)
+		s.brk.Record(adm, false)
+	default:
+		s.brk.Release(adm)
 	}
+}
+
+// recordBatchOutcome resolves a batch request's single admission from
+// its elements' outcomes: any backend failure marks the admission
+// failed, otherwise any success marks it succeeded, otherwise every
+// element was neutral and the admission is released. One Allow always
+// pairs with exactly one Record or Release, so half-open probe
+// accounting stays balanced for batches too.
+func (s *Server) recordBatchOutcome(adm Admission, errs []error) {
+	if s.brk == nil {
+		return
+	}
+	sawSuccess := false
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			sawSuccess = true
+		case errors.Is(err, ErrBackend), errors.Is(err, context.DeadlineExceeded):
+			s.brk.Record(adm, false)
+			return
+		}
+	}
+	if sawSuccess {
+		s.brk.Record(adm, true)
+		return
+	}
+	s.brk.Release(adm)
 }
 
 // validate checks one request's insight width, beam width, and intention.
