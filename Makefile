@@ -40,11 +40,13 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# The inference-engine pair behind BENCH_inference.json: naive
-# full-recompute beam search vs the KV-cached engine, plus the 17-design
-# parallel fan-out.
+# Regenerate BENCH_inference.json: the naive full-recompute beam search vs
+# the tape-free flat-kernel fast path, the 17-design parallel fan-out, and
+# the Table-4 macro run, parsed and machine/date-stamped by cmd/benchjson.
 bench-inference:
-	$(GO) test -run '^$$' -bench 'BenchmarkBeamSearch(Naive|Cached|Batch17)$$' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkBeamSearch(Naive|Cached|Batch17)$$|BenchmarkTable4ZeroShot$$' \
+		-benchtime $(or $(BENCHTIME),1s) -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_inference.json
 
 # The training pair behind BENCH_train.json: one minibatch alignment epoch
 # over the 3,000-point synthetic archive at 1 vs 8 workers. The two runs

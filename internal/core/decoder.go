@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -18,52 +18,176 @@ import (
 // keys/values once; every subsequent decode (beam search, sampling, greedy,
 // step probabilities) reuses them and advances one token at a time through
 // per-sequence KV caches, so a full n-step decode costs O(n) decoder passes
-// instead of the naive O(n²). The cached path reproduces the naive path's
-// floating-point operations exactly — see TestCachedBeamSearchMatchesNaive.
+// instead of the naive O(n²).
+//
+// Decoding runs on the tape-free kernel fast path: flattened weight views
+// (nn.FlatDecoderLayer) drive raw []float64 kernels over pooled contiguous
+// buffers, bypassing *Tensor wrappers, tape construction, and the NoGrad
+// counter entirely. The fast path reproduces the tape path's floating-point
+// operations exactly — see TestCachedBeamSearchMatchesNaive and
+// TestStepFlatMatchesStep — and a warm session performs near-zero heap
+// allocation per decode (guarded by TestDecodeAllocBudget).
 //
 // A Decoder is safe for concurrent use by multiple goroutines as long as
-// the model is not being trained at the same time: all shared state is
-// read-only after construction.
+// the model parameters are not being mutated (trained) at the same time:
+// all shared state is read-only after construction, and per-call working
+// memory comes from the model's session pool. Because the fast path never
+// touches the process-global NoGrad counter, decoding may also run
+// concurrently with a tape-building training forward on another model (or
+// a gradient evaluation on this one) without truncating that tape.
 type Decoder struct {
 	m     *Model
-	cross []*nn.CrossKV // per decoder layer, over the insight memory
+	flat  []*nn.FlatDecoderLayer // flattened per-layer weight views
+	qkv   []*nn.FlatQKV          // per layer, fused self q|k|v projection (nil on the table path)
+	l0    *l0Table               // single-layer decode tables, nil for deeper models
+	cross []*nn.FlatCross        // per layer, over the insight memory
+	emb   []float64              // decision embedding table (vocab, dim)
+	pos   []float64              // positional table (n, dim)
+	outW  []float64              // output projection weight (dim, 1)
+	outB  []float64              // output projection bias (1)
 }
 
 // NewDecoder precomputes the shared per-query state of the incremental
-// decoding engine for one insight vector.
+// decoding engine for one insight vector: the insight memory projection and
+// each layer's cross K/V — exactly one projection per request, reused by
+// every subsequent step and beam.
 func (m *Model) NewDecoder(iv []float64) *Decoder {
-	d := &Decoder{m: m, cross: make([]*nn.CrossKV, len(m.Decoders))}
-	tensor.NoGrad(func() {
-		memory := m.insightMemory(iv)
-		for i, layer := range m.Decoders {
-			d.cross[i] = layer.PrecomputeCross(memory)
+	if len(iv) != m.Cfg.InsightDim {
+		panic(fmt.Sprintf("core: insight vector has %d dims, want %d", len(iv), m.Cfg.InsightDim))
+	}
+	dim := m.Cfg.EmbedDim
+	d := &Decoder{
+		m:     m,
+		flat:  m.flatLayers(),
+		l0:    m.l0Table(),
+		cross: make([]*nn.FlatCross, len(m.Decoders)),
+		emb:   m.DecisionEmbed.Table.Data,
+		pos:   m.PosEnc.Table.Data,
+		outW:  m.OutProj.W.Data,
+		outB:  m.OutProj.B.Data,
+	}
+	memory := make([]float64, dim)
+	tensor.LinearInto(memory, iv, 1, m.Cfg.InsightDim, m.InsightProj.W.Data, dim, m.InsightProj.B.Data)
+	if d.l0 == nil {
+		d.qkv = make([]*nn.FlatQKV, len(m.Decoders))
+		for i, fl := range d.flat {
+			d.qkv[i] = fl.FuseQKV()
 		}
-	})
+	}
+	for i, fl := range d.flat {
+		d.cross[i] = fl.PrecomputeCrossFlat(memory, 1)
+	}
 	return d
 }
 
-// seqState is the incremental state of one decoded sequence: one
-// DecoderState per layer, all sharing the Decoder's cross K/V.
-type seqState struct {
-	layers []*nn.DecoderState
+// flatLayers returns the cached flattened weight views, built once per
+// model. The views alias parameter Data (which Adam and LoadParams mutate
+// in place), so they never go stale.
+func (m *Model) flatLayers() []*nn.FlatDecoderLayer {
+	m.flatOnce.Do(func() {
+		m.flat = make([]*nn.FlatDecoderLayer, len(m.Decoders))
+		for i, layer := range m.Decoders {
+			m.flat[i] = nn.FlattenDecoderLayer(layer)
+		}
+	})
+	return m.flat
 }
 
-func (d *Decoder) newSeq() *seqState {
-	ls := make([]*nn.DecoderState, len(d.m.Decoders))
-	for i, layer := range d.m.Decoders {
-		ls[i] = layer.NewState(d.cross[i], d.m.Cfg.NumRecipes)
-	}
-	return &seqState{layers: ls}
+// fastSession is the pooled working memory of one decode call: flat KV
+// cache slots for every layer, per-step scratch, and the beam-search
+// bookkeeping arrays. Sessions are shape-bound to their model and grow
+// monotonically to the widest beam they have served, so after warm-up a
+// decode allocates nothing but its result.
+type fastSession struct {
+	capB   int // beam capacity; 2·capB cache slots per layer
+	n      int // max sequence length
+	dim    int
+	stride int // n*dim, one cache slot
+
+	// Per layer: contiguous arenas of 2·capB key/value slots. Left empty
+	// for single-layer models, whose attention history is the token-index
+	// arena below instead (see l0table.go).
+	kslots [][]float64
+	vslots [][]float64
+	// Per-step views into the slots of the live beams, reused across layers.
+	kc, vc [][]float64
+	// Table path: 2·capB slots of n token indices — a beam's entire
+	// attention history.
+	idxslots []uint8
+
+	sc *nn.FlatScratch
+	h  []float64 // (capB, dim) hidden rows
+	z  []float64 // (capB) output logits
+
+	// Beam bookkeeping.
+	score, newScore      []float64  // per live beam
+	lastBit, newLastBit  []int      // decision entering the next step
+	slot, newSlot        []int      // cache slot per live beam
+	firstTaker           []int      // per parent: index of the child inheriting its slot
+	slotUsed             []bool     // per slot: taken by a survivor this step
+	cand                 []fastCand // 2·capB step candidates
+	histParent, histBits []int      // (n, capB) parent pointers / decision bits
 }
 
-// fork deep-copies the per-layer KV caches for a beam split.
-func (s *seqState) fork() *seqState {
-	ls := make([]*nn.DecoderState, len(s.layers))
-	for i, st := range s.layers {
-		ls[i] = st.Fork()
-	}
-	return &seqState{layers: ls}
+// fastCand is one beam extension: parent beam, decision bit, total score.
+type fastCand struct {
+	score       float64
+	parent, bit int
 }
+
+// ensure (re)sizes the session for this model shape and beam width k.
+func (s *fastSession) ensure(m *Model, k int) {
+	n, dim, hidden := m.Cfg.NumRecipes, m.Cfg.EmbedDim, m.Cfg.FFHidden
+	layers := len(m.Decoders)
+	if s.capB >= k && s.n == n && s.dim == dim && len(s.kslots) == layers {
+		return
+	}
+	capB := k
+	if s.capB > capB {
+		capB = s.capB
+	}
+	s.capB, s.n, s.dim, s.stride = capB, n, dim, n*dim
+	s.kslots = make([][]float64, layers)
+	s.vslots = make([][]float64, layers)
+	if layers == 1 {
+		// Single-layer models decode from the token/position tables: beam
+		// history is one byte per position, and no K/V rows are ever cached.
+		s.idxslots = make([]uint8, 2*capB*n)
+	} else {
+		for l := range s.kslots {
+			s.kslots[l] = make([]float64, 2*capB*s.stride)
+			s.vslots[l] = make([]float64, 2*capB*s.stride)
+		}
+	}
+	s.kc = make([][]float64, capB)
+	s.vc = make([][]float64, capB)
+	s.sc = nn.NewFlatScratch(capB, dim, hidden, 1, n)
+	s.h = make([]float64, capB*dim)
+	s.z = make([]float64, capB)
+	s.score = make([]float64, capB)
+	s.newScore = make([]float64, capB)
+	s.lastBit = make([]int, capB)
+	s.newLastBit = make([]int, capB)
+	s.slot = make([]int, capB)
+	s.newSlot = make([]int, capB)
+	s.firstTaker = make([]int, capB)
+	s.slotUsed = make([]bool, 2*capB)
+	s.cand = make([]fastCand, 2*capB)
+	s.histParent = make([]int, n*capB)
+	s.histBits = make([]int, n*capB)
+}
+
+// getSession borrows a session sized for beam width k from the model pool.
+func (m *Model) getSession(k int) *fastSession {
+	s, _ := m.fastPool.Get().(*fastSession)
+	if s == nil {
+		s = &fastSession{}
+	}
+	s.ensure(m, k)
+	return s
+}
+
+func (m *Model) putSession(s *fastSession) { m.fastPool.Put(s) }
 
 // tokenOf maps a 0/1 decision bit to its vocabulary token.
 func tokenOf(bit int) int {
@@ -77,38 +201,122 @@ func tokenOf(bit int) int {
 	}
 }
 
-// stepBatch advances every live sequence by one token: tokens[b] is the
-// decision token entering position pos of sequence b (SOS at pos 0, else
-// the previous decision). All beams run through the embedding, positional
-// encoding, decoder layers, and output projection as one stacked (B, dim)
-// forward. Returns the position-pos selection logit of each sequence.
-func (d *Decoder) stepBatch(tokens []int, pos int, seqs []*seqState) []float64 {
-	m := d.m
-	x := m.DecisionEmbed.Forward(tokens)
-	positions := make([]int, len(tokens))
-	for i := range positions {
-		positions[i] = pos
+// stepFast advances the b live sequences of s by one token at position t:
+// embedding + positional add straight into the flat hidden rows, one
+// StepFlat per layer against each sequence's cache slot, then the output
+// projection. Sequence i's entering token is SOS at t = 0 and its previous
+// decision bit otherwise. Logits land in s.z[:b].
+func (d *Decoder) stepFast(s *fastSession, b, t int) {
+	if d.l0 != nil {
+		d.stepFastL0(s, b, t)
+		return
 	}
-	h := m.PosEnc.ForwardAt(x, positions)
-	states := make([]*nn.DecoderState, len(seqs))
-	for li, layer := range m.Decoders {
-		for b, s := range seqs {
-			states[b] = s.layers[li]
+	dim := s.dim
+	for i := 0; i < b; i++ {
+		tok := TokenSOS
+		if t > 0 {
+			tok = tokenOf(s.lastBit[i])
 		}
-		h = layer.Step(h, states)
+		emb := d.emb[tok*dim : (tok+1)*dim]
+		pos := d.pos[t*dim : (t+1)*dim]
+		row := s.h[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = emb[j] + pos[j]
+		}
 	}
-	z := m.OutProj.Forward(h)
-	out := make([]float64, len(seqs))
-	for b := range out {
-		out[b] = z.At(b, 0)
+	for li, fl := range d.flat {
+		for i := 0; i < b; i++ {
+			off := s.slot[i] * s.stride
+			s.kc[i] = s.kslots[li][off : off+s.stride]
+			s.vc[i] = s.vslots[li][off : off+s.stride]
+		}
+		fl.StepFlat(s.h[:b*dim], b, d.qkv[li], d.cross[li], s.kc[:b], s.vc[:b], t, s.sc)
 	}
-	return out
+	tensor.LinearInto(s.z[:b], s.h[:b*dim], b, dim, d.outW, 1, d.outB)
+}
+
+// stepFastL0 is stepFast on the single-layer decode tables: the hidden
+// rows, q/k/v projections, and attention scores all come from (token,
+// position) lookups (see l0table.go), so per step each beam performs only
+// the softmax, the value gather, and the post-attention tail of the layer.
+// The floating-point schedule is identical to the general path — scores
+// gathered from the table carry the exact bits DotSkip would produce, the
+// softmax and j-ascending value accumulation mirror CausalAttendInto, and
+// the tail is the shared StepFlatPost.
+func (d *Decoder) stepFastL0(s *fastSession, b, t int) {
+	tb := d.l0
+	dim, n := s.dim, s.n
+	rows := 3 * n
+	sc := s.sc
+	ctx := sc.Ctx[:b*dim]
+	for i := 0; i < b; i++ {
+		tok := TokenSOS
+		if t > 0 {
+			tok = tokenOf(s.lastBit[i])
+		}
+		idx := s.idxslots[s.slot[i]*n : s.slot[i]*n+n]
+		idx[t] = uint8(tok)
+		r := tb.row(tok, t)
+		copy(s.h[i*dim:(i+1)*dim], tb.h0[r*dim:(r+1)*dim])
+
+		// Attention over positions 0..t: gather precomputed scores, then
+		// the same softmax and weighted value sum as CausalAttendInto.
+		scores := sc.Scores[:t+1]
+		srow := tb.score[r*rows : (r+1)*rows]
+		for j := 0; j <= t; j++ {
+			scores[j] = srow[int(idx[j])*n+j]
+		}
+		maxv := math.Inf(-1)
+		for _, v := range scores {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range scores {
+			e := math.Exp(v - maxv)
+			scores[j] = e
+			sum += e
+		}
+		for j := range scores {
+			scores[j] /= sum
+		}
+		crow := ctx[i*dim : (i+1)*dim]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for j := 0; j <= t; j++ {
+			if w := scores[j]; w != 0 {
+				tensor.Axpy(crow, tb.vrow(int(idx[j]), j), w)
+			}
+		}
+	}
+	d.flat[0].StepFlatPost(s.h[:b*dim], b, ctx, d.cross[0], sc)
+	tensor.LinearInto(s.z[:b], s.h[:b*dim], b, dim, d.outW, 1, d.outB)
+}
+
+// sortCandsStable is a stable insertion sort by score, descending — the
+// allocation-free twin of sort.SliceStable on the step candidates. Beam
+// widths are small (the paper uses K = 5), so O(c²) never matters.
+func sortCandsStable(c []fastCand) {
+	for i := 1; i < len(c); i++ {
+		x := c[i]
+		j := i - 1
+		for j >= 0 && c[j].score < x.score {
+			c[j+1] = c[j]
+			j--
+		}
+		c[j+1] = x
+	}
 }
 
 // BeamSearch runs Algorithm 1's beam search over this session's insight,
-// with all live beams batched into one stacked forward per step. Beam
-// splits share the parent's KV caches copy-on-fork. Candidates match
-// Model.BeamSearchNaive exactly, best-first.
+// with all live beams batched into one stacked kernel pass per step. Beam
+// sequences are tracked as parent pointers (one (parent, bit) record per
+// beam per step) and materialized once at the end, so the per-step cost is
+// O(K) bookkeeping instead of O(K·n) prefix copies; beam splits reuse the
+// session's cache slots copy-on-fork. Candidates match Model.BeamSearchNaive
+// exactly, best-first.
 func (d *Decoder) BeamSearch(k int) []Candidate {
 	if k < 1 {
 		k = 1
@@ -119,96 +327,139 @@ func (d *Decoder) BeamSearch(k int) []Candidate {
 		beamSessionSecs.Observe(time.Since(sessionStart).Seconds())
 		beamSessions.Inc()
 	}()
-	type beam struct {
-		seq   []int
-		score float64
-		state *seqState
-	}
-	var beams []beam
-	tensor.NoGrad(func() {
-		n := d.m.Cfg.NumRecipes
-		beams = []beam{{state: d.newSeq()}}
-		tokens := make([]int, 0, k)
-		seqs := make([]*seqState, 0, k)
-		for t := 0; t < n; t++ {
-			tokens, seqs = tokens[:0], seqs[:0]
-			for _, b := range beams {
-				if t == 0 {
-					tokens = append(tokens, TokenSOS)
-				} else {
-					tokens = append(tokens, tokenOf(b.seq[t-1]))
-				}
-				seqs = append(seqs, b.state)
-			}
-			zs := d.stepBatch(tokens, t, seqs)
-			next := make([]beam, 0, 2*len(beams))
-			for bi, b := range beams {
-				lp1 := logSigmoid(zs[bi])
-				lp0 := logSigmoid(-zs[bi])
-				next = append(next,
-					beam{seq: append(append([]int(nil), b.seq...), 1), score: b.score + lp1, state: b.state},
-					beam{seq: append(append([]int(nil), b.seq...), 0), score: b.score + lp0, state: b.state},
-				)
-			}
-			// Keep top-K by score (stable, so candidate order matches the
-			// naive path bit for bit).
-			sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
-			if len(next) > k {
-				next = next[:k]
-			}
-			// Siblings share the parent's caches; give every survivor its
-			// own state. The first taker adopts the parent's buffers, later
-			// ones deep-copy — the copy-fork of a beam split.
-			if t < n-1 {
-				taken := make(map[*seqState]bool, len(next))
-				for i := range next {
-					if taken[next[i].state] {
-						next[i].state = next[i].state.fork()
-					} else {
-						taken[next[i].state] = true
-					}
-				}
-			}
-			beams = next
+	n := d.m.Cfg.NumRecipes
+	s := d.m.getSession(k)
+	defer d.m.putSession(s)
+
+	b := 1
+	s.slot[0] = 0
+	s.score[0] = 0
+	for t := 0; t < n; t++ {
+		d.stepFast(s, b, t)
+		// Extend every beam with r_t ∈ {1, 0} — the same candidate order as
+		// the reference path, so stable sorting preserves its tie-breaks.
+		nc := 0
+		for i := 0; i < b; i++ {
+			z := s.z[i]
+			s.cand[nc] = fastCand{score: s.score[i] + logSigmoid(z), parent: i, bit: 1}
+			s.cand[nc+1] = fastCand{score: s.score[i] + logSigmoid(-z), parent: i, bit: 0}
+			nc += 2
 		}
-	})
-	out := make([]Candidate, 0, len(beams))
-	for _, b := range beams {
-		s, err := recipe.FromBits(padBits(b.seq, recipe.N))
+		cands := s.cand[:nc]
+		sortCandsStable(cands)
+		nb := k
+		if nc < nb {
+			nb = nc
+		}
+		for i := 0; i < nb; i++ {
+			s.histParent[t*s.capB+i] = cands[i].parent
+			s.histBits[t*s.capB+i] = cands[i].bit
+			s.newScore[i] = cands[i].score
+			s.newLastBit[i] = cands[i].bit
+		}
+		// Reassign cache slots: the first child of each parent inherits the
+		// parent's slot in place; later siblings copy into a free slot — the
+		// copy-fork of a beam split, without allocating.
+		if t < n-1 {
+			d.forkSlots(s, b, nb, t)
+		}
+		copy(s.score[:nb], s.newScore[:nb])
+		copy(s.lastBit[:nb], s.newLastBit[:nb])
+		b = nb
+	}
+
+	out := make([]Candidate, 0, b)
+	for i := 0; i < b; i++ {
+		seq := make([]int, n)
+		bi := i
+		for t := n - 1; t >= 0; t-- {
+			seq[t] = s.histBits[t*s.capB+bi]
+			bi = s.histParent[t*s.capB+bi]
+		}
+		set, err := recipe.FromBits(padBits(seq, recipe.N))
 		if err != nil {
 			continue
 		}
-		out = append(out, Candidate{Set: s, LogProb: b.score, Sequence: b.seq})
+		out = append(out, Candidate{Set: set, LogProb: s.score[i], Sequence: seq})
 	}
 	return out
 }
 
+// forkSlots maps the nb surviving children of step t onto cache slots:
+// inherited where possible, copied (rows [0, t]) where a parent split.
+func (d *Decoder) forkSlots(s *fastSession, b, nb, t int) {
+	for p := 0; p < b; p++ {
+		s.firstTaker[p] = -1
+	}
+	for i := range s.slotUsed {
+		s.slotUsed[i] = false
+	}
+	for i := 0; i < nb; i++ {
+		p := s.histParent[t*s.capB+i]
+		if s.firstTaker[p] == -1 {
+			s.firstTaker[p] = i
+			s.newSlot[i] = s.slot[p]
+			s.slotUsed[s.slot[p]] = true
+		}
+	}
+	free := 0
+	rows := (t + 1) * s.dim
+	for i := 0; i < nb; i++ {
+		p := s.histParent[t*s.capB+i]
+		if s.firstTaker[p] == i {
+			continue
+		}
+		for s.slotUsed[free] {
+			free++
+		}
+		s.slotUsed[free] = true
+		if d.l0 != nil {
+			// Table path: a beam's whole attention history is t+1 token
+			// indices — the fork copies bytes, not K/V rows.
+			src, dst := s.slot[p]*s.n, free*s.n
+			copy(s.idxslots[dst:dst+t+1], s.idxslots[src:src+t+1])
+		} else {
+			src, dst := s.slot[p]*s.stride, free*s.stride
+			for l := range s.kslots {
+				copy(s.kslots[l][dst:dst+rows], s.kslots[l][src:src+rows])
+				copy(s.vslots[l][dst:dst+rows], s.vslots[l][src:src+rows])
+			}
+		}
+		s.newSlot[i] = free
+	}
+	copy(s.slot[:nb], s.newSlot[:nb])
+}
+
 // Sample draws one sequence from the policy at temperature tau, advancing a
-// single KV-cached session. Consumes the same rng stream as SampleNaive.
+// single pooled fast-path session. Consumes the same rng stream as
+// SampleNaive.
 func (d *Decoder) Sample(tau float64, rng *rand.Rand) Candidate {
 	if tau <= 0 {
 		tau = 1e-6
 	}
 	n := d.m.Cfg.NumRecipes
+	s := d.m.getSession(1)
+	defer d.m.putSession(s)
+	s.slot[0] = 0
 	seq := make([]int, 0, n)
 	logp := 0.0
-	tensor.NoGrad(func() {
-		s := d.newSeq()
-		for t := 0; t < n; t++ {
-			z := d.step(s, seq, t)
-			p1 := sigmoid(z / tau)
-			bit := 0
-			if rng.Float64() < p1 {
-				bit = 1
-			}
-			seq = append(seq, bit)
-			if bit == 1 {
-				logp += logSigmoid(z)
-			} else {
-				logp += logSigmoid(-z)
-			}
+	for t := 0; t < n; t++ {
+		if t > 0 {
+			s.lastBit[0] = seq[t-1]
 		}
-	})
+		d.stepFast(s, 1, t)
+		z := s.z[0]
+		bit := 0
+		if rng.Float64() < sigmoid(z/tau) {
+			bit = 1
+		}
+		seq = append(seq, bit)
+		if bit == 1 {
+			logp += logSigmoid(z)
+		} else {
+			logp += logSigmoid(-z)
+		}
+	}
 	set, err := recipe.FromBits(padBits(seq, recipe.N))
 	if err != nil {
 		panic(fmt.Sprintf("core: sampled sequence invalid: %v", err))
@@ -220,50 +471,44 @@ func (d *Decoder) Sample(tau float64, rng *rand.Rand) Candidate {
 // incremental steps instead of the n² full passes of repeated StepProb.
 func (d *Decoder) Greedy() []int {
 	n := d.m.Cfg.NumRecipes
+	s := d.m.getSession(1)
+	defer d.m.putSession(s)
+	s.slot[0] = 0
 	seq := make([]int, 0, n)
-	tensor.NoGrad(func() {
-		s := d.newSeq()
-		for t := 0; t < n; t++ {
-			bit := 0
-			if sigmoid(d.step(s, seq, t)) >= 0.5 {
-				bit = 1
-			}
-			seq = append(seq, bit)
+	for t := 0; t < n; t++ {
+		if t > 0 {
+			s.lastBit[0] = seq[t-1]
 		}
-	})
+		d.stepFast(s, 1, t)
+		bit := 0
+		if sigmoid(s.z[0]) >= 0.5 {
+			bit = 1
+		}
+		seq = append(seq, bit)
+	}
 	return seq
 }
 
 // StepProb returns P(r_t = 1 | prefix, I) by replaying the prefix through a
-// fresh cached session.
+// fresh fast-path session.
 func (d *Decoder) StepProb(prefix []int) float64 {
-	var p float64
-	tensor.NoGrad(func() {
-		s := d.newSeq()
-		var z float64
-		for t := 0; t <= len(prefix); t++ {
-			z = d.step(s, prefix, t)
+	s := d.m.getSession(1)
+	defer d.m.putSession(s)
+	s.slot[0] = 0
+	for t := 0; t <= len(prefix); t++ {
+		if t > 0 {
+			s.lastBit[0] = prefix[t-1]
 		}
-		p = sigmoid(z)
-	})
-	return p
-}
-
-// step advances one single-sequence session by one position, feeding the
-// token implied by the decisions so far.
-func (d *Decoder) step(s *seqState, decisions []int, pos int) float64 {
-	tok := TokenSOS
-	if pos > 0 {
-		tok = tokenOf(decisions[pos-1])
+		d.stepFast(s, 1, t)
 	}
-	return d.stepBatch([]int{tok}, pos, []*seqState{s})[0]
+	return sigmoid(s.z[0])
 }
 
 // BeamSearchBatch fans beam search for many designs across a bounded worker
-// pool (the pattern of flow.RunMany) — the zero-shot evaluation shape, where
-// every held-out design is scored independently under one trained policy.
-// Results are returned in input order. Safe under the race detector: each
-// worker builds its own Decoder and the model parameters are only read.
+// pool — the zero-shot evaluation shape, where every held-out design is
+// scored independently under one trained policy. Results are returned in
+// input order. Safe under the race detector: each worker builds its own
+// Decoder and the model parameters are only read.
 func (m *Model) BeamSearchBatch(ivs [][]float64, k int) [][]Candidate {
 	ks := make([]int, len(ivs))
 	for i := range ks {
@@ -275,7 +520,9 @@ func (m *Model) BeamSearchBatch(ivs [][]float64, k int) [][]Candidate {
 // BeamSearchBatchK is BeamSearchBatch with a per-query beam width: query i
 // decodes with width ks[i]. This is the shape the serving micro-batcher
 // needs, where coalesced requests may each ask for a different K. ks must
-// be the same length as ivs.
+// be the same length as ivs. Queries are drained from a channel by a fixed
+// pool of NumCPU workers, so a large zero-shot sweep starts len(ivs) tasks
+// but only ever NumCPU goroutines.
 func (m *Model) BeamSearchBatchK(ivs [][]float64, ks []int) [][]Candidate {
 	if len(ks) != len(ivs) {
 		panic(fmt.Sprintf("core: %d beam widths for %d queries", len(ks), len(ivs)))
@@ -288,17 +535,21 @@ func (m *Model) BeamSearchBatchK(ivs [][]float64, ks []int) [][]Candidate {
 	if workers < 1 {
 		workers = 1
 	}
-	sem := make(chan struct{}, workers)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i := range ivs {
-		wg.Add(1)
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = m.NewDecoder(ivs[i]).BeamSearch(ks[i])
-		}(i)
+			for i := range idx {
+				out[i] = m.NewDecoder(ivs[i]).BeamSearch(ks[i])
+			}
+		}()
 	}
+	for i := range ivs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return out
 }

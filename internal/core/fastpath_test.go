@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Allocation-budget and robustness guards for the tape-free decode fast
+// path: steady-state decoding must stay near zero heap allocation, the
+// precomputed single-layer tables must survive in-place weight updates, and
+// fast-path decoding must be race-free against a concurrent tape-building
+// training forward.
+
+// TestDecodeAllocBudget pins the steady-state allocation count of the
+// decode entry points on a warmed pool. The budget is deliberately loose
+// against the measured counts (a full K=5 beam search settles around 14
+// allocs) because sync.Pool contents can be evicted by a GC cycle landing
+// mid-run; it still sits two orders of magnitude below the tape path's
+// ~8k allocations, so a pooling regression trips it immediately.
+func TestDecodeAllocBudget(t *testing.T) {
+	m := smallModel(t, 61)
+	rng := rand.New(rand.NewSource(61))
+	iv := randomInsight(rng)
+	srng := rand.New(rand.NewSource(62))
+
+	// Warm-up: populate the session pool and the layer-0 tables.
+	m.BeamSearch(iv, 5)
+	m.NewDecoder(iv).Greedy()
+	m.Sample(iv, 1.0, srng)
+
+	const budget = 200
+	for _, tc := range []struct {
+		name string
+		run  func()
+	}{
+		{"BeamSearch", func() { m.BeamSearch(iv, 5) }},
+		{"Greedy", func() { m.NewDecoder(iv).Greedy() }},
+		{"Sample", func() { m.Sample(iv, 1.0, srng) }},
+	} {
+		if allocs := testing.AllocsPerRun(20, tc.run); allocs > budget {
+			t.Errorf("%s: %.0f allocs per run, budget %d", tc.name, allocs, budget)
+		}
+	}
+}
+
+// TestL0TableRebuildOnWeightChange guards the staleness protection of the
+// single-layer precomputed tables: the tables cache computed VALUES (h0
+// rows, fused projections, score dots), so an in-place parameter mutation —
+// exactly what Adam steps and LoadParams do — must trigger a rebuild on the
+// next NewDecoder, detected by the bit-level dependency snapshot. A missed
+// rebuild leaves decoding on the old weights and this test fails against
+// the naive reference.
+func TestL0TableRebuildOnWeightChange(t *testing.T) {
+	m := smallModel(t, 63)
+	rng := rand.New(rand.NewSource(63))
+	iv := randomInsight(rng)
+	m.BeamSearch(iv, 3) // build the tables
+
+	mutations := []struct {
+		name string
+		bump func()
+	}{
+		{"embedding", func() { m.DecisionEmbed.Table.Data[1] += 0.125 }},
+		{"posenc", func() { m.PosEnc.Table.Data[3] += 0.125 }},
+		{"norm1 gamma", func() { m.Decoders[0].Norm1.Gamma.Data[0] += 0.125 }},
+		{"self-Q weight", func() { m.Decoders[0].SelfAttn.Q.W.Data[5] += 0.125 }},
+		{"self-V bias", func() { m.Decoders[0].SelfAttn.V.B.Data[2] += 0.125 }},
+	}
+	for _, mu := range mutations {
+		mu.bump()
+		naive := m.BeamSearchNaive(iv, 3)
+		cached := m.BeamSearch(iv, 3)
+		for i := range naive {
+			if naive[i].Set != cached[i].Set {
+				t.Fatalf("after %s mutation: candidate %d set mismatch (stale table?)", mu.name, i)
+			}
+			if d := math.Abs(naive[i].LogProb - cached[i].LogProb); d > 1e-9 {
+				t.Fatalf("after %s mutation: candidate %d log-prob differs by %g", mu.name, i, d)
+			}
+		}
+	}
+}
+
+// TestConcurrentDecodeAndTrainingForward runs fast-path decoding
+// concurrently with tape-building training forward/backward passes on the
+// same model. The fast path never touches the autograd machinery or the
+// process-global NoGrad counter, and Grad buffers are disjoint from the
+// parameter Data both paths read — so this must be race-clean under
+// -race (it is on the CI race list) and the concurrently computed
+// gradients must equal a serial reference bit for bit.
+func TestConcurrentDecodeAndTrainingForward(t *testing.T) {
+	m := smallModel(t, 64)
+	rng := rand.New(rand.NewSource(64))
+	iv := randomInsight(rng)
+	bits := make([]int, m.Cfg.NumRecipes)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+
+	// Serial reference gradients.
+	m.LogProb(iv, bits).Backward()
+	params := m.Params()
+	ref := make([][]float64, len(params))
+	for i, p := range params {
+		ref[i] = append([]float64(nil), p.Grad...)
+		for j := range p.Grad {
+			p.Grad[j] = 0
+		}
+	}
+
+	want := m.BeamSearch(iv, 5)
+
+	var wg sync.WaitGroup
+	decodeErr := make(chan string, 1)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(int64(100 + g)))
+			for it := 0; it < 25; it++ {
+				got := m.BeamSearch(iv, 5)
+				for i := range want {
+					if got[i].Set != want[i].Set {
+						select {
+						case decodeErr <- "concurrent BeamSearch diverged":
+						default:
+						}
+						return
+					}
+				}
+				m.NewDecoder(iv).Greedy()
+				m.Sample(iv, 1.0, srng)
+			}
+		}(g)
+	}
+	// Training forwards on the main goroutine, interleaved with the
+	// decoding goroutines above.
+	for it := 0; it < 25; it++ {
+		m.LogProb(iv, bits).Backward()
+		for i, p := range params {
+			for j := range p.Grad {
+				if math.Float64bits(p.Grad[j]) != math.Float64bits(ref[i][j]) {
+					t.Fatalf("iteration %d: param %d grad element %d diverged from serial reference", it, i, j)
+				}
+				p.Grad[j] = 0
+			}
+		}
+	}
+	wg.Wait()
+	select {
+	case msg := <-decodeErr:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"insightalign/internal/insight"
 	"insightalign/internal/nn"
@@ -89,6 +90,18 @@ type Model struct {
 	InsightProj   *nn.Linear             // (72) → (32) insight embedding
 	Decoders      []*nn.DecoderLayer     // single-head transformer decoder ×Layers (paper: ×1)
 	OutProj       *nn.Linear             // (32) → (1) probabilistic layer input
+
+	// Inference fast path: flattened weight views (built once, aliasing
+	// parameter Data) and a pool of decode-session working memory, so a
+	// warm beam search allocates almost nothing.
+	flatOnce sync.Once
+	flat     []*nn.FlatDecoderLayer
+	fastPool sync.Pool // *fastSession
+
+	// Single-layer token/position decode tables (see l0table.go), rebuilt
+	// whenever the weight snapshot they were computed from goes stale.
+	l0mu  sync.Mutex
+	l0tab *l0Table
 }
 
 // New creates a model with freshly initialized parameters.

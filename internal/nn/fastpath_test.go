@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insightalign/internal/tensor"
+)
+
+// TestStepFlatMatchesStep drives the tape-free StepFlat and the tape-based
+// DecoderLayer.Step over the same token stream and demands bit-identical
+// hidden states at every position, for both the S==1 constant-folded
+// cross-attention and the general S>1 path.
+func TestStepFlatMatchesStep(t *testing.T) {
+	for _, s := range []int{1, 3} {
+		const (
+			dim    = 16
+			hidden = 32
+			b      = 3
+			maxLen = 9
+		)
+		rng := rand.New(rand.NewSource(int64(40 + s)))
+		d := NewDecoderLayer(rng, dim, hidden)
+
+		mem := tensor.New(s, dim)
+		for i := range mem.Data {
+			mem.Data[i] = rng.NormFloat64()
+		}
+
+		// Tape path: per-sequence incremental states over a shared cross KV.
+		cross := d.PrecomputeCross(mem)
+		states := make([]*DecoderState, b)
+		for i := range states {
+			states[i] = d.NewState(cross, maxLen)
+		}
+
+		// Flat path: flattened layer, fused QKV, pooled-style scratch and
+		// per-sequence flat KV caches.
+		fl := FlattenDecoderLayer(d)
+		fc := fl.PrecomputeCrossFlat(mem.Data, s)
+		qkv := fl.FuseQKV()
+		sc := NewFlatScratch(b, dim, hidden, s, maxLen)
+		kc := make([][]float64, b)
+		vc := make([][]float64, b)
+		for i := range kc {
+			kc[i] = make([]float64, maxLen*dim)
+			vc[i] = make([]float64, maxLen*dim)
+		}
+
+		if (s == 1) != (fc.Out != nil) {
+			t.Fatalf("S=%d: cross fold Out presence = %v", s, fc.Out != nil)
+		}
+
+		for step := 0; step < maxLen; step++ {
+			x := tensor.New(b, dim)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			h := append([]float64(nil), x.Data...)
+
+			want := d.Step(x, states)
+			fl.StepFlat(h, b, qkv, fc, kc, vc, step, sc)
+
+			for i := range h {
+				if math.Float64bits(h[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("S=%d step %d: element %d = %x, want %x",
+						s, step, i, math.Float64bits(h[i]), math.Float64bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// SIMD axpy kernels for the inference fast path (amd64).
+//
+// Bit-exactness: every element is updated with an individually rounded
+// multiply followed by an individually rounded add — MULPD/ADDPD and their
+// VEX forms, never FMA — and the four row contributions of axpy4 are
+// accumulated in ascending row order, exactly like the scalar reference in
+// axpy_generic.go. SIMD lanes hold *different* output elements, so
+// vectorization never reorders an accumulation chain.
+
+#include "textflag.h"
+
+// func axpy4SSE(dst, b *float64, stride int, a *float64, n int)
+//
+// dst[j] += a[0]*b[j] + a[1]*b[stride+j] + a[2]*b[2*stride+j] +
+// a[3]*b[3*stride+j] for j in [0, n), with the four adds applied in row
+// order per element.
+TEXT ·axpy4SSE(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ stride+16(FP), R8
+	SHLQ $3, R8
+	MOVQ a+24(FP), AX
+	MOVQ n+32(FP), CX
+
+	MOVSD (AX), X4
+	MOVSD 8(AX), X5
+	MOVSD 16(AX), X6
+	MOVSD 24(AX), X7
+	UNPCKLPD X4, X4
+	UNPCKLPD X5, X5
+	UNPCKLPD X6, X6
+	UNPCKLPD X7, X7
+
+	LEAQ (SI)(R8*1), BX
+	LEAQ (SI)(R8*2), DX
+	LEAQ (BX)(R8*2), R9
+	XORQ R10, R10
+
+sse4pairs:
+	CMPQ CX, $2
+	JLT  sse4tail
+	MOVUPD (DI)(R10*8), X0
+	MOVUPD (SI)(R10*8), X1
+	MULPD  X4, X1
+	ADDPD  X1, X0
+	MOVUPD (BX)(R10*8), X2
+	MULPD  X5, X2
+	ADDPD  X2, X0
+	MOVUPD (DX)(R10*8), X3
+	MULPD  X6, X3
+	ADDPD  X3, X0
+	MOVUPD (R9)(R10*8), X1
+	MULPD  X7, X1
+	ADDPD  X1, X0
+	MOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+	JMP  sse4pairs
+
+sse4tail:
+	TESTQ CX, CX
+	JE    sse4done
+	MOVSD (DI)(R10*8), X0
+	MOVSD (SI)(R10*8), X1
+	MULSD X4, X1
+	ADDSD X1, X0
+	MOVSD (BX)(R10*8), X2
+	MULSD X5, X2
+	ADDSD X2, X0
+	MOVSD (DX)(R10*8), X3
+	MULSD X6, X3
+	ADDSD X3, X0
+	MOVSD (R9)(R10*8), X1
+	MULSD X7, X1
+	ADDSD X1, X0
+	MOVSD X0, (DI)(R10*8)
+
+sse4done:
+	RET
+
+// func axpy1SSE(dst, b *float64, a float64, n int)
+//
+// dst[j] += a*b[j] for j in [0, n).
+TEXT ·axpy1SSE(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  b+8(FP), SI
+	MOVSD a+16(FP), X4
+	MOVQ  n+24(FP), CX
+	UNPCKLPD X4, X4
+	XORQ  R10, R10
+
+sse1pairs:
+	CMPQ CX, $2
+	JLT  sse1tail
+	MOVUPD (DI)(R10*8), X0
+	MOVUPD (SI)(R10*8), X1
+	MULPD  X4, X1
+	ADDPD  X1, X0
+	MOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+	JMP  sse1pairs
+
+sse1tail:
+	TESTQ CX, CX
+	JE    sse1done
+	MOVSD (DI)(R10*8), X0
+	MOVSD (SI)(R10*8), X1
+	MULSD X4, X1
+	ADDSD X1, X0
+	MOVSD X0, (DI)(R10*8)
+
+sse1done:
+	RET
+
+// func axpy4AVX2(dst, b *float64, stride int, a *float64, n int)
+//
+// AVX2 twin of axpy4SSE: 4 elements per iteration, VEX-encoded 128-bit
+// tail to avoid SSE/AVX transition stalls, VZEROUPPER on exit.
+TEXT ·axpy4AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ stride+16(FP), R8
+	SHLQ $3, R8
+	MOVQ a+24(FP), AX
+	MOVQ n+32(FP), CX
+
+	VBROADCASTSD (AX), Y4
+	VBROADCASTSD 8(AX), Y5
+	VBROADCASTSD 16(AX), Y6
+	VBROADCASTSD 24(AX), Y7
+
+	LEAQ (SI)(R8*1), BX
+	LEAQ (SI)(R8*2), DX
+	LEAQ (BX)(R8*2), R9
+	XORQ R10, R10
+
+avx4quads:
+	CMPQ CX, $4
+	JLT  avx4pairs
+	VMOVUPD (DI)(R10*8), Y0
+	VMOVUPD (SI)(R10*8), Y1
+	VMULPD  Y4, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (BX)(R10*8), Y2
+	VMULPD  Y5, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD (DX)(R10*8), Y3
+	VMULPD  Y6, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD (R9)(R10*8), Y1
+	VMULPD  Y7, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(R10*8)
+	ADDQ $4, R10
+	SUBQ $4, CX
+	JMP  avx4quads
+
+avx4pairs:
+	CMPQ CX, $2
+	JLT  avx4tail
+	VMOVUPD (DI)(R10*8), X0
+	VMOVUPD (SI)(R10*8), X1
+	VMULPD  X4, X1, X1
+	VADDPD  X1, X0, X0
+	VMOVUPD (BX)(R10*8), X2
+	VMULPD  X5, X2, X2
+	VADDPD  X2, X0, X0
+	VMOVUPD (DX)(R10*8), X3
+	VMULPD  X6, X3, X3
+	VADDPD  X3, X0, X0
+	VMOVUPD (R9)(R10*8), X1
+	VMULPD  X7, X1, X1
+	VADDPD  X1, X0, X0
+	VMOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+
+avx4tail:
+	TESTQ CX, CX
+	JE    avx4done
+	VMOVSD (DI)(R10*8), X0
+	VMOVSD (SI)(R10*8), X1
+	VMULSD X4, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (BX)(R10*8), X2
+	VMULSD X5, X2, X2
+	VADDSD X2, X0, X0
+	VMOVSD (DX)(R10*8), X3
+	VMULSD X6, X3, X3
+	VADDSD X3, X0, X0
+	VMOVSD (R9)(R10*8), X1
+	VMULSD X7, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, (DI)(R10*8)
+
+avx4done:
+	VZEROUPPER
+	RET
+
+// func axpy1AVX2(dst, b *float64, a float64, n int)
+TEXT ·axpy1AVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	VBROADCASTSD a+16(FP), Y4
+	MOVQ n+24(FP), CX
+	XORQ R10, R10
+
+avx1quads:
+	CMPQ CX, $4
+	JLT  avx1pairs
+	VMOVUPD (DI)(R10*8), Y0
+	VMOVUPD (SI)(R10*8), Y1
+	VMULPD  Y4, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(R10*8)
+	ADDQ $4, R10
+	SUBQ $4, CX
+	JMP  avx1quads
+
+avx1pairs:
+	CMPQ CX, $2
+	JLT  avx1tail
+	VMOVUPD (DI)(R10*8), X0
+	VMOVUPD (SI)(R10*8), X1
+	VMULPD  X4, X1, X1
+	VADDPD  X1, X0, X0
+	VMOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+
+avx1tail:
+	TESTQ CX, CX
+	JE    avx1done
+	VMOVSD (DI)(R10*8), X0
+	VMOVSD (SI)(R10*8), X1
+	VMULSD X4, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, (DI)(R10*8)
+
+avx1done:
+	VZEROUPPER
+	RET
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func addToSSE(dst, src *float64, n int)
+//
+// dst[j] += src[j] — one rounded add per element.
+TEXT ·addToSSE(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ R10, R10
+
+addsse_pairs:
+	CMPQ CX, $2
+	JLT  addsse_tail
+	MOVUPD (DI)(R10*8), X0
+	MOVUPD (SI)(R10*8), X1
+	ADDPD  X1, X0
+	MOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+	JMP  addsse_pairs
+
+addsse_tail:
+	TESTQ CX, CX
+	JE    addsse_done
+	MOVSD (DI)(R10*8), X0
+	MOVSD (SI)(R10*8), X1
+	ADDSD X1, X0
+	MOVSD X0, (DI)(R10*8)
+
+addsse_done:
+	RET
+
+// func addToAVX2(dst, src *float64, n int)
+TEXT ·addToAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ R10, R10
+
+addavx_quads:
+	CMPQ CX, $4
+	JLT  addavx_pairs
+	VMOVUPD (DI)(R10*8), Y0
+	VMOVUPD (SI)(R10*8), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(R10*8)
+	ADDQ $4, R10
+	SUBQ $4, CX
+	JMP  addavx_quads
+
+addavx_pairs:
+	CMPQ CX, $2
+	JLT  addavx_tail
+	VMOVUPD (DI)(R10*8), X0
+	VMOVUPD (SI)(R10*8), X1
+	VADDPD  X1, X0, X0
+	VMOVUPD X0, (DI)(R10*8)
+	ADDQ $2, R10
+	SUBQ $2, CX
+
+addavx_tail:
+	TESTQ CX, CX
+	JE    addavx_done
+	VMOVSD (DI)(R10*8), X0
+	VMOVSD (SI)(R10*8), X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, (DI)(R10*8)
+
+addavx_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,44 @@
+//go:build !amd64
+
+package tensor
+
+// Scalar reference forms of the axpy kernels. These define the rounding
+// schedule the SIMD implementations must reproduce bit for bit: one rounded
+// multiply and one rounded add per element per row, rows applied in
+// ascending order.
+
+// axpy4 accumulates the four consecutive rows of b (stride elements apart)
+// into dst, scaled by a[0..3], applying the four adds in row order per
+// element.
+func axpy4(dst, b []float64, stride int, a []float64) {
+	n := len(dst)
+	b0 := b[:n]
+	b1 := b[stride : stride+n]
+	b2 := b[2*stride : 2*stride+n]
+	b3 := b[3*stride : 3*stride+n]
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	for j := range dst {
+		o := dst[j]
+		o += a0 * b0[j]
+		o += a1 * b1[j]
+		o += a2 * b2[j]
+		o += a3 * b3[j]
+		dst[j] = o
+	}
+}
+
+// axpy1 accumulates dst[j] += a*b[j].
+func axpy1(dst, b []float64, a float64) {
+	b = b[:len(dst)]
+	for j := range dst {
+		dst[j] += a * b[j]
+	}
+}
+
+// addTo accumulates dst[j] += src[j].
+func addTo(dst, src []float64) {
+	src = src[:len(dst)]
+	for j := range dst {
+		dst[j] += src[j]
+	}
+}
