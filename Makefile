@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train serve loadtest profile
+.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router serve fleet loadtest profile
 
 check: vet build race
 
@@ -55,6 +55,15 @@ bench-inference:
 bench-train:
 	$(GO) test -run '^$$' -bench 'BenchmarkAlignmentTrain(Serial|Parallel)$$' -benchtime 3x -benchmem .
 
+# Regenerate BENCH_router.json: routed-throughput scaling at 1/2/4
+# replicas plus the deterministic replica kill/recovery cycle, stamped by
+# cmd/benchjson -router. On a 1-CPU box the scaling column is honestly
+# ~1x (see the report's note); the failover/breaker/trace verdicts are
+# machine-independent.
+bench-router:
+	$(GO) run ./cmd/insightalign-router bench \
+		| $(GO) run ./cmd/benchjson -router -o BENCH_router.json
+
 # Run the recommendation server. MODEL=path serves trained weights;
 # without it a fresh (untrained) model is served for smoke testing.
 # WATCH=dir hot-swaps the newest checkpoint in dir as it changes.
@@ -62,6 +71,22 @@ SERVE_ADDR ?= :8080
 serve:
 	$(GO) run ./cmd/insightalign-serve serve -addr $(SERVE_ADDR) \
 		$(if $(MODEL),-model $(MODEL)) $(if $(WATCH),-watch $(WATCH))
+
+# One-command serving fleet: the consistent-hash router on FLEET_ADDR
+# over FLEET_REPLICAS spawned in-process replicas, smoke-tested with the
+# load generator, then torn down. Run the router alone (foreground) with:
+#   go run ./cmd/insightalign-router route -spawn 3
+FLEET_ADDR ?= 127.0.0.1:8090
+FLEET_REPLICAS ?= 3
+fleet:
+	@$(GO) build -o /tmp/insightalign-router ./cmd/insightalign-router
+	@/tmp/insightalign-router route -spawn $(FLEET_REPLICAS) -addr $(FLEET_ADDR) & RT=$$!; \
+	sleep 1.5; \
+	$(GO) run ./cmd/insightalign-serve loadgen -url http://$(FLEET_ADDR) \
+		-clients $(LOADTEST_CLIENTS) -requests $(LOADTEST_REQUESTS); \
+	curl -s http://$(FLEET_ADDR)/healthz; echo; \
+	kill -TERM $$RT 2>/dev/null; wait $$RT 2>/dev/null; \
+	echo "fleet: router + $(FLEET_REPLICAS) replicas drove $(LOADTEST_REQUESTS) requests, shut down clean"
 
 # Fire the load generator at a running server (see BENCH_serve.json for
 # the recorded batched-vs-unbatched sweep).

@@ -1,0 +1,197 @@
+// Command insightalign-router runs the fleet tier: a consistent-hash
+// request router that fans /v1/recommend traffic over N replica backends
+// with cache-affinity routing, bounded-load fallback, per-replica health
+// polling and circuit breaking, hedged requests, and bounded admission
+// with load shedding. (This is the serving fleet router — distinct from
+// internal/router, the EDA global router that routes wires, not
+// requests.) The router's own observability surface is mounted on its
+// listener: /metrics, /debug/traces (merged across the router→replica
+// hop), /debug/pprof/, and an aggregated fleet /healthz.
+//
+// Usage:
+//
+//	insightalign-router route -replicas http://h1:8080,http://h2:8080 [-addr :8090]
+//	                          [-max-inflight 32] [-queue 64] [-queue-wait 100ms]
+//	                          [-hedge-quantile 0.95] [-hedge-min-delay 5ms] [-no-hedge]
+//	                          [-health-interval 500ms] [-eject-after 3]
+//	insightalign-router route -spawn 3 [-seed 1] ...
+//	insightalign-router bench [-clients 16] [-requests 480] [-k 5] [-seed 1]
+//
+// route with -spawn N boots N in-process replicas on loopback ports (each
+// with its own fresh model) behind the router — the one-command fleet for
+// demos and load tests. bench runs the scaling sweep plus the replica
+// kill/recovery cycle and prints the JSON report consumed by
+// cmd/benchjson -router (see `make bench-router`).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"insightalign/internal/fleet"
+	"insightalign/internal/serve"
+)
+
+func main() {
+	args := os.Args[1:]
+	mode := "route"
+	if len(args) > 0 && (args[0] == "route" || args[0] == "bench") {
+		mode = args[0]
+		args = args[1:]
+	}
+	var err error
+	switch mode {
+	case "route":
+		err = cmdRoute(args)
+	case "bench":
+		err = cmdBench(args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "router listen address")
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs")
+	spawn := fs.Int("spawn", 0, "boot N in-process replicas on loopback instead of -replicas")
+	seed := fs.Int64("seed", 1, "model seed for -spawn replicas")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load consistent-hashing factor c")
+	maxInflight := fs.Int("max-inflight", 32, "concurrent forwards per replica")
+	queue := fs.Int("queue", 64, "admission waiters per replica beyond max-inflight")
+	queueWait := fs.Duration("queue-wait", 100*time.Millisecond, "longest wait for an admission slot before shedding")
+	timeout := fs.Duration("timeout", 15*time.Second, "end-to-end routed request deadline")
+	attempts := fs.Int("attempts", 3, "max distinct replicas tried per request (failover budget)")
+	noHedge := fs.Bool("no-hedge", false, "disable hedged requests")
+	hedgeQ := fs.Float64("hedge-quantile", 0.95, "latency percentile that arms the hedge timer")
+	hedgeMin := fs.Duration("hedge-min-delay", 5*time.Millisecond, "floor on the hedge trigger")
+	hedgeMax := fs.Int("hedge-max", 8, "fleet-wide cap on in-flight hedges")
+	healthEvery := fs.Duration("health-interval", 500*time.Millisecond, "/healthz polling period")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive failed polls that eject a replica from the ring")
+	brkWindow := fs.Int("breaker-window", 16, "sliding window of forward outcomes per replica")
+	brkMin := fs.Int("breaker-min-samples", 4, "outcomes required before a replica breaker can trip")
+	brkRatio := fs.Float64("breaker-threshold", 0.5, "failure ratio that opens a replica breaker")
+	brkCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open duration before half-open probing")
+	brkProbes := fs.Int("breaker-probes", 2, "probe successes that close a replica breaker")
+	fs.Parse(args)
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg := fleet.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.VNodesPerReplica = *vnodes
+	cfg.LoadFactor = *loadFactor
+	cfg.MaxInflight = *maxInflight
+	cfg.QueueDepth = *queue
+	cfg.QueueWait = *queueWait
+	cfg.RequestTimeout = *timeout
+	cfg.MaxAttempts = *attempts
+	cfg.DisableHedging = *noHedge
+	cfg.HedgeQuantile = *hedgeQ
+	cfg.HedgeMinDelay = *hedgeMin
+	cfg.HedgeMaxConcurrent = *hedgeMax
+	cfg.HealthInterval = *healthEvery
+	cfg.EjectAfter = *ejectAfter
+	cfg.Breaker = serve.BreakerConfig{
+		Window:         *brkWindow,
+		MinSamples:     *brkMin,
+		FailureRatio:   *brkRatio,
+		Cooldown:       *brkCooldown,
+		HalfOpenProbes: *brkProbes,
+	}
+	cfg.Logger = logger
+
+	if *spawn > 0 && *replicas != "" {
+		return fmt.Errorf("-spawn and -replicas are mutually exclusive")
+	}
+	var lf *fleet.LocalFleet
+	switch {
+	case *spawn > 0:
+		var err error
+		lf, err = fleet.StartLocalFleet(*spawn, fleet.LocalOptions{Seed: *seed, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		cfg.Replicas = lf.URLs()
+		logger.Info("spawned local replicas", "urls", cfg.Replicas)
+	case *replicas != "":
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.Replicas = append(cfg.Replicas, u)
+			}
+		}
+	default:
+		return fmt.Errorf("either -replicas or -spawn is required")
+	}
+
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc, err := rt.Start()
+	if err != nil {
+		return err
+	}
+	logger.Info("fleet router up", "addr", rt.Addr(), "replicas", len(cfg.Replicas))
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received, draining")
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return rt.Shutdown(shCtx)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	clients := fs.Int("clients", 16, "concurrent loadgen clients per phase")
+	requests := fs.Int("requests", 480, "requests per loadgen phase")
+	k := fs.Int("k", 5, "beam width per request")
+	seed := fs.Int64("seed", 1, "model + loadgen seed")
+	killFleet := fs.Int("kill-fleet", 3, "fleet size for the kill/recovery cycle")
+	counts := fs.String("replica-counts", "1,2,4", "comma-separated fleet sizes for the scaling sweep")
+	fs.Parse(args)
+
+	opt := fleet.DefaultBenchOptions()
+	opt.Clients = *clients
+	opt.Requests = *requests
+	opt.BeamWidth = *k
+	opt.Seed = *seed
+	opt.KillFleetSize = *killFleet
+	opt.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opt.ReplicaCounts = opt.ReplicaCounts[:0]
+	for _, s := range strings.Split(*counts, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+			return fmt.Errorf("bad -replica-counts entry %q", s)
+		}
+		opt.ReplicaCounts = append(opt.ReplicaCounts, n)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := fleet.RunFleetBench(ctx, opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

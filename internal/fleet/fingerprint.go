@@ -1,0 +1,70 @@
+// Package fleet is the horizontal serving tier: a front-end request
+// router that fans /v1/recommend traffic out over N replica backends
+// (each one an internal/serve process) using a consistent-hash ring keyed
+// on the insight vector's fingerprint, so repeated queries for the same
+// design land on the same replica (cache/retrieval affinity — the
+// substrate the CROP-style retrieval cache needs). Around that core the
+// router keeps per-replica health from /healthz polling plus observed
+// outcomes feeding a per-replica circuit breaker (serve.Breaker), hedges
+// slow requests against a second replica after a latency-percentile
+// trigger, bounds per-replica admission with queues that shed 503 +
+// Retry-After when the whole fleet is saturated, and propagates
+// X-Trace-Id across the hop so /debug/traces shows the full
+// router→replica path.
+//
+// Naming note: internal/router is the EDA global router (bin-capacity
+// rip-up/reroute over placed netlists); this package is the serving
+// fleet. The two are unrelated.
+package fleet
+
+import "math"
+
+// fingerprintSeed separates insight fingerprints from other splitmix64
+// users in the repo.
+const fingerprintSeed = 0x496e7369676874 // "Insight"
+
+// splitmix64 is the SplitMix64 finalizer — the same cheap, high-quality
+// 64-bit mix internal/faultinject uses for its schedule.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Fingerprint maps an insight vector to a stable 64-bit identity: the
+// consistent-hash key. Components are quantized to 1e-6 before hashing so
+// the identity survives float serialization jitter (a JSON round trip)
+// while distinct designs — whose insight features differ at the 1e-3
+// scale and above — land on distinct keys. NaN and ±Inf quantize to
+// fixed sentinels so a malformed vector still routes deterministically.
+func Fingerprint(iv []float64) uint64 {
+	h := splitmix64(fingerprintSeed ^ uint64(len(iv)))
+	for _, v := range iv {
+		var q int64
+		switch {
+		case math.IsNaN(v):
+			q = math.MinInt64
+		case math.IsInf(v, 1):
+			q = math.MaxInt64
+		case math.IsInf(v, -1):
+			q = math.MinInt64 + 1
+		default:
+			q = int64(math.Round(v * 1e6))
+		}
+		h = splitmix64(h ^ uint64(q))
+	}
+	return h
+}
+
+// FingerprintBatch folds the element fingerprints of a client batch into
+// one routing key, so an identical batch routes to the same replica while
+// any element change moves it. The fold is order-sensitive: a batch is
+// one request, not a set.
+func FingerprintBatch(ivs [][]float64) uint64 {
+	h := splitmix64(fingerprintSeed ^ 0x4261746368) // "Batch"
+	for _, iv := range ivs {
+		h = splitmix64(h ^ Fingerprint(iv))
+	}
+	return h
+}

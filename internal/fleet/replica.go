@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"insightalign/internal/serve"
+)
+
+// Replica is the router's view of one backend: its base URL, a bounded
+// admission gate (MaxInflight concurrent forwards plus QueueDepth
+// waiters), liveness from /healthz polling, and a serve.Breaker fed by
+// observed forward outcomes. Health and breaker answer different
+// questions — "is the process up" vs "is it currently failing requests" —
+// and the router consults both before sending.
+type Replica struct {
+	id string // base URL, e.g. "http://127.0.0.1:8081"
+
+	brk *serve.Breaker
+
+	slots    chan struct{} // admission: one token per in-flight forward
+	inflight atomic.Int64
+	queued   atomic.Int64 // waiters blocked on slots
+	maxQueue int64
+
+	healthy   atomic.Bool
+	failPolls atomic.Int64 // consecutive failed health polls
+}
+
+func newReplica(id string, maxInflight, queueDepth int, brkCfg serve.BreakerConfig, onTransition func(from, to serve.BreakerState)) *Replica {
+	if maxInflight < 1 {
+		maxInflight = 32
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	r := &Replica{
+		id:       id,
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(queueDepth),
+	}
+	if !brkCfg.Disabled {
+		r.brk = serve.NewBreaker(brkCfg, onTransition)
+	}
+	// Optimistic start: the first health poll corrects a dead replica
+	// within one interval, and a cold fleet must not shed its first
+	// requests while polling warms up.
+	r.healthy.Store(true)
+	return r
+}
+
+// ID returns the replica's base URL.
+func (r *Replica) ID() string { return r.id }
+
+// Healthy reports the last /healthz poll verdict.
+func (r *Replica) Healthy() bool { return r.healthy.Load() }
+
+// Inflight reports the current number of in-flight forwards.
+func (r *Replica) Inflight() int64 { return r.inflight.Load() }
+
+// BreakerState reports the replica breaker's position (closed when the
+// breaker is disabled).
+func (r *Replica) BreakerState() serve.BreakerState {
+	if r.brk == nil {
+		return serve.BreakerClosed
+	}
+	return r.brk.State()
+}
+
+// tryAcquire takes an admission slot without blocking. Returns false when
+// the replica is at MaxInflight.
+func (r *Replica) tryAcquire() bool {
+	select {
+	case r.slots <- struct{}{}:
+		r.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire waits up to wait (and the deadline channel) for a slot, bounded
+// by the replica's queue depth: when QueueDepth waiters are already
+// parked, it refuses immediately — that is the "bounded" in bounded
+// admission queue, and the router turns it into 503 + Retry-After.
+func (r *Replica) acquire(wait time.Duration, done <-chan struct{}) bool {
+	if r.queued.Add(1) > r.maxQueue {
+		r.queued.Add(-1)
+		return false
+	}
+	defer r.queued.Add(-1)
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case r.slots <- struct{}{}:
+		r.inflight.Add(1)
+		return true
+	case <-t.C:
+		return false
+	case <-done:
+		return false
+	}
+}
+
+// release frees an admission slot.
+func (r *Replica) release() {
+	r.inflight.Add(-1)
+	<-r.slots
+}
+
+// allow asks the replica's breaker for an admission (always granted when
+// the breaker is disabled).
+func (r *Replica) allow() (serve.Admission, bool, time.Duration) {
+	if r.brk == nil {
+		return serve.Admission{}, true, 0
+	}
+	return r.brk.Allow()
+}
+
+// record resolves a breaker admission with a health outcome.
+func (r *Replica) record(adm serve.Admission, ok bool) {
+	if r.brk != nil {
+		r.brk.Record(adm, ok)
+	}
+}
+
+// releaseAdmission resolves a breaker admission without a health signal
+// (429s, hedge-loss cancels, slot-wait expiries).
+func (r *Replica) releaseAdmission(adm serve.Admission) {
+	if r.brk != nil {
+		r.brk.Release(adm)
+	}
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	iv := []float64{0.1, 0.2, 0.3, -1.5}
+	if Fingerprint(iv) != Fingerprint([]float64{0.1, 0.2, 0.3, -1.5}) {
+		t.Fatal("identical vectors must fingerprint identically")
+	}
+	if Fingerprint(iv) == Fingerprint([]float64{0.1, 0.2, 0.3, -1.6}) {
+		t.Fatal("distinct vectors should fingerprint differently")
+	}
+	if Fingerprint([]float64{0.1, 0.2}) == Fingerprint([]float64{0.2, 0.1}) {
+		t.Fatal("fingerprint must be order-sensitive")
+	}
+	if Fingerprint(nil) != Fingerprint([]float64{}) {
+		t.Fatal("nil and empty must agree")
+	}
+}
+
+func TestFingerprintQuantizationAndNonFinite(t *testing.T) {
+	// Values within the 1e-6 quantum collapse to one affinity key: the
+	// same design re-measured with float noise still routes to its owner.
+	if Fingerprint([]float64{0.5}) != Fingerprint([]float64{0.5 + 1e-9}) {
+		t.Fatal("sub-quantum jitter must not change the fingerprint")
+	}
+	if Fingerprint([]float64{0.5}) == Fingerprint([]float64{0.5 + 1e-5}) {
+		t.Fatal("super-quantum change must change the fingerprint")
+	}
+	// Non-finite values must hash stably, not panic or depend on NaN bits.
+	nan1 := Fingerprint([]float64{math.NaN(), 1})
+	nan2 := Fingerprint([]float64{math.Log(-1), 1})
+	if nan1 != nan2 {
+		t.Fatal("all NaNs must fingerprint identically")
+	}
+	if Fingerprint([]float64{math.Inf(1)}) == Fingerprint([]float64{math.Inf(-1)}) {
+		t.Fatal("+Inf and -Inf must differ")
+	}
+}
+
+func TestFingerprintBatchOrderSensitive(t *testing.T) {
+	a, b := []float64{1, 2}, []float64{3, 4}
+	if FingerprintBatch([][]float64{a, b}) == FingerprintBatch([][]float64{b, a}) {
+		t.Fatal("batch fingerprint must be order-sensitive")
+	}
+	if FingerprintBatch([][]float64{a}) == Fingerprint(a) {
+		t.Fatal("a 1-element batch must not collide with the single fingerprint")
+	}
+}
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://127.0.0.1:%d", 8081+i)
+	}
+	return ids
+}
+
+func TestRingDeterministicOwner(t *testing.T) {
+	r1, r2 := NewRing(64), NewRing(64)
+	r1.Set(ringIDs(5))
+	r2.Set(ringIDs(5))
+	for k := uint64(0); k < 1000; k++ {
+		key := splitmix64(k)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("owner for key %d differs between identical rings", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	ids := ringIDs(8)
+	r.Set(ids)
+	counts := make(map[string]int)
+	const n = 20000
+	for k := 0; k < n; k++ {
+		counts[r.Owner(splitmix64(uint64(k)))]++
+	}
+	fair := float64(n) / float64(len(ids))
+	for _, id := range ids {
+		c := counts[id]
+		if float64(c) < 0.45*fair || float64(c) > 1.8*fair {
+			t.Errorf("replica %s owns %d keys, fair share %.0f: imbalance beyond 64-vnode tolerance", id, c, fair)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	ids := ringIDs(8)
+	r := NewRing(64)
+	r.Set(ids)
+	const n = 5000
+	before := make([]string, n)
+	for k := 0; k < n; k++ {
+		before[k] = r.Owner(splitmix64(uint64(k)))
+	}
+	removed := ids[3]
+	survivors := append(append([]string{}, ids[:3]...), ids[4:]...)
+	if !r.Set(survivors) {
+		t.Fatal("membership change must rebuild the ring")
+	}
+	moved := 0
+	for k := 0; k < n; k++ {
+		after := r.Owner(splitmix64(uint64(k)))
+		if before[k] == removed {
+			continue // these keys must move
+		}
+		if after != before[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed replica changed owner; consistent hashing must only move the removed replica's keys", moved)
+	}
+	// Re-adding restores the original assignment exactly.
+	r.Set(ids)
+	for k := 0; k < n; k++ {
+		if got := r.Owner(splitmix64(uint64(k))); got != before[k] {
+			t.Fatalf("key %d owner %s after re-add, want %s", k, got, before[k])
+		}
+	}
+}
+
+func TestRingOrderDistinctAndOwnerFirst(t *testing.T) {
+	r := NewRing(64)
+	ids := ringIDs(5)
+	r.Set(ids)
+	for k := uint64(0); k < 200; k++ {
+		key := splitmix64(k)
+		order := r.Order(key, 0)
+		if len(order) != len(ids) {
+			t.Fatalf("Order returned %d replicas, want %d", len(order), len(ids))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("Order[0]=%s, want owner %s", order[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("Order repeats replica %s", id)
+			}
+			seen[id] = true
+		}
+	}
+	if got := r.Order(splitmix64(7), 2); len(got) != 2 {
+		t.Fatalf("Order with max=2 returned %d, want 2", len(got))
+	}
+}
+
+func TestRingSetNoopAndEmpty(t *testing.T) {
+	r := NewRing(64)
+	if !r.Set(ringIDs(3)) {
+		t.Fatal("first Set must rebuild")
+	}
+	if r.Set(ringIDs(3)) {
+		t.Fatal("identical membership must be a no-op")
+	}
+	if got := r.Rebuilds(); got != 1 {
+		t.Fatalf("rebuilds=%d, want 1", got)
+	}
+	if !r.Set(nil) {
+		t.Fatal("emptying the ring is a membership change")
+	}
+	if r.Owner(42) != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+	if r.Order(42, 0) != nil {
+		t.Fatal("empty ring must return no order")
+	}
+}

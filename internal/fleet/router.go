@@ -1,0 +1,923 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"insightalign/internal/obs"
+	"insightalign/internal/serve"
+)
+
+// Config parameterizes a Router. Start from DefaultConfig.
+type Config struct {
+	// Addr is the router's listen address (":8090").
+	Addr string
+	// Replicas are the backend base URLs ("http://127.0.0.1:8081", ...).
+	Replicas []string
+	// VNodesPerReplica sets the consistent-hash ring's virtual nodes per
+	// replica (default 64).
+	VNodesPerReplica int
+	// LoadFactor is the bounded-load consistent-hashing factor c: a
+	// replica whose in-flight count exceeds c * (fleet inflight / healthy
+	// replicas) + 1 is skipped in favor of the next replica in ring
+	// order, so one hot design cannot melt its owner (default 1.25).
+	LoadFactor float64
+	// MaxInflight bounds concurrent forwards per replica (default 32).
+	MaxInflight int
+	// QueueDepth bounds waiters per replica beyond MaxInflight; past it
+	// the replica counts as saturated (default 64).
+	QueueDepth int
+	// QueueWait is the longest a request waits for an admission slot
+	// before the fleet is declared saturated (default 100ms).
+	QueueWait time.Duration
+	// RequestTimeout is the end-to-end routed request deadline
+	// (default 15s).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds failover: how many distinct replicas one
+	// request may be sent to, hedges excluded (default 3, clamped to the
+	// fleet size).
+	MaxAttempts int
+	// DisableHedging turns the hedged-request path off (benchmark
+	// comparison mode).
+	DisableHedging bool
+	// HedgeQuantile is the latency percentile of recent successful
+	// forwards that arms the hedge timer (default 0.95).
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge trigger so a cold or very fast
+	// fleet does not hedge every request (default 5ms).
+	HedgeMinDelay time.Duration
+	// HedgeMaxConcurrent caps in-flight hedges fleet-wide; beyond it
+	// hedges are denied, not queued (default 8).
+	HedgeMaxConcurrent int
+	// LatencyWindow is how many recent forward latencies feed the hedge
+	// trigger percentile (default 512).
+	LatencyWindow int
+	// HealthInterval is the /healthz polling period (default 500ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default: HealthInterval).
+	HealthTimeout time.Duration
+	// EjectAfter is how many consecutive failed health polls eject a
+	// replica from the ring (rebalancing its keys to the survivors);
+	// one successful poll re-adds it (default 3).
+	EjectAfter int
+	// Breaker configures the per-replica router-side circuit breaker
+	// (reusing serve.Breaker); observed forward failures open it and the
+	// replica is skipped until its probes succeed.
+	Breaker serve.BreakerConfig
+	// Transport overrides the forwarding round-tripper (test seam).
+	Transport http.RoundTripper
+	// Logger receives structured router logs; nil means slog.Default().
+	Logger *slog.Logger
+	// Metrics is the registry the fleet metric families bind into; nil
+	// means the process-wide obs.Default().
+	Metrics *obs.Registry
+	// Tracer assigns and retains request traces; nil means the
+	// process-wide obs.DefaultTracer().
+	Tracer *obs.Tracer
+}
+
+// DefaultConfig returns production-leaning routing defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:               ":8090",
+		VNodesPerReplica:   64,
+		LoadFactor:         1.25,
+		MaxInflight:        32,
+		QueueDepth:         64,
+		QueueWait:          100 * time.Millisecond,
+		RequestTimeout:     15 * time.Second,
+		MaxAttempts:        3,
+		HedgeQuantile:      0.95,
+		HedgeMinDelay:      5 * time.Millisecond,
+		HedgeMaxConcurrent: 8,
+		LatencyWindow:      512,
+		HealthInterval:     500 * time.Millisecond,
+		EjectAfter:         3,
+		Breaker: serve.BreakerConfig{
+			Window:         16,
+			MinSamples:     4,
+			FailureRatio:   0.5,
+			Cooldown:       2 * time.Second,
+			HalfOpenProbes: 2,
+		},
+	}
+}
+
+// Router is the fleet front end: consistent-hash routing with bounded
+// load, per-replica health + breaker gating, hedged requests, bounded
+// admission, and cross-hop trace propagation.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	reps   map[string]*Replica
+	ids    []string // configured membership, stable order
+	met    *Metrics
+	lat    *latWindow
+	client *http.Client
+	tracer *obs.Tracer
+	log    *slog.Logger
+
+	hedgeSem chan struct{}
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	stopc    chan struct{}
+	wg       sync.WaitGroup // health loop
+	shutOnce sync.Once
+}
+
+// New builds a Router over the configured replica set and starts its
+// health-polling loop; callers must Shutdown to stop it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	if cfg.LoadFactor <= 1 {
+		cfg.LoadFactor = 1.25
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 32
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.HedgeQuantile <= 0 || cfg.HedgeQuantile >= 1 {
+		cfg.HedgeQuantile = 0.95
+	}
+	if cfg.HedgeMinDelay <= 0 {
+		cfg.HedgeMinDelay = 5 * time.Millisecond
+	}
+	if cfg.HedgeMaxConcurrent < 1 {
+		cfg.HedgeMaxConcurrent = 8
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = cfg.HealthInterval
+	}
+	if cfg.EjectAfter < 1 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer()
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodesPerReplica),
+		reps:     make(map[string]*Replica, len(cfg.Replicas)),
+		met:      NewMetrics(cfg.Metrics),
+		lat:      newLatWindow(cfg.LatencyWindow),
+		tracer:   cfg.Tracer,
+		log:      cfg.Logger,
+		hedgeSem: make(chan struct{}, cfg.HedgeMaxConcurrent),
+		stopc:    make(chan struct{}),
+	}
+	for _, raw := range cfg.Replicas {
+		id := strings.TrimRight(raw, "/")
+		if id == "" {
+			return nil, fmt.Errorf("fleet: empty replica URL")
+		}
+		if _, dup := rt.reps[id]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", id)
+		}
+		rt.reps[id] = newReplica(id, cfg.MaxInflight, cfg.QueueDepth, cfg.Breaker,
+			func(from, to serve.BreakerState) {
+				rt.met.ObserveBreakerTransition(id, from, to)
+				rt.log.Warn("replica breaker transition", "replica", id, "from", from.String(), "to", to.String())
+			})
+		rt.ids = append(rt.ids, id)
+		rt.met.SetReplicaUp(id, true)
+	}
+	if rt.ring.Set(rt.ids) {
+		rt.met.ObserveRebuild()
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 128,
+			IdleConnTimeout:     60 * time.Second,
+		}
+	}
+	rt.client = &http.Client{Transport: transport}
+	rt.httpSrv = &http.Server{Addr: cfg.Addr, Handler: rt.Handler()}
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Metrics exposes the router's metric bridge.
+func (rt *Router) Metrics() *Metrics { return rt.met }
+
+// Ring exposes the consistent-hash ring (tests, /healthz).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Replica returns the state of one configured replica (nil if unknown).
+func (rt *Router) Replica(id string) *Replica { return rt.reps[strings.TrimRight(id, "/")] }
+
+// Handler returns the router's full route mux wrapped in metrics +
+// tracing middleware.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, "/v1/recommend")
+	})
+	mux.HandleFunc("/v1/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, "/v1/recommend/batch")
+	})
+	mux.HandleFunc("/v1/models/reload", rt.handleReload)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	obs.RegisterDebug(mux, rt.met.Registry(), rt.tracer)
+	return rt.instrument(mux)
+}
+
+// Start listens on cfg.Addr and serves until Shutdown.
+func (rt *Router) Start() (<-chan error, error) {
+	ln, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.ln = ln
+	errc := make(chan error, 1)
+	go func() {
+		if err := rt.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+	rt.log.Info("fleet router serving", "addr", ln.Addr().String(), "replicas", len(rt.ids))
+	return errc, nil
+}
+
+// Addr returns the bound listen address (useful with Addr ":0").
+func (rt *Router) Addr() string {
+	if rt.ln == nil {
+		return rt.cfg.Addr
+	}
+	return rt.ln.Addr().String()
+}
+
+// Shutdown stops the health loop and drains the HTTP server.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	var err error
+	rt.shutOnce.Do(func() {
+		close(rt.stopc)
+		rt.wg.Wait()
+		err = rt.httpSrv.Shutdown(ctx)
+		rt.log.Info("fleet router shut down", "err", err)
+	})
+	return err
+}
+
+// Forward outcome classes (the fleet_forward_total outcome label).
+const (
+	outcomeOK          = "ok"
+	outcomeClientError = "client_error"  // replica 4xx (not 429): caller's fault, replica healthy
+	outcomeSaturated   = "saturated"     // replica 429: load signal, not ill-health
+	outcomeUnavailable = "unavailable"   // replica 503: cannot serve now
+	outcomeBackendErr  = "backend_error" // replica 5xx
+	outcomeTransport   = "transport"     // connection-level failure
+	outcomeTimeout     = "timeout"       // routed request deadline expired in flight
+	outcomeCanceled    = "canceled"      // context canceled (hedge loser or client gone)
+)
+
+// attemptResult is one forward attempt's outcome.
+type attemptResult struct {
+	replica string
+	status  int
+	header  http.Header
+	body    []byte
+	outcome string
+	err     error
+	hedge   bool
+}
+
+// terminal reports whether the result should be returned to the client
+// as-is rather than failed over to another replica.
+func (a attemptResult) terminal() bool {
+	switch a.outcome {
+	case outcomeOK, outcomeClientError, outcomeTimeout, outcomeCanceled:
+		return true
+	}
+	return false
+}
+
+// retryable is the complement of terminal for results that came from an
+// actual send.
+func (a attemptResult) retryable() bool { return !a.terminal() }
+
+// maxBodyBytes bounds both the client request body and the relayed
+// replica response body.
+const maxBodyBytes = 8 << 20
+
+// proxy is the shared /v1/recommend and /v1/recommend/batch front end:
+// read the body, derive the consistent-hash key from the insight
+// vector(s), and forward with failover + hedging.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	key, err := routingKey(path, body)
+	if err != nil {
+		// Reject unparseable JSON at the router: no replica could serve it,
+		// so spending a forward (and a breaker sample) on it is waste.
+		rt.writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	res := rt.forward(ctx, path, key, body)
+	rt.writeResult(w, r, res)
+}
+
+// routingKey extracts the affinity key from a request body: the insight
+// fingerprint for singles, the folded element fingerprints for batches.
+func routingKey(path string, body []byte) (uint64, error) {
+	if path == "/v1/recommend/batch" {
+		var req struct {
+			Requests []struct {
+				Insight []float64 `json:"insight"`
+			} `json:"requests"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return 0, fmt.Errorf("invalid JSON body: %v", err)
+		}
+		ivs := make([][]float64, len(req.Requests))
+		for i := range req.Requests {
+			ivs[i] = req.Requests[i].Insight
+		}
+		return FingerprintBatch(ivs), nil
+	}
+	var req struct {
+		Insight []float64 `json:"insight"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return 0, fmt.Errorf("invalid JSON body: %v", err)
+	}
+	return Fingerprint(req.Insight), nil
+}
+
+// shedResult is the terminal "nowhere to send this" outcome.
+type shedResult struct {
+	reason string
+	wait   time.Duration
+}
+
+// forward routes one request: walk the ring order from the key's owner,
+// skipping unhealthy / breaker-open / overloaded replicas, hedging the
+// first attempt when it runs past the latency trigger, and failing over
+// across distinct replicas on retryable outcomes.
+func (rt *Router) forward(ctx context.Context, path string, key uint64, body []byte) attemptResult {
+	order := rt.ring.Order(key, 0)
+	if len(order) == 0 {
+		rt.met.ObserveShed("no_replicas")
+		return attemptResult{outcome: "shed", err: errShed{shedResult{reason: "no_replicas", wait: rt.cfg.HealthInterval}}}
+	}
+	traceID := obs.TraceIDFrom(ctx)
+	tried := make(map[string]bool, len(order))
+	attempts := rt.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	var last attemptResult
+	sent := false
+	for a := 0; a < attempts && ctx.Err() == nil; a++ {
+		pk, reason, wait := rt.pick(order, tried, a == 0, ctx.Done())
+		if pk == nil {
+			if !sent {
+				rt.met.ObserveShed(reason)
+				return attemptResult{outcome: "shed", err: errShed{shedResult{reason: reason, wait: wait}}}
+			}
+			break
+		}
+		sent = true
+		tried[pk.rep.id] = true
+		res := rt.attemptWithHedge(ctx, pk, order, tried, path, traceID, body, a == 0)
+		if res.terminal() {
+			return res
+		}
+		last = res
+	}
+	if last.outcome == "" {
+		last = attemptResult{outcome: outcomeTransport, err: ctx.Err()}
+	}
+	return last
+}
+
+// errShed carries the shed reason + Retry-After hint through attemptResult.
+type errShed struct{ shedResult }
+
+func (e errShed) Error() string { return "fleet: shed: " + e.reason }
+
+// picked is an acquired (slot, breaker-admission) pair for one replica.
+type picked struct {
+	rep *Replica
+	adm serve.Admission
+}
+
+// pick selects the next replica in ring order that is healthy, not
+// already tried, breaker-admitted, and under the bounded-load limit with
+// a free slot. A second pass relaxes the load bound, and (when allowQueue
+// is set) a third pass waits up to QueueWait on an admission slot. A nil
+// return means the fleet cannot take this request: the reason and a
+// Retry-After hint accompany it.
+func (rt *Router) pick(order []string, tried map[string]bool, allowQueue bool, done <-chan struct{}) (*picked, string, time.Duration) {
+	var brkWait time.Duration
+	sawHealthy, sawBreakerOnly := false, true
+	for pass := 0; pass < 2; pass++ {
+		limit := rt.loadLimit()
+		for _, id := range order {
+			rep := rt.reps[id]
+			if tried[id] || !rep.healthy.Load() {
+				continue
+			}
+			sawHealthy = true
+			if pass == 0 && rep.inflight.Load() > limit {
+				continue
+			}
+			if !rep.tryAcquire() {
+				sawBreakerOnly = false
+				continue
+			}
+			adm, ok, wait := rep.allow()
+			if !ok {
+				rep.release()
+				if wait > brkWait {
+					brkWait = wait
+				}
+				continue
+			}
+			return &picked{rep: rep, adm: adm}, "", 0
+		}
+	}
+	if allowQueue {
+		for _, id := range order {
+			rep := rt.reps[id]
+			if tried[id] || !rep.healthy.Load() {
+				continue
+			}
+			adm, ok, wait := rep.allow()
+			if !ok {
+				if wait > brkWait {
+					brkWait = wait
+				}
+				continue
+			}
+			if rep.acquire(rt.cfg.QueueWait, done) {
+				return &picked{rep: rep, adm: adm}, "", 0
+			}
+			rep.releaseAdmission(adm)
+			sawBreakerOnly = false
+		}
+	}
+	switch {
+	case !sawHealthy:
+		return nil, "no_replicas", rt.cfg.HealthInterval
+	case sawBreakerOnly && brkWait > 0:
+		return nil, "breaker_open", brkWait
+	default:
+		return nil, "saturated", rt.cfg.QueueWait
+	}
+}
+
+// pickHedge is pick without queueing, for the hedge leg: a distinct,
+// healthy, breaker-admitted replica with a free slot, or nil.
+func (rt *Router) pickHedge(order []string, tried map[string]bool) *picked {
+	for _, id := range order {
+		rep := rt.reps[id]
+		if tried[id] || !rep.healthy.Load() || !rep.tryAcquire() {
+			continue
+		}
+		adm, ok, _ := rep.allow()
+		if !ok {
+			rep.release()
+			continue
+		}
+		return &picked{rep: rep, adm: adm}
+	}
+	return nil
+}
+
+// loadLimit is the bounded-load cap: LoadFactor times the mean in-flight
+// per healthy replica, plus one so an idle fleet is never starved.
+func (rt *Router) loadLimit() int64 {
+	var total, healthy int64
+	for _, rep := range rt.reps {
+		total += rep.inflight.Load()
+		if rep.healthy.Load() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		healthy = 1
+	}
+	return int64(rt.cfg.LoadFactor*float64(total)/float64(healthy)) + 1
+}
+
+// attemptWithHedge sends to the picked replica and, when the response
+// runs past the hedge trigger (and hedging is enabled for this attempt),
+// races a second replica: first usable response wins and the loser's
+// context is canceled. Hedges are capped by HedgeMaxConcurrent.
+func (rt *Router) attemptWithHedge(ctx context.Context, primary *picked, order []string, tried map[string]bool, path, traceID string, body []byte, mayHedge bool) attemptResult {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan attemptResult, 2)
+	go func() { resc <- rt.send(actx, primary, path, traceID, body, false) }()
+	if !mayHedge || rt.cfg.DisableHedging || len(order) < 2 {
+		return <-resc
+	}
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case res := <-resc:
+		return res
+	case <-timer.C:
+	}
+	// The primary is slow past the trigger: race a hedge if the cap and a
+	// spare replica allow.
+	var hp *picked
+	select {
+	case rt.hedgeSem <- struct{}{}:
+		if hp = rt.pickHedge(order, tried); hp == nil {
+			<-rt.hedgeSem
+		}
+	default:
+	}
+	if hp == nil {
+		rt.met.ObserveHedge("denied")
+		return <-resc
+	}
+	tried[hp.rep.id] = true
+	rt.met.HedgeStarted()
+	go func() {
+		resc <- rt.send(actx, hp, path, traceID, body, true)
+		<-rt.hedgeSem
+		rt.met.HedgeFinished()
+	}()
+	first := <-resc
+	if first.retryable() {
+		// The first responder failed; the other leg is still live and may
+		// yet deliver.
+		second := <-resc
+		if second.retryable() {
+			rt.met.ObserveHedge("lost")
+			return first
+		}
+		first = second
+	} else {
+		cancel() // the loser's send classifies as canceled and releases
+	}
+	if first.hedge {
+		rt.met.ObserveHedge("won")
+	} else {
+		rt.met.ObserveHedge("lost")
+	}
+	return first
+}
+
+// hedgeDelay is the current hedge trigger: the latency window's
+// HedgeQuantile, floored at HedgeMinDelay.
+func (rt *Router) hedgeDelay() time.Duration {
+	d := rt.lat.Percentile(rt.cfg.HedgeQuantile)
+	if d < rt.cfg.HedgeMinDelay {
+		d = rt.cfg.HedgeMinDelay
+	}
+	return d
+}
+
+// send forwards the body to one replica, classifies the outcome, feeds
+// the replica's breaker and the hedge latency window, and releases the
+// admission slot. The X-Trace-Id header carries the trace across the hop.
+func (rt *Router) send(ctx context.Context, pk *picked, path, traceID string, body []byte, hedge bool) attemptResult {
+	rep := pk.rep
+	defer func() {
+		rep.release()
+		rt.met.SetInflight(rep.id, rep.inflight.Load(), rep.queued.Load())
+	}()
+	rt.met.SetInflight(rep.id, rep.inflight.Load(), rep.queued.Load())
+	_, span := obs.StartSpan(ctx, "forward")
+	span.SetAttr("replica", rep.id)
+	if hedge {
+		span.SetAttr("hedge", "true")
+	}
+	res := attemptResult{replica: rep.id, hedge: hedge}
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.id+path, bytes.NewReader(body))
+	if err != nil {
+		res.outcome, res.err = outcomeTransport, err
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			res.err = err
+			switch {
+			case errors.Is(ctx.Err(), context.Canceled):
+				res.outcome = outcomeCanceled
+			case errors.Is(ctx.Err(), context.DeadlineExceeded):
+				res.outcome = outcomeTimeout
+			default:
+				res.outcome = outcomeTransport
+			}
+		} else {
+			res.status = resp.StatusCode
+			res.header = resp.Header
+			res.body, res.err = io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			switch {
+			case res.err != nil:
+				res.outcome = outcomeTransport
+			case resp.StatusCode < 400:
+				res.outcome = outcomeOK
+			case resp.StatusCode == http.StatusTooManyRequests:
+				res.outcome = outcomeSaturated
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				res.outcome = outcomeUnavailable
+			case resp.StatusCode < 500:
+				res.outcome = outcomeClientError
+			default:
+				res.outcome = outcomeBackendErr
+			}
+		}
+	}
+	dur := time.Since(t0)
+	// Breaker classification: 2xx and non-429 4xx prove the replica is
+	// answering; 5xx, 503, transport failures, and deadline expiries are
+	// ill-health; 429 is load and hedge-loss cancels are our own doing —
+	// neither says anything about replica health.
+	switch res.outcome {
+	case outcomeOK, outcomeClientError:
+		rep.record(pk.adm, true)
+		if res.outcome == outcomeOK {
+			rt.lat.Add(dur)
+		}
+	case outcomeSaturated, outcomeCanceled:
+		rep.releaseAdmission(pk.adm)
+	default:
+		rep.record(pk.adm, false)
+	}
+	rt.met.ObserveForward(rep.id, res.outcome)
+	span.SetAttr("outcome", res.outcome)
+	if res.status != 0 {
+		span.SetAttr("status", strconv.Itoa(res.status))
+	}
+	span.End()
+	return res
+}
+
+// writeResult relays a terminal attempt to the client.
+func (rt *Router) writeResult(w http.ResponseWriter, r *http.Request, res attemptResult) {
+	var sh errShed
+	switch {
+	case errors.As(res.err, &sh):
+		w.Header().Set("Retry-After", strconv.Itoa(int(sh.wait/time.Second)+1))
+		rt.writeError(w, r, http.StatusServiceUnavailable, "fleet "+sh.reason+": retry later")
+	case res.outcome == outcomeTimeout:
+		rt.writeError(w, r, http.StatusGatewayTimeout, "fleet: routed request deadline exceeded")
+	case res.outcomeIsRelayable():
+		if ct := res.header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set("X-Fleet-Replica", res.replica)
+		w.WriteHeader(res.status)
+		w.Write(res.body)
+	case res.outcome == outcomeCanceled:
+		rt.writeError(w, r, 499, "client closed request")
+	default:
+		// Every attempt failed over and the budget is spent.
+		msg := "fleet: all replica attempts failed"
+		if res.err != nil {
+			msg = fmt.Sprintf("%s: last error: %v", msg, res.err)
+		} else if res.status != 0 {
+			msg = fmt.Sprintf("%s: last status: %d from %s", msg, res.status, res.replica)
+		}
+		rt.writeError(w, r, http.StatusBadGateway, msg)
+	}
+}
+
+// outcomeIsRelayable reports whether the attempt carries a replica
+// response the client should see verbatim.
+func (a attemptResult) outcomeIsRelayable() bool {
+	return a.outcome == outcomeOK || a.outcome == outcomeClientError
+}
+
+// handleReload fans POST /v1/models/reload out to every configured
+// replica (regardless of health — an operator reloading weights wants the
+// whole fleet to converge) and reports each replica's verdict.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	type reloadVerdict struct {
+		Replica string          `json:"replica"`
+		Status  int             `json:"status"`
+		Body    json.RawMessage `json:"body,omitempty"`
+		Error   string          `json:"error,omitempty"`
+	}
+	verdicts := make([]reloadVerdict, len(rt.ids))
+	var wg sync.WaitGroup
+	for i, id := range rt.ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			v := reloadVerdict{Replica: id}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, id+"/v1/models/reload", bytes.NewReader(body))
+			if err != nil {
+				v.Error = err.Error()
+				verdicts[i] = v
+				return
+			}
+			if len(body) > 0 {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				v.Error = err.Error()
+				verdicts[i] = v
+				return
+			}
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			v.Status = resp.StatusCode
+			if json.Valid(raw) {
+				v.Body = raw
+			}
+			verdicts[i] = v
+		}(i, id)
+	}
+	wg.Wait()
+	code := http.StatusOK
+	for _, v := range verdicts {
+		if v.Error != "" || v.Status != http.StatusOK {
+			code = http.StatusBadGateway
+		}
+	}
+	writeJSON(w, code, map[string]any{"results": verdicts})
+}
+
+// ReplicaHealth is one replica's row in the router's /healthz.
+type ReplicaHealth struct {
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	InRing   bool   `json:"in_ring"`
+	Breaker  string `json:"breaker"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+}
+
+// HealthResponse is the router's /healthz body.
+type HealthResponse struct {
+	Status       string          `json:"status"` // ok | degraded | down
+	Replicas     []ReplicaHealth `json:"replicas"`
+	RingMembers  int             `json:"ring_members"`
+	RingRebuilds uint64          `json:"ring_rebuilds"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	members := map[string]bool{}
+	for _, id := range rt.ring.Members() {
+		members[id] = true
+	}
+	resp := HealthResponse{RingMembers: len(members), RingRebuilds: rt.ring.Rebuilds()}
+	up := 0
+	for _, id := range rt.ids {
+		rep := rt.reps[id]
+		h := rep.healthy.Load()
+		if h {
+			up++
+		}
+		resp.Replicas = append(resp.Replicas, ReplicaHealth{
+			URL: id, Up: h, InRing: members[id],
+			Breaker:  rep.BreakerState().String(),
+			Inflight: rep.inflight.Load(),
+			Queued:   rep.queued.Load(),
+		})
+	}
+	code := http.StatusOK
+	switch {
+	case up == len(rt.ids):
+		resp.Status = "ok"
+	case up > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// instrument mirrors serve's middleware for the router: API routes root a
+// trace (adopting a trusted upstream X-Trace-Id when present), and every
+// request lands in the fleet request metrics and the structured log.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		startAt := time.Now()
+		route := normalizeRoute(r.URL.Path)
+		traceID := ""
+		var span *obs.Span
+		if strings.HasPrefix(route, "/v1/") {
+			ctx := obs.WithTracer(r.Context(), rt.tracer)
+			if hdr := r.Header.Get("X-Trace-Id"); obs.ValidTraceID(hdr) {
+				ctx = obs.WithRemoteTraceID(r.Context(), rt.tracer, hdr)
+			}
+			ctx, span = obs.StartSpan(ctx, r.Method+" "+route+" (router)")
+			traceID = span.TraceID()
+			w.Header().Set("X-Trace-Id", traceID)
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d := time.Since(startAt)
+		rt.met.ObserveRequest(route, sw.code, d)
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(sw.code))
+			span.End()
+		}
+		if route != "/metrics" && route != "/healthz" {
+			rt.log.Info("routed request",
+				"route", route, "method", r.Method, "status", sw.code,
+				"duration_ms", float64(d.Microseconds())/1000,
+				"remote", r.RemoteAddr, "trace_id", traceID)
+		}
+	})
+}
+
+// normalizeRoute keeps the metrics label space bounded.
+func normalizeRoute(p string) string {
+	switch {
+	case p == "/v1/recommend", p == "/v1/recommend/batch", p == "/v1/models/reload", p == "/healthz", p == "/metrics":
+		return p
+	case strings.HasPrefix(p, "/v1/"):
+		return "/v1/other"
+	default:
+		return "other"
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	traceID := obs.TraceIDFrom(r.Context())
+	if code >= http.StatusInternalServerError {
+		rt.log.Warn("routed request rejected",
+			"route", normalizeRoute(r.URL.Path), "status", code, "err", msg, "trace_id", traceID)
+	}
+	writeJSON(w, code, errorResponse{Error: msg, TraceID: traceID})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

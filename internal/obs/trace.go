@@ -82,6 +82,11 @@ type TraceRecord struct {
 type activeTrace struct {
 	tracer  *Tracer
 	traceID string
+	// remoteID, when set on a sentinel (traceID empty), makes the next
+	// StartSpan root its trace under this externally assigned ID instead
+	// of allocating a fresh one — the receiving half of X-Trace-Id
+	// propagation across a process hop.
+	remoteID string
 
 	mu      sync.Mutex
 	spans   []SpanRecord
@@ -112,6 +117,40 @@ func WithTracer(ctx context.Context, tr *Tracer) context.Context {
 	return context.WithValue(ctx, ctxKey{}, &Span{at: &activeTrace{tracer: tr}})
 }
 
+// WithRemoteTraceID returns a context whose next StartSpan roots a span
+// that joins the remote trace traceID (as carried by an X-Trace-Id header)
+// instead of allocating a fresh ID. The resulting trace record lands in
+// tr's ring under the remote ID, so the upstream hop's record and this
+// process's record share one trace ID and /debug/traces?id= merges them
+// into a single span tree. A nil tr uses the default tracer; an invalid
+// traceID (see ValidTraceID) falls back to plain WithTracer semantics.
+func WithRemoteTraceID(ctx context.Context, tr *Tracer, traceID string) context.Context {
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	if !ValidTraceID(traceID) {
+		traceID = ""
+	}
+	return context.WithValue(ctx, ctxKey{}, &Span{at: &activeTrace{tracer: tr, remoteID: traceID}})
+}
+
+// ValidTraceID reports whether s is acceptable as a propagated trace ID:
+// 1-32 hex digits, the shape this package generates. Anything else is
+// rejected so a hostile header cannot inject arbitrary strings into the
+// trace ring or logs.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
 // StartSpan opens a span named name. If ctx already carries a span, the
 // new span joins that trace as a child; otherwise a fresh trace is rooted
 // here (on the context's tracer if WithTracer was used, else the default
@@ -126,10 +165,16 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		parentID = parent.id
 	} else {
 		tr := DefaultTracer()
+		remote := ""
 		if parent != nil && parent.at.tracer != nil {
 			tr = parent.at.tracer // WithTracer sentinel: tracer set, no trace yet
+			remote = parent.at.remoteID
 		}
-		at = &activeTrace{tracer: tr, traceID: fmt.Sprintf("%016x", tr.nextTrace.Add(1))}
+		id := remote
+		if id == "" {
+			id = fmt.Sprintf("%016x", tr.nextTrace.Add(1))
+		}
+		at = &activeTrace{tracer: tr, traceID: id}
 		root = true
 	}
 	sp := &Span{
@@ -239,7 +284,10 @@ func (t *Tracer) Recent(n int) []*TraceRecord {
 	return out
 }
 
-// Lookup returns the completed trace with the given ID, or nil.
+// Lookup returns the completed trace with the given ID, or nil. When the
+// ring holds several records under one ID (a trace that crossed a process
+// hop: the router's record and the replica's record share the propagated
+// ID), the newest is returned; LookupMerged assembles the full path.
 func (t *Tracer) Lookup(traceID string) *TraceRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -249,6 +297,60 @@ func (t *Tracer) Lookup(traceID string) *TraceRecord {
 		}
 	}
 	return nil
+}
+
+// LookupAll returns every completed record sharing traceID, oldest first.
+// A trace that crossed the router→replica hop produces one record per
+// participating server (each root span finalizes its own record under the
+// shared ID).
+func (t *Tracer) LookupAll(traceID string) []*TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*TraceRecord
+	for _, rec := range t.ring {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// LookupMerged returns the trace with the given ID as a single record,
+// merging the per-hop records of a cross-process trace: spans from every
+// record are concatenated in start order, the root is the earliest hop's
+// root, and the duration spans the earliest start to the latest span end.
+// Returns nil when the ID is unknown.
+func (t *Tracer) LookupMerged(traceID string) *TraceRecord {
+	recs := t.LookupAll(traceID)
+	switch len(recs) {
+	case 0:
+		return nil
+	case 1:
+		return recs[0]
+	}
+	merged := &TraceRecord{TraceID: traceID, Root: recs[0].Root, Start: recs[0].Start}
+	var latest time.Time
+	for _, rec := range recs {
+		if rec.Start.Before(merged.Start) {
+			merged.Start = rec.Start
+			merged.Root = rec.Root
+		}
+		merged.Dropped += rec.Dropped
+		merged.Spans = append(merged.Spans, rec.Spans...)
+		for _, sp := range rec.Spans {
+			if end := sp.Start.Add(time.Duration(sp.DurUS) * time.Microsecond); end.After(latest) {
+				latest = end
+			}
+		}
+	}
+	sort.Slice(merged.Spans, func(i, j int) bool {
+		if !merged.Spans[i].Start.Equal(merged.Spans[j].Start) {
+			return merged.Spans[i].Start.Before(merged.Spans[j].Start)
+		}
+		return merged.Spans[i].SpanID < merged.Spans[j].SpanID
+	})
+	merged.DurUS = latest.Sub(merged.Start).Microseconds()
+	return merged
 }
 
 // traceSummary is the list form served without ?id.
@@ -267,7 +369,7 @@ func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if id := r.URL.Query().Get("id"); id != "" {
-			rec := t.Lookup(id)
+			rec := t.LookupMerged(id)
 			if rec == nil {
 				w.WriteHeader(http.StatusNotFound)
 				json.NewEncoder(w).Encode(map[string]string{"error": "trace not found", "trace_id": id})

@@ -146,3 +146,75 @@ func TestUntracedContext(t *testing.T) {
 	}
 	sp.End()
 }
+
+func TestWithRemoteTraceIDJoinsTrace(t *testing.T) {
+	tr := NewTracer(8)
+
+	// Hop 1 (the "router"): roots a trace normally.
+	ctx1 := WithTracer(context.Background(), tr)
+	ctx1, root := StartSpan(ctx1, "POST /v1/recommend (router)")
+	_, fwd := StartSpan(ctx1, "forward")
+	traceID := root.TraceID()
+	fwd.End()
+	root.End()
+
+	// Hop 2 (the "replica"): adopts the propagated ID, as if read from an
+	// X-Trace-Id header.
+	ctx2 := WithRemoteTraceID(context.Background(), tr, traceID)
+	ctx2, rep := StartSpan(ctx2, "POST /v1/recommend")
+	if rep.TraceID() != traceID {
+		t.Fatalf("replica span trace %s, want adopted %s", rep.TraceID(), traceID)
+	}
+	_, dec := StartSpan(ctx2, "decoder_session")
+	dec.End()
+	rep.End()
+
+	// Both hops share the ID; LookupMerged assembles the full path.
+	all := tr.LookupAll(traceID)
+	if len(all) != 2 {
+		t.Fatalf("LookupAll found %d records, want 2 (one per hop)", len(all))
+	}
+	merged := tr.LookupMerged(traceID)
+	if merged == nil {
+		t.Fatal("LookupMerged returned nil")
+	}
+	if merged.Root != "POST /v1/recommend (router)" {
+		t.Fatalf("merged root %q, want the earliest hop's root", merged.Root)
+	}
+	var names []string
+	for _, sp := range merged.Spans {
+		names = append(names, sp.Name)
+	}
+	want := map[string]bool{
+		"POST /v1/recommend (router)": true, "forward": true,
+		"POST /v1/recommend": true, "decoder_session": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("merged spans %v, want the 4 spans of both hops", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected merged span %q in %v", n, names)
+		}
+	}
+}
+
+func TestWithRemoteTraceIDRejectsInvalid(t *testing.T) {
+	tr := NewTracer(8)
+	for _, bad := range []string{"", "XYZ!", "deadbeefdeadbeefdeadbeefdeadbeef0", "../../etc"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("ValidTraceID(%q) = true, want false", bad)
+		}
+		ctx := WithRemoteTraceID(context.Background(), tr, bad)
+		_, sp := StartSpan(ctx, "root")
+		if sp.TraceID() == bad {
+			t.Fatalf("invalid remote ID %q was adopted", bad)
+		}
+		sp.End()
+	}
+	for _, good := range []string{"0", "deadbeef", "0123456789abcdefABCDEF0123456789"} {
+		if !ValidTraceID(good) {
+			t.Fatalf("ValidTraceID(%q) = false, want true", good)
+		}
+	}
+}

@@ -316,15 +316,17 @@ func routeImpl(nl *netlist.Netlist, pl *placer.Result, opt Options) (*Result, *g
 		}
 	}
 	totalUse, edges := 0, 0
-	for _, use := range append(append([]int{}, g.hUse...), g.vUse...) {
-		edges++
-		totalUse += use
-		if over := use - g.cap; over > 0 {
-			res.OverflowTotal += over
-			if over > res.MaxEdgeOverflow {
-				res.MaxEdgeOverflow = over
+	for _, dir := range [2][]int{g.hUse, g.vUse} {
+		for _, use := range dir {
+			edges++
+			totalUse += use
+			if over := use - g.cap; over > 0 {
+				res.OverflowTotal += over
+				if over > res.MaxEdgeOverflow {
+					res.MaxEdgeOverflow = over
+				}
+				res.OverflowedEdgeFrac++
 			}
-			res.OverflowedEdgeFrac++
 		}
 	}
 	res.OverflowedEdgeFrac /= float64(edges)

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -17,6 +19,11 @@ import (
 type LoadGenOptions struct {
 	// URL is the server base URL ("http://127.0.0.1:8080").
 	URL string
+	// URLs, when non-empty, is the multi-target fleet mode: client c
+	// drives URLs[c mod len(URLs)], so one run can spread load across
+	// several replicas directly (the no-router baseline) or across
+	// several routers. URL is ignored when URLs is set.
+	URLs []string
 	// Clients is the number of concurrent request loops.
 	Clients int
 	// Requests is the total request count across all clients.
@@ -56,6 +63,29 @@ type LoadGenResult struct {
 	P95MS           float64 `json:"p95_ms"`
 	P99MS           float64 `json:"p99_ms"`
 	MaxMS           float64 `json:"max_ms"`
+	// ErrorsByClass breaks Failures down by what went wrong: "http_NNN"
+	// for non-200 statuses, "transport" for connection-level errors,
+	// "timeout" for client-side deadline expiries, "canceled" for run
+	// aborts. Without it a fleet kill/recovery run is uninterpretable —
+	// a shed 503 and a leaked 502 both just counted as "failure".
+	ErrorsByClass map[string]int `json:"errors_by_class,omitempty"`
+}
+
+// classifyError names the failure class for ErrorsByClass.
+func classifyError(status int, err error) string {
+	switch {
+	case err == nil:
+		return fmt.Sprintf("http_%d", status)
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "transport"
 }
 
 // RunLoadGen fires opt.Requests POST /v1/recommend calls from opt.Clients
@@ -76,7 +106,10 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 		opt.Timeout = 30 * time.Second
 	}
 	client := &http.Client{Timeout: opt.Timeout}
-	url := opt.URL + "/v1/recommend"
+	targets := opt.URLs
+	if len(targets) == 0 {
+		targets = []string{opt.URL}
+	}
 
 	// Pre-generate a pool of deterministic insight vectors so repeated
 	// runs hit the same inputs.
@@ -94,6 +127,7 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 	extra := opt.Requests % opt.Clients
 	latencies := make([][]time.Duration, opt.Clients)
 	failures := make([]int, opt.Clients)
+	errClasses := make([]map[string]int, opt.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < opt.Clients; c++ {
@@ -104,9 +138,17 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 		wg.Add(1)
 		go func(c, n int) {
 			defer wg.Done()
+			url := targets[c%len(targets)] + "/v1/recommend"
+			classes := map[string]int{}
+			errClasses[c] = classes
+			fail := func(status int, err error) {
+				failures[c]++
+				classes[classifyError(status, err)]++
+			}
 			for i := 0; i < n; i++ {
 				if ctx.Err() != nil {
 					failures[c] += n - i
+					classes["canceled"] += n - i
 					return
 				}
 				iv := pool[(c*131+i)%len(pool)]
@@ -114,19 +156,19 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 				t0 := time.Now()
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 				if err != nil {
-					failures[c]++
+					fail(0, err)
 					continue
 				}
 				req.Header.Set("Content-Type", "application/json")
 				resp, err := client.Do(req)
 				if err != nil {
-					failures[c]++
+					fail(0, err)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					failures[c]++
+					fail(resp.StatusCode, nil)
 					continue
 				}
 				latencies[c] = append(latencies[c], time.Since(t0))
@@ -138,15 +180,23 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 
 	var all []time.Duration
 	fails := 0
+	byClass := map[string]int{}
 	for c := range latencies {
 		all = append(all, latencies[c]...)
 		fails += failures[c]
+		for k, v := range errClasses[c] {
+			byClass[k] += v
+		}
+	}
+	if len(byClass) == 0 {
+		byClass = nil
 	}
 	res := LoadGenResult{
 		Requests:        opt.Requests,
 		Failures:        fails,
 		Clients:         opt.Clients,
 		DurationSeconds: elapsed.Seconds(),
+		ErrorsByClass:   byClass,
 	}
 	if len(all) == 0 {
 		return res, fmt.Errorf("serve: loadgen: all %d requests failed", opt.Requests)

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentileEdgeCases(t *testing.T) {
+	ms := func(vals ...int) []time.Duration {
+		out := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", ms(7), 0.5, 7 * time.Millisecond},
+		{"single p99", ms(7), 0.99, 7 * time.Millisecond},
+		{"single p0", ms(7), 0, 7 * time.Millisecond},
+		// Tiny samples: nearest-rank must clamp, not index out of range,
+		// and q=0.99 on n=2 picks the max.
+		{"two p99", ms(1, 9), 0.99, 9 * time.Millisecond},
+		{"two p50", ms(1, 9), 0.5, 1 * time.Millisecond},
+		{"three p99", ms(1, 5, 9), 0.99, 9 * time.Millisecond},
+		{"q=1 max", ms(1, 5, 9), 1.0, 9 * time.Millisecond},
+		{"q=0 min", ms(1, 5, 9), 0, 1 * time.Millisecond},
+		{"ten p90", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.9, 9 * time.Millisecond},
+		{"ten p50", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.5, 5 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(tc.sorted, tc.q); got != tc.want {
+				t.Fatalf("percentile(%v, %g) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+type fakeNetTimeout struct{}
+
+func (fakeNetTimeout) Error() string   { return "i/o timeout" }
+func (fakeNetTimeout) Timeout() bool   { return true }
+func (fakeNetTimeout) Temporary() bool { return true }
+
+func TestClassifyError(t *testing.T) {
+	var _ net.Error = fakeNetTimeout{}
+	cases := []struct {
+		status int
+		err    error
+		want   string
+	}{
+		{503, nil, "http_503"},
+		{502, nil, "http_502"},
+		{429, nil, "http_429"},
+		{0, context.DeadlineExceeded, "timeout"},
+		{0, fmt.Errorf("wrap: %w", context.DeadlineExceeded), "timeout"},
+		{0, context.Canceled, "canceled"},
+		{0, &net.OpError{Op: "read", Err: fakeNetTimeout{}}, "timeout"},
+		{0, errors.New("connection refused"), "transport"},
+	}
+	for _, tc := range cases {
+		if got := classifyError(tc.status, tc.err); got != tc.want {
+			t.Errorf("classifyError(%d, %v) = %q, want %q", tc.status, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestLoadGenErrorsByClass(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Deterministic mix: every 3rd request 503s, the rest succeed.
+		if n.Add(1)%3 == 0 {
+			http.Error(w, `{"error":"shed"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"candidates":[]}`)
+	}))
+	defer srv.Close()
+
+	opt := DefaultLoadGenOptions()
+	opt.URL = srv.URL
+	opt.Clients = 2
+	opt.Requests = 30
+	res, err := RunLoadGen(context.Background(), opt)
+	if err != nil {
+		t.Fatalf("RunLoadGen: %v", err)
+	}
+	if res.Failures != 10 {
+		t.Fatalf("failures = %d, want 10", res.Failures)
+	}
+	if got := res.ErrorsByClass["http_503"]; got != 10 {
+		t.Fatalf("ErrorsByClass[http_503] = %d, want 10 (%v)", got, res.ErrorsByClass)
+	}
+	total := 0
+	for _, c := range res.ErrorsByClass {
+		total += c
+	}
+	if total != res.Failures {
+		t.Fatalf("ErrorsByClass sums to %d, Failures is %d", total, res.Failures)
+	}
+}
+
+func TestLoadGenMultiTargetFleetMode(t *testing.T) {
+	var hits [2]atomic.Int64
+	var urls []string
+	for i := 0; i < 2; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"candidates":[]}`)
+		}))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	opt := DefaultLoadGenOptions()
+	opt.URL = "http://127.0.0.1:1" // must be ignored when URLs is set
+	opt.URLs = urls
+	opt.Clients = 4
+	opt.Requests = 40
+	res, err := RunLoadGen(context.Background(), opt)
+	if err != nil {
+		t.Fatalf("RunLoadGen: %v", err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (%v)", res.Failures, res.ErrorsByClass)
+	}
+	if len(res.ErrorsByClass) != 0 {
+		t.Fatalf("ErrorsByClass = %v, want empty on a clean run", res.ErrorsByClass)
+	}
+	for i := range hits {
+		if hits[i].Load() == 0 {
+			t.Fatalf("target %d received no traffic in fleet mode", i)
+		}
+	}
+}

@@ -613,6 +613,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		var span *obs.Span
 		if strings.HasPrefix(route, "/v1/") {
 			ctx := obs.WithTracer(r.Context(), s.tracer)
+			// A fleet router (or any trusted front end) propagates its trace
+			// ID in X-Trace-Id; adopting it makes the replica-side spans land
+			// under the same trace, so /debug/traces shows the full
+			// router→replica path. Invalid IDs are ignored, not trusted.
+			if hdr := r.Header.Get("X-Trace-Id"); obs.ValidTraceID(hdr) {
+				ctx = obs.WithRemoteTraceID(r.Context(), s.tracer, hdr)
+			}
 			ctx, span = obs.StartSpan(ctx, r.Method+" "+route)
 			traceID = span.TraceID()
 			w.Header().Set("X-Trace-Id", traceID)
