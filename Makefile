@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router serve fleet loadtest profile
+.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router bench-retrieve serve fleet loadtest profile
 
 check: vet build race
 
@@ -63,6 +63,14 @@ bench-train:
 bench-router:
 	$(GO) run ./cmd/insightalign-router bench \
 		| $(GO) run ./cmd/benchjson -router -o BENCH_router.json
+
+# Regenerate BENCH_retrieve.json: cached vs uncached serving latency
+# under a Zipf-skewed hot-key mix (hit ratio, p50/p99 split, hot-swap
+# staleness check) plus the online tuner's warm-start QoR-at-iteration-k
+# deltas, stamped by cmd/benchjson -retrieve.
+bench-retrieve:
+	$(GO) run ./cmd/insightalign-serve bench-retrieve \
+		| $(GO) run ./cmd/benchjson -retrieve -o BENCH_retrieve.json
 
 # Run the recommendation server. MODEL=path serves trained weights;
 # without it a fresh (untrained) model is served for smoke testing.

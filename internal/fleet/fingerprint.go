@@ -17,14 +17,17 @@
 // fleet. The two are unrelated.
 package fleet
 
-import "math"
+import "insightalign/internal/retrieve"
 
-// fingerprintSeed separates insight fingerprints from other splitmix64
-// users in the repo.
+// fingerprintSeed separates batch fingerprints from other splitmix64
+// users in the repo. The per-vector seed lives in internal/retrieve,
+// which owns the canonical fingerprint now that the response cache and
+// the ring share one design identity.
 const fingerprintSeed = 0x496e7369676874 // "Insight"
 
 // splitmix64 is the SplitMix64 finalizer — the same cheap, high-quality
-// 64-bit mix internal/faultinject uses for its schedule.
+// 64-bit mix internal/faultinject uses for its schedule. The ring's
+// vnode hashing and the tests' synthetic keys use it directly.
 func splitmix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
@@ -33,28 +36,12 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Fingerprint maps an insight vector to a stable 64-bit identity: the
-// consistent-hash key. Components are quantized to 1e-6 before hashing so
-// the identity survives float serialization jitter (a JSON round trip)
-// while distinct designs — whose insight features differ at the 1e-3
-// scale and above — land on distinct keys. NaN and ±Inf quantize to
-// fixed sentinels so a malformed vector still routes deterministically.
+// consistent-hash key. It is retrieve.Fingerprint — the router and the
+// serve-layer response cache must agree on what "the same design" means,
+// or a design's cache entries would be stranded on a replica its key no
+// longer routes to.
 func Fingerprint(iv []float64) uint64 {
-	h := splitmix64(fingerprintSeed ^ uint64(len(iv)))
-	for _, v := range iv {
-		var q int64
-		switch {
-		case math.IsNaN(v):
-			q = math.MinInt64
-		case math.IsInf(v, 1):
-			q = math.MaxInt64
-		case math.IsInf(v, -1):
-			q = math.MinInt64 + 1
-		default:
-			q = int64(math.Round(v * 1e6))
-		}
-		h = splitmix64(h ^ uint64(q))
-	}
-	return h
+	return retrieve.Fingerprint(iv)
 }
 
 // FingerprintBatch folds the element fingerprints of a client batch into

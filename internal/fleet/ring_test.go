@@ -42,6 +42,34 @@ func TestFingerprintQuantizationAndNonFinite(t *testing.T) {
 	}
 }
 
+func TestFingerprintNegativeZeroAndOverflow(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	// -0.0 and +0.0 compare equal but have different bit patterns; the
+	// quantizer must canonicalize so one design never splits across two
+	// replicas (or misses the response cache) on sign-of-zero jitter.
+	if Fingerprint([]float64{0.0, 1.5}) != Fingerprint([]float64{negZero, 1.5}) {
+		t.Fatal("-0.0 and +0.0 must fingerprint identically")
+	}
+	// A tiny negative that rounds to zero must also collapse onto +0.0:
+	// math.Round(-1e-9 * 1e6) yields -0.0, not +0.0.
+	if Fingerprint([]float64{0.0}) != Fingerprint([]float64{-1e-9}) {
+		t.Fatal("values rounding to -0.0 must fingerprint as +0.0")
+	}
+	// Quantized magnitudes beyond int64 hit implementation-defined
+	// float→int conversion; they must clamp to the ±Inf sentinels so the
+	// identity is deterministic and platform-independent.
+	huge := 1e300
+	if Fingerprint([]float64{huge}) != Fingerprint([]float64{math.Inf(1)}) {
+		t.Fatal("overflowing positive values must share the +Inf sentinel")
+	}
+	if Fingerprint([]float64{-huge}) != Fingerprint([]float64{math.Inf(-1)}) {
+		t.Fatal("overflowing negative values must share the -Inf sentinel")
+	}
+	if Fingerprint([]float64{huge}) == Fingerprint([]float64{-huge}) {
+		t.Fatal("positive and negative overflow must stay distinct")
+	}
+}
+
 func TestFingerprintBatchOrderSensitive(t *testing.T) {
 	a, b := []float64{1, 2}, []float64{3, 4}
 	if FingerprintBatch([][]float64{a, b}) == FingerprintBatch([][]float64{b, a}) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,11 +129,20 @@ func ReadJournal(r io.Reader) ([]Entry, error) {
 	return out, sc.Err()
 }
 
-// ReadJournalFile reads a journal written by Journal, reassembling the
-// rotated segment (<path>.1, if present) before the active one.
-func ReadJournalFile(path string) ([]Entry, error) {
+// journalReadGapHook, when non-nil, runs between reading the rotated
+// segment and the active file. Test seam: it lets journal_test.go force a
+// rotation into exactly the reassembly window that used to drop or
+// duplicate the boundary entry.
+var journalReadGapHook func()
+
+// readJournalSegments reads <path>.1 (if present) then <path>, returning
+// the concatenated entries of whatever both files held at open time.
+func readJournalSegments(path string) ([]Entry, error) {
 	var out []Entry
 	for _, p := range []string{path + ".1", path} {
+		if p == path && journalReadGapHook != nil {
+			journalReadGapHook()
+		}
 		f, err := os.Open(p)
 		if err != nil {
 			if os.IsNotExist(err) && p != path {
@@ -148,4 +158,54 @@ func ReadJournalFile(path string) ([]Entry, error) {
 		out = append(out, es...)
 	}
 	return out, nil
+}
+
+// ReadJournalFile reads a journal written by Journal, reassembling the
+// rotated segment (<path>.1, if present) before the active one,
+// exactly-once at the rotation boundary.
+//
+// Rotation is two atomic writes (segment → <path>.1, then the shrunken
+// active file), so a reader racing it can observe the boundary entries in
+// both files (duplicate) or, if the rotation lands between its two opens,
+// in neither (the segment it read from <path>.1 was already one rotation
+// stale — a drop). Entries carry contiguous sequence numbers, which makes
+// both cases detectable: duplicates are deduped by seq (first occurrence
+// wins; a given run never reuses a seq), and a gap in the deduped
+// sequence means a rotation raced the two opens — re-read, folding every
+// attempt's entries into one union so a segment seen on an earlier
+// attempt is never lost to a later rotation. Gaps are bounded by the
+// journal keeping a single rotation: three attempts suffice unless
+// rotations outpace reads indefinitely, in which case the best-effort
+// union is returned (still duplicate-free and sorted, possibly missing a
+// segment that rotated away — exactly what a crashed run would have kept).
+func ReadJournalFile(path string) ([]Entry, error) {
+	seen := make(map[uint64]Entry)
+	const attempts = 3
+	for a := 0; a < attempts; a++ {
+		es, err := readJournalSegments(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range es {
+			if _, dup := seen[e.Seq]; !dup {
+				seen[e.Seq] = e
+			}
+		}
+		out := make([]Entry, 0, len(seen))
+		for _, e := range seen {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+		contiguous := true
+		for i := 1; i < len(out); i++ {
+			if out[i].Seq != out[i-1].Seq+1 {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous || a == attempts-1 {
+			return out, nil
+		}
+	}
+	return nil, nil // unreachable: the last attempt always returns
 }

@@ -1,0 +1,135 @@
+package online
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"insightalign/internal/obs"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+	"insightalign/internal/retrieve"
+)
+
+// TestTunerEmptyStoreIdenticalToCold is the tuner-side warm-start
+// equivalence guard: a tuner pointed at an EMPTY retrieval store must
+// produce exactly the trajectory of a tuner with no store at all — same
+// proposals, same evaluations, same QoR — because empty-seeded beam
+// search is bit-identical to cold search and the rng streams never
+// diverge.
+func TestTunerEmptyStoreIdenticalToCold(t *testing.T) {
+	model1, runner, iv, st := fixture(t, 83)
+	cold, err := NewTuner(model1, runner, iv, st, qor.Default(), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model2, runner2, iv2, st2 := fixture(t, 83)
+	optWarm := fastOptions()
+	optWarm.Retrieve = retrieve.NewStore()
+	warm, err := NewTuner(model2, runner2, iv2, st2, qor.Default(), optWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rc, err := cold.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := warm.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rc.Evaluations, rw.Evaluations) {
+			t.Fatalf("iteration %d: empty-store tuner diverged from cold tuner", i)
+		}
+	}
+	// And the store now holds the warm tuner's own live-fed outcomes.
+	if optWarm.Retrieve.Len() == 0 {
+		t.Fatal("live feed did not populate the store")
+	}
+}
+
+// TestTunerWarmStartProposesNeighborSets: with neighbor outcomes in the
+// store, the first iteration's exploitation slots go to the neighbors'
+// best unseen sets.
+func TestTunerWarmStartProposesNeighborSets(t *testing.T) {
+	model, runner, iv, st := fixture(t, 84)
+	store := retrieve.NewStore()
+	// A "similar design": the same insight, slightly perturbed, with three
+	// known outcomes.
+	nbr := iv.Slice()
+	for i := range nbr {
+		nbr[i] *= 1.0001
+	}
+	best := setN(1, 3)
+	store.Add(nbr, best, 5.0, "vX")
+	store.Add(nbr, setN(2), 4.0, "vX")
+	store.Add(nbr, setN(7, 9), 3.0, "vX")
+
+	opt := fastOptions()
+	opt.Retrieve = store
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := tuner.propose()
+	if len(props) != opt.K {
+		t.Fatalf("%d proposals, want %d", len(props), opt.K)
+	}
+	// fastOptions: K=3, ExploreFrac=0.4 → nBeam=2 exploitation slots; both
+	// must be the store's top sets, QoR-descending.
+	if props[0].Set != best {
+		t.Fatalf("first proposal %s, want neighbor best %s", props[0].Set, best)
+	}
+	if props[1].Set != setN(2) {
+		t.Fatalf("second proposal %s, want neighbor second-best %s", props[1].Set, setN(2))
+	}
+}
+
+// TestTunerJournalReplayRebuildsStore: the journal a warm tuner writes
+// carries the insight vector, and replaying it reconstructs the live-fed
+// store exactly (journal-replay ≡ live-feed, end to end through a real
+// tuning campaign).
+func TestTunerJournalReplayRebuildsStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, runner, iv, st := fixture(t, 85)
+	opt := fastOptions()
+	opt.Journal = j
+	opt.Retrieve = retrieve.NewStore()
+	opt.ModelVersion = "v1-test"
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := tuner.Iterate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if opt.Retrieve.Len() == 0 {
+		t.Fatal("live store empty after iterations")
+	}
+	replayed := retrieve.NewStore()
+	n, err := retrieve.ReplayJournalFile(replayed, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("replay added nothing")
+	}
+	if !reflect.DeepEqual(opt.Retrieve.Dump(), replayed.Dump()) {
+		t.Fatal("journal-replayed store differs from live-fed store")
+	}
+}
+
+func setN(bits ...int) recipe.Set {
+	var s recipe.Set
+	for _, b := range bits {
+		s[b] = true
+	}
+	return s
+}

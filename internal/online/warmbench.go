@@ -1,0 +1,177 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"insightalign/internal/core"
+	"insightalign/internal/flow"
+	"insightalign/internal/insight"
+	"insightalign/internal/netlist"
+	"insightalign/internal/qor"
+	"insightalign/internal/recipe"
+	"insightalign/internal/retrieve"
+)
+
+// WarmStartBenchResult is the measured effect of retrieval warm-starting
+// on the Fig. 6 trajectory: best-QoR-so-far per iteration for a cold
+// campaign and a warm one seeded from a donor design's outcomes,
+// averaged over Pairs independent (donor, target) design pairs because a
+// single pair is dominated by campaign noise. DeltaAtIter is warm − cold
+// per iteration (QoR is higher-better, so positive means the warm start
+// is ahead); WarmAheadIters counts iterations whose mean delta is
+// positive.
+type WarmStartBenchResult struct {
+	Iterations     int       `json:"iterations"`
+	Pairs          int       `json:"pairs"`
+	DonorOutcomes  int       `json:"donor_outcomes"`
+	ColdBestQoR    []float64 `json:"cold_best_qor"`
+	WarmBestQoR    []float64 `json:"warm_best_qor"`
+	DeltaAtIter    []float64 `json:"delta_at_iter"`
+	WarmAheadIters int       `json:"warm_ahead_iters"`
+	ColdFinal      float64   `json:"cold_final"`
+	WarmFinal      float64   `json:"warm_final"`
+}
+
+// benchDesign builds one synthetic design and its tuning prerequisites:
+// a flow runner, the probe-run insight, and per-design QoR stats — the
+// same harness the online tests use, without a testing.T.
+func benchDesign(seed int64) (*flow.Runner, insight.Vector, qor.Stats, error) {
+	nl, err := netlist.Generate(netlist.Spec{
+		Name: fmt.Sprintf("wb%d", seed), Seed: seed, Gates: 300, SeqFraction: 0.3, Depth: 9,
+		TechName: "N28", ClockTightness: 0.95, HVTFraction: 0.3, LVTFraction: 0.1,
+		Locality: 0.4, FanoutSkew: 0.4, ShortPathFraction: 0.2, ActivityMean: 0.2,
+	})
+	if err != nil {
+		return nil, insight.Vector{}, qor.Stats{}, err
+	}
+	runner := flow.NewRunner(nl)
+	pm, ptr, err := runner.Run(flow.DefaultParams(), 1)
+	if err != nil {
+		return nil, insight.Vector{}, qor.Stats{}, err
+	}
+	iv := insight.Extract(pm, ptr)
+	rng := rand.New(rand.NewSource(seed))
+	ms := []flow.Metrics{*pm}
+	for i := 0; i < 11; i++ {
+		var s recipe.Set
+		for j, k := 0, rng.Intn(6); j < k; j++ {
+			s[rng.Intn(recipe.N)] = true
+		}
+		m, _, rerr := runner.Run(recipe.ApplySet(flow.DefaultParams(), s), rng.Int63())
+		if rerr != nil {
+			return nil, insight.Vector{}, qor.Stats{}, rerr
+		}
+		ms = append(ms, *m)
+	}
+	st, err := qor.ComputeStats(ms, qor.Default())
+	if err != nil {
+		return nil, insight.Vector{}, qor.Stats{}, err
+	}
+	return runner, iv, st, nil
+}
+
+func benchModel(seed int64) (*core.Model, error) {
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim = 16
+	cfg.FFHidden = 24
+	cfg.Seed = seed
+	return core.New(cfg)
+}
+
+func campaign(runner *flow.Runner, iv insight.Vector, st qor.Stats, iters int, seed int64, store *retrieve.Store) ([]float64, error) {
+	model, err := benchModel(seed)
+	if err != nil {
+		return nil, err
+	}
+	opt := DefaultOptions()
+	opt.K = 3
+	opt.MDPOPairsPerIter = 30
+	opt.Seed = seed
+	opt.Retrieve = store
+	tuner, err := NewTuner(model, runner, iv, st, qor.Default(), opt)
+	if err != nil {
+		return nil, err
+	}
+	best := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		rec, err := tuner.Iterate()
+		if err != nil {
+			return nil, err
+		}
+		best = append(best, rec.BestQoR)
+	}
+	return best, nil
+}
+
+// warmStartPair runs one (donor, target) transfer measurement: a donor
+// campaign on one design populates a retrieval store, then a *different*
+// design (same generator family, different netlist seed — the paper's
+// transfer setting) is tuned twice from identical model/rng state, once
+// cold and once warm-started from the store. Both target campaigns spend
+// the same flow-run budget; any gap is pure retrieval guidance.
+func warmStartPair(iters int, seed int64) (cold, warm []float64, donorOutcomes int, err error) {
+	store := retrieve.NewStore()
+	donorRunner, donorIV, donorStats, err := benchDesign(seed)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("donor design: %w", err)
+	}
+	if _, err := campaign(donorRunner, donorIV, donorStats, iters, seed, store); err != nil {
+		return nil, nil, 0, fmt.Errorf("donor campaign: %w", err)
+	}
+	donorOutcomes = store.Len()
+
+	targetRunner, targetIV, targetStats, err := benchDesign(seed + 1)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("target design: %w", err)
+	}
+	cold, err = campaign(targetRunner, targetIV, targetStats, iters, seed, nil)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("cold campaign: %w", err)
+	}
+	warm, err = campaign(targetRunner, targetIV, targetStats, iters, seed, store)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("warm campaign: %w", err)
+	}
+	return cold, warm, donorOutcomes, nil
+}
+
+// WarmStartBench runs the QoR-at-iteration-k measurement behind
+// `make bench-retrieve`, averaging warmStartPair over pairs independent
+// (donor, target) design pairs drawn from disjoint seeds.
+func WarmStartBench(iters, pairs int, seed int64) (WarmStartBenchResult, error) {
+	if iters <= 0 {
+		iters = 6
+	}
+	if pairs <= 0 {
+		pairs = 8
+	}
+	res := WarmStartBenchResult{
+		Iterations:  iters,
+		Pairs:       pairs,
+		ColdBestQoR: make([]float64, iters),
+		WarmBestQoR: make([]float64, iters),
+		DeltaAtIter: make([]float64, iters),
+	}
+	for p := 0; p < pairs; p++ {
+		// Pair seeds are spaced so donor p+1 never reuses target p's design.
+		cold, warm, donorN, err := warmStartPair(iters, seed+int64(p)*101)
+		if err != nil {
+			return res, fmt.Errorf("pair %d: %w", p, err)
+		}
+		res.DonorOutcomes += donorN
+		for i := 0; i < iters; i++ {
+			res.ColdBestQoR[i] += cold[i] / float64(pairs)
+			res.WarmBestQoR[i] += warm[i] / float64(pairs)
+		}
+	}
+	for i := 0; i < iters; i++ {
+		res.DeltaAtIter[i] = res.WarmBestQoR[i] - res.ColdBestQoR[i]
+		if res.DeltaAtIter[i] > 0 {
+			res.WarmAheadIters++
+		}
+	}
+	res.ColdFinal = res.ColdBestQoR[iters-1]
+	res.WarmFinal = res.WarmBestQoR[iters-1]
+	return res, nil
+}

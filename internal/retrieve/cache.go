@@ -1,0 +1,88 @@
+package retrieve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the serve-layer exact-duplicate response cache: an LRU keyed
+// by insight fingerprint, each entry stamped with the model version that
+// produced it. Version checking happens at lookup — a Get under a
+// different version evicts the stale entry and misses, so a hot-swap
+// (/v1/models/reload) invalidates lazily with zero stale responses and no
+// stop-the-world sweep.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recent
+	items map[uint64]*list.Element // fingerprint → element
+}
+
+type cacheItem struct {
+	key     uint64
+	version string
+	value   any
+}
+
+// DefaultCacheSize bounds the response cache when no explicit capacity is
+// configured. At one entry per distinct design fingerprint this covers a
+// catalog orders of magnitude larger than the paper's 21-design archive.
+const DefaultCacheSize = 4096
+
+// NewCache returns an empty LRU response cache holding at most capacity
+// entries (DefaultCacheSize when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+// Get returns the cached value for key if present AND produced by the
+// given model version. A version mismatch evicts the entry (it can never
+// be served again — versions are never reused) and reports a miss.
+func (c *Cache) Get(key uint64, version string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	it := el.Value.(*cacheItem)
+	if it.version != version {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return it.value, true
+}
+
+// Put stores value for key under the given model version, replacing any
+// previous entry and evicting the least-recently-used entry beyond
+// capacity.
+func (c *Cache) Put(key uint64, version string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		it.version, it.value = version, value
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheItem{key: key, version: version, value: value})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of cached entries (stale ones included until
+// their lazy eviction).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,38 @@
+package retrieve
+
+import (
+	"sync"
+
+	"insightalign/internal/obs"
+)
+
+// Retrieval-store metrics, bound lazily into the process-wide obs
+// registry (the serve-layer cache hit/miss/bypass counters live in
+// internal/serve next to the rest of the request-path metrics).
+var (
+	retrieveMetricsOnce sync.Once
+	retAdds             *obs.Counter // insightalign_retrieve_adds_total
+	retAddRejects       *obs.Counter // insightalign_retrieve_add_rejects_total
+	retLookups          *obs.Counter // insightalign_retrieve_lookups_total
+	retReplayed         *obs.Counter // insightalign_retrieve_replayed_outcomes_total
+	retOutcomes         *obs.Gauge   // insightalign_retrieve_outcomes
+	retDesigns          *obs.Gauge   // insightalign_retrieve_designs
+)
+
+func retrieveMetrics() {
+	retrieveMetricsOnce.Do(func() {
+		reg := obs.Default()
+		retAdds = reg.Counter("insightalign_retrieve_adds_total",
+			"Outcomes accepted into the retrieval store.")
+		retAddRejects = reg.Counter("insightalign_retrieve_add_rejects_total",
+			"Outcomes rejected (non-finite or zero-norm insight vector, non-finite QoR).")
+		retLookups = reg.Counter("insightalign_retrieve_lookups_total",
+			"Nearest-neighbor lookups against the retrieval store.")
+		retReplayed = reg.Counter("insightalign_retrieve_replayed_outcomes_total",
+			"Outcomes loaded into the store by journal replay.")
+		retOutcomes = reg.Gauge("insightalign_retrieve_outcomes",
+			"Outcomes currently held in the retrieval store.")
+		retDesigns = reg.Gauge("insightalign_retrieve_designs",
+			"Distinct designs currently held in the retrieval store.")
+	})
+}

@@ -1,0 +1,62 @@
+package retrieve
+
+import (
+	"encoding/json"
+
+	"insightalign/internal/obs"
+	"insightalign/internal/recipe"
+)
+
+// iterationPayload mirrors the fields of online.IterationJournalEntry
+// this package consumes. A local struct keeps the dependency one-way
+// (online imports retrieve for warm-starting, never the reverse); the
+// JSON field names are the contract.
+type iterationPayload struct {
+	Sets         []string  `json:"sets"`
+	QoRs         []float64 `json:"qors"`
+	Insight      []float64 `json:"insight"`
+	ModelVersion string    `json:"model_version"`
+}
+
+// ReplayEntries feeds journal entries into the store, returning the
+// number of outcomes added. Only "online_iteration" events carry
+// (insight, set, QoR) outcomes; entries without an insight vector (runs
+// journaled before the field existed) or with malformed payloads are
+// skipped — replay is best-effort reconstruction, not validation.
+func ReplayEntries(s *Store, entries []obs.Entry) int {
+	added := 0
+	for _, e := range entries {
+		if e.Event != "online_iteration" || len(e.Data) == 0 {
+			continue
+		}
+		var p iterationPayload
+		if err := json.Unmarshal(e.Data, &p); err != nil || len(p.Insight) == 0 {
+			continue
+		}
+		for i, str := range p.Sets {
+			if i >= len(p.QoRs) {
+				break
+			}
+			set, err := recipe.ParseSet(str)
+			if err != nil {
+				continue
+			}
+			if s.Add(p.Insight, set, p.QoRs[i], p.ModelVersion) {
+				added++
+			}
+		}
+	}
+	retReplayed.Add(float64(added))
+	return added
+}
+
+// ReplayJournalFile loads a run journal from disk (reassembling its
+// rotation exactly-once via obs.ReadJournalFile) and feeds it into the
+// store. It returns the number of outcomes added.
+func ReplayJournalFile(s *Store, path string) (int, error) {
+	entries, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return ReplayEntries(s, entries), nil
+}

@@ -1,0 +1,294 @@
+package retrieve
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"insightalign/internal/recipe"
+)
+
+// Outcome is one observed (recipe set → quality) result for a design,
+// stamped with the model version that proposed it. QoR follows the
+// repo-wide convention: higher is better.
+type Outcome struct {
+	Set          recipe.Set
+	QoR          float64
+	ModelVersion string
+}
+
+// Neighbor is one retrieved design: its similarity to the query and its
+// best-known recipe sets, QoR-descending.
+type Neighbor struct {
+	Fingerprint uint64
+	Similarity  float64 // cosine over L2-normalized insight vectors, in [-1, 1]
+	BestQoR     float64
+	Sets        []recipe.Set
+}
+
+// DesignState is one design's full stored state, for inspection and the
+// replay-equivalence tests.
+type DesignState struct {
+	Fingerprint uint64
+	Vector      []float64 // L2-normalized
+	Outcomes    []Outcome // QoR-descending
+}
+
+// maxOutcomesPerDesign caps each design's retained outcomes. Warm-starting
+// only ever consumes a design's few best sets, and the cap keeps a
+// long-running tuner from growing one design's bucket without bound.
+const maxOutcomesPerDesign = 16
+
+// Store is the concurrency-safe outcome store: designs keyed by insight
+// fingerprint, each holding its L2-normalized insight vector and its
+// best-QoR-ordered outcomes. Lookups are linear-scan cosine
+// nearest-neighbor — designs number in the hundreds here (the paper's
+// archive is 21), so a scan beats any index until several orders of
+// magnitude later.
+//
+// Determinism: iteration order for scans is insertion order, and all ties
+// (equal similarity, equal QoR) break toward the earlier insertion, so a
+// replayed journal reconstructs byte-identical retrieval behavior.
+type Store struct {
+	mu       sync.RWMutex
+	designs  map[uint64]*design
+	order    []uint64 // insertion order of design fingerprints
+	outcomes int
+}
+
+type design struct {
+	fp   uint64
+	vec  []float64
+	outs []Outcome
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	retrieveMetrics()
+	return &Store{designs: make(map[uint64]*design)}
+}
+
+// normalize returns an L2-normalized copy of iv, or nil when iv is empty,
+// contains a non-finite component, or has (near-)zero norm — vectors that
+// have no meaningful direction and must never participate in similarity.
+func normalize(iv []float64) []float64 {
+	if len(iv) == 0 || !finiteVector(iv) {
+		return nil
+	}
+	var ss float64
+	for _, v := range iv {
+		ss += v * v
+	}
+	n := math.Sqrt(ss)
+	if n == 0 || math.IsInf(n, 0) {
+		return nil
+	}
+	out := make([]float64, len(iv))
+	for i, v := range iv {
+		out[i] = v / n
+	}
+	return out
+}
+
+// Add records one outcome for the design identified by iv. It returns
+// false — and stores nothing — when the vector is unusable for similarity
+// (empty, non-finite, zero-norm) or the QoR is non-finite. Outcomes for
+// one design are kept QoR-descending, deduplicated by recipe set (the
+// best QoR wins), and capped at maxOutcomesPerDesign.
+func (s *Store) Add(iv []float64, set recipe.Set, qorVal float64, version string) bool {
+	vec := normalize(iv)
+	if vec == nil || math.IsNaN(qorVal) || math.IsInf(qorVal, 0) {
+		retAddRejects.Inc()
+		return false
+	}
+	fp := Fingerprint(iv)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.designs[fp]
+	if d == nil {
+		d = &design{fp: fp, vec: vec}
+		s.designs[fp] = d
+		s.order = append(s.order, fp)
+	}
+	for i, o := range d.outs {
+		if o.Set == set {
+			if qorVal <= o.QoR {
+				return true // known set, no improvement; keep the better record
+			}
+			d.outs = append(d.outs[:i], d.outs[i+1:]...)
+			s.outcomes--
+			break
+		}
+	}
+	// Insert before the first strictly-worse outcome so equal QoRs keep
+	// insertion order (deterministic replay).
+	at := len(d.outs)
+	for i, o := range d.outs {
+		if o.QoR < qorVal {
+			at = i
+			break
+		}
+	}
+	d.outs = append(d.outs, Outcome{})
+	copy(d.outs[at+1:], d.outs[at:])
+	d.outs[at] = Outcome{Set: set, QoR: qorVal, ModelVersion: version}
+	s.outcomes++
+	if len(d.outs) > maxOutcomesPerDesign {
+		d.outs = d.outs[:maxOutcomesPerDesign]
+		s.outcomes--
+	}
+	retAdds.Inc()
+	retOutcomes.Set(float64(s.outcomes))
+	retDesigns.Set(float64(len(s.order)))
+	return true
+}
+
+// Len returns the number of stored outcomes; Designs the number of
+// distinct designs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.outcomes
+}
+
+// Designs returns the number of distinct designs in the store.
+func (s *Store) Designs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// Nearest returns up to k stored designs by descending cosine similarity
+// to iv. A query vector that is unusable for similarity (empty,
+// non-finite, zero-norm) matches nothing. Ties break toward earlier
+// insertion.
+func (s *Store) Nearest(iv []float64, k int) []Neighbor {
+	retLookups.Inc()
+	q := normalize(iv)
+	if q == nil || k <= 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type scored struct {
+		d   *design
+		sim float64
+		ord int
+	}
+	cands := make([]scored, 0, len(s.order))
+	for ord, fp := range s.order {
+		d := s.designs[fp]
+		if len(d.vec) != len(q) {
+			continue // different insight dimensionality never matches
+		}
+		var dot float64
+		for i, v := range d.vec {
+			dot += v * q[i]
+		}
+		cands = append(cands, scored{d: d, sim: dot, ord: ord})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].ord < cands[j].ord
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		sets := make([]recipe.Set, len(c.d.outs))
+		for j, o := range c.d.outs {
+			sets[j] = o.Set
+		}
+		best := math.Inf(-1)
+		if len(c.d.outs) > 0 {
+			best = c.d.outs[0].QoR
+		}
+		out[i] = Neighbor{Fingerprint: c.d.fp, Similarity: c.sim, BestQoR: best, Sets: sets}
+	}
+	return out
+}
+
+// BestSets flattens the nearest neighbors' recipe sets into one
+// deduplicated seed list of at most k sets, ordered similarity-major then
+// QoR-major: the closest design's best set first. minSim drops neighbors
+// below the similarity floor (pass -1 to keep all).
+func (s *Store) BestSets(iv []float64, k int, minSim float64) []recipe.Set {
+	if k <= 0 {
+		return nil
+	}
+	// Over-fetch neighbors: k sets may span fewer or more designs.
+	nbrs := s.Nearest(iv, k)
+	var out []recipe.Set
+	seen := make(map[recipe.Set]bool, k)
+	for _, nb := range nbrs {
+		if nb.Similarity < minSim {
+			break // neighbors are similarity-descending
+		}
+		for _, set := range nb.Sets {
+			if seen[set] {
+				continue
+			}
+			seen[set] = true
+			out = append(out, set)
+			if len(out) == k {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Invalidate removes every outcome recorded under the given model
+// version, dropping designs left empty, and returns the number removed.
+// Journal-replayed outcomes carry the version recorded at write time
+// (possibly ""), flow-measured QoRs are model-independent ground truth —
+// so serve only invalidates its own score-proxy entries on hot-swap.
+func (s *Store) Invalidate(version string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	keptOrder := s.order[:0]
+	for _, fp := range s.order {
+		d := s.designs[fp]
+		kept := d.outs[:0]
+		for _, o := range d.outs {
+			if o.ModelVersion == version {
+				removed++
+				continue
+			}
+			kept = append(kept, o)
+		}
+		d.outs = kept
+		if len(d.outs) == 0 {
+			delete(s.designs, fp)
+			continue
+		}
+		keptOrder = append(keptOrder, fp)
+	}
+	s.order = keptOrder
+	s.outcomes -= removed
+	retOutcomes.Set(float64(s.outcomes))
+	retDesigns.Set(float64(len(s.order)))
+	return removed
+}
+
+// Dump returns a deep copy of every design in insertion order, for tests
+// and debugging.
+func (s *Store) Dump() []DesignState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DesignState, 0, len(s.order))
+	for _, fp := range s.order {
+		d := s.designs[fp]
+		st := DesignState{
+			Fingerprint: d.fp,
+			Vector:      append([]float64(nil), d.vec...),
+			Outcomes:    append([]Outcome(nil), d.outs...),
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -36,6 +36,17 @@ type LoadGenOptions struct {
 	Seed int64
 	// Timeout is the per-request HTTP timeout.
 	Timeout time.Duration
+	// Designs sizes the pre-generated insight pool (default 64) — with a
+	// response cache enabled server-side this is the working-set size.
+	Designs int
+	// ZipfS, when > 1, draws designs from a Zipf distribution with
+	// exponent ZipfS over the pool, the hot-key mix of real physical
+	// design traffic (a few active blocks, a long tail of one-offs).
+	// Otherwise clients walk the pool deterministically round-robin.
+	ZipfS float64
+	// ExpectVersion, when non-empty, counts responses whose model_version
+	// differs as StaleResponses — the post-hot-swap staleness check.
+	ExpectVersion string
 }
 
 // DefaultLoadGenOptions returns a small smoke-load setup.
@@ -69,6 +80,24 @@ type LoadGenResult struct {
 	// aborts. Without it a fleet kill/recovery run is uninterpretable —
 	// a shed 503 and a leaked 502 both just counted as "failure".
 	ErrorsByClass map[string]int `json:"errors_by_class,omitempty"`
+	// CachedRequests counts successes answered from the server's response
+	// cache (the response's cached flag); CacheHitRatio is their share of
+	// all successes. Both are zero when the server runs without a cache.
+	CachedRequests int     `json:"cached_requests"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	// Cached/Uncached percentiles split the latency distribution by the
+	// cached flag — the headline number for the retrieval cache is
+	// UncachedP99MS / CachedP99MS. Zero when the corresponding side is
+	// empty.
+	CachedP50MS   float64 `json:"cached_p50_ms"`
+	CachedP99MS   float64 `json:"cached_p99_ms"`
+	UncachedP50MS float64 `json:"uncached_p50_ms"`
+	UncachedP99MS float64 `json:"uncached_p99_ms"`
+	// VersionCounts tallies successes by the serving model version.
+	VersionCounts map[string]int `json:"version_counts,omitempty"`
+	// StaleResponses counts successes whose model_version differed from
+	// ExpectVersion (0 unless ExpectVersion was set).
+	StaleResponses int `json:"stale_responses"`
 }
 
 // classifyError names the failure class for ErrorsByClass.
@@ -113,8 +142,12 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 
 	// Pre-generate a pool of deterministic insight vectors so repeated
 	// runs hit the same inputs.
+	designs := opt.Designs
+	if designs < 1 {
+		designs = 64
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	pool := make([][]float64, 64)
+	pool := make([][]float64, designs)
 	for i := range pool {
 		iv := make([]float64, opt.InsightDim)
 		for j := range iv {
@@ -125,7 +158,12 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 
 	perClient := opt.Requests / opt.Clients
 	extra := opt.Requests % opt.Clients
-	latencies := make([][]time.Duration, opt.Clients)
+	type sample struct {
+		d       time.Duration
+		cached  bool
+		version string
+	}
+	samples := make([][]sample, opt.Clients)
 	failures := make([]int, opt.Clients)
 	errClasses := make([]map[string]int, opt.Clients)
 	var wg sync.WaitGroup
@@ -145,13 +183,24 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 				failures[c]++
 				classes[classifyError(status, err)]++
 			}
+			// The Zipf stream is per-client and seeded deterministically so
+			// repeated runs replay the same hot-key mix.
+			var zipf *rand.Zipf
+			if opt.ZipfS > 1 && designs > 1 {
+				crng := rand.New(rand.NewSource(opt.Seed + int64(c)*7919))
+				zipf = rand.NewZipf(crng, opt.ZipfS, 1, uint64(designs-1))
+			}
 			for i := 0; i < n; i++ {
 				if ctx.Err() != nil {
 					failures[c] += n - i
 					classes["canceled"] += n - i
 					return
 				}
-				iv := pool[(c*131+i)%len(pool)]
+				idx := (c*131 + i) % len(pool)
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				}
+				iv := pool[idx]
 				body, _ := json.Marshal(RecommendRequest{Insight: iv, BeamWidth: opt.BeamWidth})
 				t0 := time.Now()
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
@@ -165,24 +214,43 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 					fail(0, err)
 					continue
 				}
+				var rr RecommendResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&rr)
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					fail(resp.StatusCode, nil)
 					continue
 				}
-				latencies[c] = append(latencies[c], time.Since(t0))
+				if decErr != nil {
+					fail(0, decErr)
+					continue
+				}
+				samples[c] = append(samples[c], sample{d: time.Since(t0), cached: rr.Cached, version: rr.ModelVersion})
 			}
 		}(c, n)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	fails := 0
+	var all, cachedLat, uncachedLat []time.Duration
+	fails, cachedN, stale := 0, 0, 0
 	byClass := map[string]int{}
-	for c := range latencies {
-		all = append(all, latencies[c]...)
+	versions := map[string]int{}
+	for c := range samples {
+		for _, s := range samples[c] {
+			all = append(all, s.d)
+			versions[s.version]++
+			if s.cached {
+				cachedN++
+				cachedLat = append(cachedLat, s.d)
+			} else {
+				uncachedLat = append(uncachedLat, s.d)
+			}
+			if opt.ExpectVersion != "" && s.version != opt.ExpectVersion {
+				stale++
+			}
+		}
 		fails += failures[c]
 		for k, v := range errClasses[c] {
 			byClass[k] += v
@@ -191,17 +259,26 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 	if len(byClass) == 0 {
 		byClass = nil
 	}
+	if len(versions) == 0 {
+		versions = nil
+	}
 	res := LoadGenResult{
 		Requests:        opt.Requests,
 		Failures:        fails,
 		Clients:         opt.Clients,
 		DurationSeconds: elapsed.Seconds(),
 		ErrorsByClass:   byClass,
+		CachedRequests:  cachedN,
+		VersionCounts:   versions,
+		StaleResponses:  stale,
 	}
 	if len(all) == 0 {
 		return res, fmt.Errorf("serve: loadgen: all %d requests failed", opt.Requests)
 	}
+	res.CacheHitRatio = float64(cachedN) / float64(len(all))
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(cachedLat, func(i, j int) bool { return cachedLat[i] < cachedLat[j] })
+	sort.Slice(uncachedLat, func(i, j int) bool { return uncachedLat[i] < uncachedLat[j] })
 	sum := time.Duration(0)
 	for _, d := range all {
 		sum += d
@@ -213,6 +290,14 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 	res.P95MS = ms(percentile(all, 0.95))
 	res.P99MS = ms(percentile(all, 0.99))
 	res.MaxMS = ms(all[len(all)-1])
+	if len(cachedLat) > 0 {
+		res.CachedP50MS = ms(percentile(cachedLat, 0.50))
+		res.CachedP99MS = ms(percentile(cachedLat, 0.99))
+	}
+	if len(uncachedLat) > 0 {
+		res.UncachedP50MS = ms(percentile(uncachedLat, 0.50))
+		res.UncachedP99MS = ms(percentile(uncachedLat, 0.99))
+	}
 	return res, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"insightalign/internal/obs"
 	"insightalign/internal/qor"
 	"insightalign/internal/recipe"
+	"insightalign/internal/retrieve"
 )
 
 // Config parameterizes a Server. The zero value is unusable; start from
@@ -68,6 +69,24 @@ type Config struct {
 	// fault-injection seam the degradation tests use to simulate hung or
 	// failing backends (faultinject.Injector.HookFunc matches it).
 	BackendHook func(ctx context.Context) error
+	// Cache, if non-nil, is the insight-fingerprint response cache: a
+	// repeat request for a known (design, beam width) under the live model
+	// version is answered without touching the admission queue or the
+	// decoder. Entries are stamped with the producing model version, so a
+	// hot-swap invalidates them implicitly — a stale response is
+	// structurally impossible, not merely evicted on a timer.
+	Cache *retrieve.Cache
+	// Store, if non-nil, is the insight-similarity outcome store: every
+	// decode is warm-started with the best recipe sets of the query's
+	// nearest stored neighbors (core BeamSearchSeeded), and each decode's
+	// top candidate is fed back in with its log-probability as a
+	// score-proxy QoR, stamped with the model version. Deployments can
+	// pre-populate it from an online-tuner run journal
+	// (retrieve.ReplayJournalFile) to transfer real flow-measured QoR.
+	Store *retrieve.Store
+	// WarmSeeds caps how many retrieved recipe sets seed each decode when
+	// Store is set (default 4).
+	WarmSeeds int
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 	// Metrics is the registry the server's metric families bind into;
@@ -105,6 +124,8 @@ type Server struct {
 	tracer *obs.Tracer
 	log    *slog.Logger
 
+	warmK int // resolved Config.WarmSeeds
+
 	httpSrv  *http.Server
 	ln       net.Listener
 	shutOnce sync.Once
@@ -134,11 +155,16 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.DefaultTracer()
 	}
-	s := &Server{cfg: cfg, reg: reg, tracer: cfg.Tracer, log: cfg.Logger}
+	if cfg.WarmSeeds < 1 {
+		cfg.WarmSeeds = 4
+	}
+	s := &Server{cfg: cfg, reg: reg, tracer: cfg.Tracer, log: cfg.Logger, warmK: cfg.WarmSeeds}
 	s.bat = NewBatcher(reg, nil, cfg.QueueDepth, cfg.MaxBatch, cfg.MaxConcurrentBatches, cfg.BatchWindow)
 	s.met = NewMetrics(cfg.Metrics, s.bat.Depth, reg.Version)
 	s.bat.met = s.met
 	s.bat.hook = cfg.BackendHook
+	s.bat.store = cfg.Store
+	s.bat.warmSeeds = cfg.WarmSeeds
 	if !cfg.Breaker.Disabled {
 		s.brk = NewBreaker(cfg.Breaker, func(from, to BreakerState) {
 			s.met.ObserveBreakerTransition(from, to)
@@ -267,6 +293,9 @@ type RecommendResponse struct {
 	Candidates   []CandidateJSON `json:"candidates"`
 	// TraceID names this request's trace, resolvable at /debug/traces?id=.
 	TraceID string `json:"trace_id,omitempty"`
+	// Cached is true when the response came from the fingerprint cache
+	// without a decoder call; BatchSize is 0 in that case.
+	Cached bool `json:"cached,omitempty"`
 	// Error is set per-item in batch responses instead of failing the
 	// whole batch.
 	Error string `json:"error,omitempty"`
@@ -335,7 +364,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	resp, code, err := s.recommend(ctx, &req)
-	s.recordOutcome(adm, err)
+	if resp.Cached {
+		// A cache hit never touched the backend: neutral for the breaker.
+		s.releaseAdmission(adm)
+	} else {
+		s.recordOutcome(adm, err)
+	}
 	if code != http.StatusOK {
 		s.writeError(w, r, code, resp.Error)
 		return
@@ -390,13 +424,22 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	s.recordBatchOutcome(adm, errs)
+	s.recordBatchOutcome(adm, errs, results)
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
 // recommend runs one validated request through the batcher (or inline in
 // unbatched mode) and shapes the response. Returns the HTTP status and
 // the raw terminal error for breaker outcome classification.
+//
+// With a Cache configured the decoder is skipped entirely when the
+// (fingerprint, beam width) pair is already cached under the live model
+// version; non-finite insight vectors bypass the cache because their
+// fingerprint sentinels alias distinct inputs. A hit must be resolved by
+// the caller as a *neutral* breaker outcome (Release, not Record): a
+// hot-key workload serving mostly from cache says nothing about backend
+// health, and counting hits as successes would hold the breaker closed
+// over a dying decoder.
 func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (RecommendResponse, int, error) {
 	k := req.BeamWidth
 	if k <= 0 {
@@ -404,6 +447,24 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	}
 	if k > s.cfg.MaxBeamWidth {
 		k = s.cfg.MaxBeamWidth
+	}
+	var key uint64
+	cacheable := false
+	if s.cfg.Cache != nil {
+		if version := s.reg.Version(); version != "" && retrieve.FiniteVector(req.Insight) {
+			cacheable = true
+			key = retrieve.CacheKey(retrieve.Fingerprint(req.Insight), k)
+			if v, ok := s.cfg.Cache.Get(key, version); ok {
+				s.met.ObserveCache("hit")
+				resp := v.(RecommendResponse)
+				resp.TraceID = obs.TraceIDFrom(ctx)
+				resp.Cached = true
+				return resp, http.StatusOK, nil
+			}
+			s.met.ObserveCache("miss")
+		} else {
+			s.met.ObserveCache("bypass")
+		}
 	}
 	var res batchResult
 	if s.cfg.DisableBatching {
@@ -415,13 +476,20 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 		} else {
 			_, sp := obs.StartSpan(ctx, "decoder_session")
 			sp.SetAttr("batch_size", "1")
+			var seeds []recipe.Set
+			if s.cfg.Store != nil {
+				seeds = s.cfg.Store.BestSets(req.Insight, s.warmK, 0)
+			}
 			res = batchResult{
-				cands:     snap.Model.NewDecoder(req.Insight).BeamSearch(k),
+				cands:     snap.Model.NewDecoder(req.Insight).BeamSearchSeeded(k, seeds),
 				version:   snap.Version,
 				batchSize: 1,
 			}
 			sp.End()
 			s.met.ObserveBatch(1)
+			if s.cfg.Store != nil && len(res.cands) > 0 {
+				s.cfg.Store.Add(req.Insight, res.cands[0].Set, res.cands[0].LogProb, snap.Version)
+			}
 		}
 	} else {
 		res = s.bat.Submit(ctx, req.Insight, k)
@@ -438,6 +506,15 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	}
 	for _, c := range res.cands {
 		resp.Candidates = append(resp.Candidates, toCandidateJSON(c))
+	}
+	if cacheable {
+		// The cached copy is stamped with the version that produced it (not
+		// the registry's current one: a reload may have landed mid-decode)
+		// and stripped of per-request fields.
+		cached := resp
+		cached.TraceID = ""
+		cached.BatchSize = 0
+		s.cfg.Cache.Put(key, res.version, cached)
 	}
 	return resp, http.StatusOK, nil
 }
@@ -508,19 +585,22 @@ func (s *Server) recordOutcome(adm Admission, err error) {
 
 // recordBatchOutcome resolves a batch request's single admission from
 // its elements' outcomes: any backend failure marks the admission
-// failed, otherwise any success marks it succeeded, otherwise every
-// element was neutral and the admission is released. One Allow always
-// pairs with exactly one Record or Release, so half-open probe
-// accounting stays balanced for batches too.
-func (s *Server) recordBatchOutcome(adm Admission, errs []error) {
+// failed, otherwise any non-cached success marks it succeeded, otherwise
+// every element was neutral (including cache hits, which never reached
+// the backend) and the admission is released. One Allow always pairs
+// with exactly one Record or Release, so half-open probe accounting
+// stays balanced for batches too.
+func (s *Server) recordBatchOutcome(adm Admission, errs []error, results []RecommendResponse) {
 	if s.brk == nil {
 		return
 	}
 	sawSuccess := false
-	for _, err := range errs {
+	for i, err := range errs {
 		switch {
 		case err == nil:
-			sawSuccess = true
+			if !results[i].Cached {
+				sawSuccess = true
+			}
 		case errors.Is(err, ErrBackend), errors.Is(err, context.DeadlineExceeded):
 			s.brk.Record(adm, false)
 			return
@@ -562,6 +642,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	prev := s.reg.Version()
 	var snap *Snapshot
 	var err error
 	if req.Path != "" {
@@ -574,6 +655,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			"trace_id", obs.TraceIDFrom(r.Context()))
 		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
+	}
+	// The response cache self-invalidates (entries are version-stamped and
+	// checked on Get), but the outcome store's serve-fed entries carry
+	// log-prob score proxies from the replaced weights — drop them so warm
+	// starts stop preferring the old model's opinions. Journal-replayed
+	// tuner outcomes carry their own version strings and real flow QoR, so
+	// they survive.
+	if s.cfg.Store != nil && prev != "" && prev != snap.Version {
+		if n := s.cfg.Store.Invalidate(prev); n > 0 {
+			s.log.Info("retrieval store invalidated", "version", prev, "outcomes", n)
+		}
 	}
 	s.log.Info("model reloaded", "version", snap.Version, "source", snap.Source)
 	writeJSON(w, http.StatusOK, ReloadResponse{

@@ -31,6 +31,7 @@ type Metrics struct {
 	batchPeak    *obs.Gauge     // insightalign_batch_size_max
 	rejections   *obs.Counter   // insightalign_rejections_total{reason}
 	shed         *obs.Counter   // insightalign_serve_shed_total
+	cache        *obs.Counter   // insightalign_serve_cache_requests_total{result}
 	breakerTrans *obs.Counter   // insightalign_breaker_transitions_total{to}
 	breakerState *obs.Gauge     // insightalign_breaker_state
 
@@ -60,6 +61,8 @@ func NewMetrics(reg *obs.Registry, queueDepth func() int, modelVersion func() st
 			"Rejected requests by reason.", "reason"),
 		shed: reg.Counter("insightalign_serve_shed_total",
 			"Requests shed with 503 while the circuit breaker was open."),
+		cache: reg.Counter("insightalign_serve_cache_requests_total",
+			"Response-cache lookups by result (hit, miss, bypass).", "result"),
 		breakerTrans: reg.Counter("insightalign_breaker_transitions_total",
 			"Circuit breaker state transitions by destination state.", "to"),
 		breakerState: reg.Gauge("insightalign_breaker_state",
@@ -105,6 +108,15 @@ func (m *Metrics) ObserveBatch(size int) {
 // "deadline", "shutdown", "no_model").
 func (m *Metrics) ObserveRejection(reason string) {
 	m.rejections.Inc(reason)
+}
+
+// ObserveCache records one response-cache lookup outcome: "hit" (served
+// without a decoder call), "miss" (decoded, then cached), or "bypass"
+// (cache unusable for this request — no model yet, or a non-finite
+// insight vector whose fingerprint sentinels would alias distinct
+// inputs).
+func (m *Metrics) ObserveCache(result string) {
+	m.cache.Inc(result)
 }
 
 // ObserveShed records one request shed by the open circuit breaker.
