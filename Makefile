@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router bench-retrieve serve fleet loadtest profile
+.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router bench-retrieve bench-obs serve fleet loadtest profile
 
 check: vet build race
 
@@ -71,6 +71,15 @@ bench-router:
 bench-retrieve:
 	$(GO) run ./cmd/insightalign-serve bench-retrieve \
 		| $(GO) run ./cmd/benchjson -retrieve -o BENCH_retrieve.json
+
+# Regenerate BENCH_obs.json: identical workloads against a fully
+# instrumented server (trace-ID exemplars, per-version latency/QoR
+# attribution, burn-rate SLO accounting) and a baseline one, plus the
+# isolated observe-path timing whose share of the decoder-path p99 is
+# the <5% overhead bound CI asserts.
+bench-obs:
+	$(GO) run ./cmd/insightalign-serve bench-obs \
+		| $(GO) run ./cmd/benchjson -obs -o BENCH_obs.json
 
 # Run the recommendation server. MODEL=path serves trained weights;
 # without it a fresh (untrained) model is served for smoke testing.

@@ -6,7 +6,12 @@
 // internal/router, the EDA global router that routes wires, not
 // requests.) The router's own observability surface is mounted on its
 // listener: /metrics, /debug/traces (merged across the router→replica
-// hop), /debug/pprof/, and an aggregated fleet /healthz.
+// hop), /debug/pprof/, /debug/slo (per-replica and fleet-wide burn-rate
+// verdicts), /debug/fleet (every replica's /metrics merged under
+// replica="..." labels), /debug/dash (the operator text dashboard:
+// replica health, breaker state, version mix, SLO table), /debug/profiles
+// (the continuous-profiling ring, on by default), and an aggregated
+// fleet /healthz.
 //
 // Usage:
 //
@@ -14,6 +19,7 @@
 //	                          [-max-inflight 32] [-queue 64] [-queue-wait 100ms]
 //	                          [-hedge-quantile 0.95] [-hedge-min-delay 5ms] [-no-hedge]
 //	                          [-health-interval 500ms] [-eject-after 3]
+//	                          [-profile-ring=false] [-profile-dir DIR]
 //	insightalign-router route -spawn 3 [-seed 1] ...
 //	insightalign-router bench [-clients 16] [-requests 480] [-k 5] [-seed 1]
 //
@@ -32,11 +38,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"insightalign/internal/fleet"
+	"insightalign/internal/obs"
 	"insightalign/internal/serve"
 )
 
@@ -84,6 +92,10 @@ func cmdRoute(args []string) error {
 	brkRatio := fs.Float64("breaker-threshold", 0.5, "failure ratio that opens a replica breaker")
 	brkCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open duration before half-open probing")
 	brkProbes := fs.Int("breaker-probes", 2, "probe successes that close a replica breaker")
+	profileRing := fs.Bool("profile-ring", true, "continuous profiling: periodic CPU+heap pprof captures into a bounded on-disk ring at /debug/profiles")
+	profileDir := fs.String("profile-dir", "", "profile ring directory (default: <tmp>/insightalign-router-profiles)")
+	profileEvery := fs.Duration("profile-interval", 60*time.Second, "profile capture period")
+	profileKeep := fs.Int("profile-keep", 8, "newest profiles kept per kind in the ring")
 	fs.Parse(args)
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -110,6 +122,22 @@ func cmdRoute(args []string) error {
 		HalfOpenProbes: *brkProbes,
 	}
 	cfg.Logger = logger
+	if *profileRing {
+		dir := *profileDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), "insightalign-router-profiles")
+		}
+		prof, err := obs.StartProfiler(obs.ProfilerConfig{
+			Dir: dir, Interval: *profileEvery, Keep: *profileKeep,
+		})
+		if err != nil {
+			return fmt.Errorf("profile ring: %w", err)
+		}
+		defer prof.Close()
+		cfg.Profiler = prof
+		logger.Info("continuous profiling on", "dir", dir,
+			"interval", profileEvery.String(), "keep", *profileKeep)
+	}
 
 	if *spawn > 0 && *replicas != "" {
 		return fmt.Errorf("-spawn and -replicas are mutually exclusive")

@@ -2,9 +2,12 @@
 // batched HTTP inference server over a trained InsightAlign model with a
 // hot-swappable model registry and graceful shutdown. The full
 // observability surface is mounted on the serving listener itself:
-// Prometheus metrics at /metrics, span traces at /debug/traces (every
-// /v1/recommend response carries a trace_id resolvable there), and pprof
-// at /debug/pprof/. It also embeds a load-generator mode for benchmarking
+// Prometheus metrics at /metrics (with trace-ID exemplars and per-version
+// latency/QoR attribution), span traces at /debug/traces (every
+// /v1/recommend response carries a trace_id resolvable there), burn-rate
+// SLO verdicts at /debug/slo, a continuous-profiling ring at
+// /debug/profiles (on by default, see -profile-ring), and pprof at
+// /debug/pprof/. It also embeds a load-generator mode for benchmarking
 // a running server.
 //
 // Usage:
@@ -14,11 +17,15 @@
 //	                           [-timeout 10s] [-no-batch] [-seed 1]
 //	                           [-cache] [-cache-size 4096] [-warm-seeds 4]
 //	                           [-retrieve-journal run.jsonl]
+//	                           [-profile-ring=false] [-profile-dir DIR]
+//	                           [-slo-journal slo.jsonl]
 //	insightalign-serve loadgen -url http://127.0.0.1:8080 [-clients 8]
 //	                           [-requests 200] [-k 5] [-seed 1]
 //	                           [-designs 64] [-zipf 0]
 //	insightalign-serve bench-retrieve [-requests 600] [-clients 8]
 //	                           [-designs 32] [-zipf 1.5] [-iters 6] [-seed 1]
+//	insightalign-serve bench-obs [-requests 600] [-clients 8] [-designs 32]
+//	                           [-k 5] [-seed 1] [-micro-iters 50000]
 //
 // serve: without -model, a freshly initialized (untrained) model is
 // served — useful for smoke tests and load benchmarks. With -watch, the
@@ -31,7 +38,10 @@
 // skews its design mix toward a hot working set. bench-retrieve is the
 // measurement behind `make bench-retrieve`: the cached-vs-uncached
 // serving benchmark plus the tuner warm-start QoR-at-iteration-k deltas,
-// as one JSON report on stdout.
+// as one JSON report on stdout. bench-obs is the measurement behind
+// `make bench-obs`: the instrumented-vs-baseline observability overhead
+// benchmark (exemplars + SLO accounting on vs off), as a JSON report on
+// stdout for benchjson -obs.
 package main
 
 import (
@@ -42,10 +52,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"insightalign/internal/core"
+	"insightalign/internal/obs"
+	"insightalign/internal/obs/slo"
 	"insightalign/internal/online"
 	"insightalign/internal/retrieve"
 	"insightalign/internal/serve"
@@ -55,7 +68,8 @@ func main() {
 	args := os.Args[1:]
 	// Default to serve mode so `insightalign-serve -model m.bin` works.
 	mode := "serve"
-	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "bench-retrieve") {
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" ||
+		args[0] == "bench-retrieve" || args[0] == "bench-obs") {
 		mode = args[0]
 		args = args[1:]
 	}
@@ -67,6 +81,8 @@ func main() {
 		err = cmdLoadgen(args)
 	case "bench-retrieve":
 		err = cmdBenchRetrieve(args)
+	case "bench-obs":
+		err = cmdBenchObs(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -97,6 +113,11 @@ func cmdServe(args []string) error {
 	brkRatio := fs.Float64("breaker-threshold", 0.5, "failure ratio that opens the breaker")
 	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open duration before half-open probing")
 	brkProbes := fs.Int("breaker-probes", 2, "consecutive probe successes that close the breaker")
+	profileRing := fs.Bool("profile-ring", true, "continuous profiling: periodic CPU+heap pprof captures into a bounded on-disk ring at /debug/profiles")
+	profileDir := fs.String("profile-dir", "", "profile ring directory (default: <tmp>/insightalign-profiles)")
+	profileEvery := fs.Duration("profile-interval", 60*time.Second, "profile capture period")
+	profileKeep := fs.Int("profile-keep", 8, "newest profiles kept per kind in the ring")
+	sloJournal := fs.String("slo-journal", "", "journal file for slo_alert state transitions (empty: not journaled)")
 	fs.Parse(args)
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -132,6 +153,30 @@ func cmdServe(args []string) error {
 		}
 		logger.Info("retrieval store replayed", "path", *retrieveJournal,
 			"outcomes", n, "designs", cfg.Store.Designs())
+	}
+	if *sloJournal != "" {
+		j, err := obs.NewJournal(*sloJournal)
+		if err != nil {
+			return fmt.Errorf("slo journal: %w", err)
+		}
+		cfg.SLO = slo.New(slo.Config{Journal: j})
+		logger.Info("slo alerts journaled", "path", *sloJournal)
+	}
+	if *profileRing {
+		dir := *profileDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), "insightalign-profiles")
+		}
+		prof, err := obs.StartProfiler(obs.ProfilerConfig{
+			Dir: dir, Interval: *profileEvery, Keep: *profileKeep,
+		})
+		if err != nil {
+			return fmt.Errorf("profile ring: %w", err)
+		}
+		defer prof.Close()
+		cfg.Profiler = prof
+		logger.Info("continuous profiling on", "dir", dir,
+			"interval", profileEvery.String(), "keep", *profileKeep)
 	}
 
 	reg, err := serve.NewRegistry(cfg.Model)
@@ -270,4 +315,50 @@ func cmdBenchRetrieve(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// cmdBenchObs is the measurement behind `make bench-obs`: an A/B run of
+// the same workload against a fully instrumented server (exemplars,
+// per-version attribution, SLO accounting) and a baseline one, plus an
+// isolated observe-path timing that expresses the per-request
+// observability cost as a share of the decoder-path p99. The JSON report
+// on stdout feeds benchjson -obs.
+func cmdBenchObs(args []string) error {
+	fs := flag.NewFlagSet("bench-obs", flag.ExitOnError)
+	clients := fs.Int("clients", 0, "concurrent clients (0: default)")
+	requests := fs.Int("requests", 0, "requests per measured pass (0: default)")
+	designs := fs.Int("designs", 0, "distinct-design pool size (0: default)")
+	k := fs.Int("k", 0, "beam width per request (0: default)")
+	seed := fs.Int64("seed", 1, "benchmark seed")
+	microIters := fs.Int("micro-iters", 0, "observe-path timing loop iterations (0: default)")
+	fs.Parse(args)
+
+	opt := serve.DefaultObsBenchOptions()
+	if *clients > 0 {
+		opt.Clients = *clients
+	}
+	if *requests > 0 {
+		opt.Requests = *requests
+	}
+	if *designs > 0 {
+		opt.Designs = *designs
+	}
+	if *k > 0 {
+		opt.BeamWidth = *k
+	}
+	if *microIters > 0 {
+		opt.MicroIters = *microIters
+	}
+	opt.Seed = *seed
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintln(os.Stderr, "bench-obs: baseline + instrumented arms...")
+	res, err := serve.RunObsBench(ctx, opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }

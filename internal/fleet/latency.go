@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"insightalign/internal/obs"
 )
 
 // latWindow is a fixed-size ring of recent successful-forward latencies.
@@ -48,12 +50,5 @@ func (w *latWindow) Percentile(q float64) time.Duration {
 	}
 	w.scratch = append(w.scratch[:0], w.buf[:w.n]...)
 	sort.Slice(w.scratch, func(i, j int) bool { return w.scratch[i] < w.scratch[j] })
-	i := int(q*float64(w.n)+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= w.n {
-		i = w.n - 1
-	}
-	return w.scratch[i]
+	return obs.QuantileDur(w.scratch, q)
 }

@@ -74,8 +74,14 @@ func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one completed routed request.
 func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.ObserveRequestEx(route, code, d, "")
+}
+
+// ObserveRequestEx records one completed routed request with an optional
+// exemplar trace ID on the latency buckets.
+func (m *Metrics) ObserveRequestEx(route string, code int, d time.Duration, traceID string) {
 	m.requests.Inc(route, strconv.Itoa(code))
-	m.latency.Observe(d.Seconds(), route)
+	m.latency.ObserveEx(d.Seconds(), traceID, route)
 }
 
 // ObserveForward records one forward attempt's outcome.

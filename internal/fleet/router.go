@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"insightalign/internal/obs"
+	"insightalign/internal/obs/slo"
 	"insightalign/internal/serve"
 )
 
@@ -85,6 +86,18 @@ type Config struct {
 	// Tracer assigns and retains request traces; nil means the
 	// process-wide obs.DefaultTracer().
 	Tracer *obs.Tracer
+	// SLO is the fleet burn-rate objective engine: the router's
+	// end-to-end recommendation outcomes feed its "all" aggregate scope
+	// and every forward attempt feeds the owning replica's scope, so
+	// /debug/slo on the router reports both the fleet-wide verdict and a
+	// per-replica breakdown. nil builds a default engine.
+	SLO *slo.Engine
+	// Profiler, if non-nil, is the continuous-profiling ring indexed at
+	// /debug/profiles; lifecycle owned by the caller.
+	Profiler *obs.Profiler
+	// ScrapeTimeout bounds one replica /metrics fetch for the fleet
+	// roll-up endpoints (default 2s).
+	ScrapeTimeout time.Duration
 }
 
 // DefaultConfig returns production-leaning routing defaults.
@@ -124,6 +137,8 @@ type Router struct {
 	ids    []string // configured membership, stable order
 	met    *Metrics
 	lat    *latWindow
+	slo    *slo.Engine
+	prof   *obs.Profiler
 	client *http.Client
 	tracer *obs.Tracer
 	log    *slog.Logger
@@ -185,12 +200,20 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.DefaultTracer()
 	}
+	if cfg.SLO == nil {
+		cfg.SLO = slo.New(slo.Config{MaxScopes: len(cfg.Replicas) + 4})
+	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 2 * time.Second
+	}
 	rt := &Router{
 		cfg:      cfg,
 		ring:     NewRing(cfg.VNodesPerReplica),
 		reps:     make(map[string]*Replica, len(cfg.Replicas)),
 		met:      NewMetrics(cfg.Metrics),
 		lat:      newLatWindow(cfg.LatencyWindow),
+		slo:      cfg.SLO,
+		prof:     cfg.Profiler,
 		tracer:   cfg.Tracer,
 		log:      cfg.Logger,
 		hedgeSem: make(chan struct{}, cfg.HedgeMaxConcurrent),
@@ -252,6 +275,12 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/models/reload", rt.handleReload)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	obs.RegisterDebug(mux, rt.met.Registry(), rt.tracer)
+	mux.Handle("/debug/slo", rt.slo.Handler())
+	mux.HandleFunc("/debug/fleet", rt.handleFleetMetrics)
+	mux.HandleFunc("/debug/dash", rt.handleDash)
+	if rt.prof != nil {
+		mux.Handle("/debug/profiles", rt.prof.Handler())
+	}
 	return rt.instrument(mux)
 }
 
@@ -689,6 +718,21 @@ func (rt *Router) send(ctx context.Context, pk *picked, path, traceID string, bo
 		rep.record(pk.adm, false)
 	}
 	rt.met.ObserveForward(rep.id, res.outcome)
+	// Per-replica SLO scope: each forward's outcome lands under the
+	// replica that served (or failed) it. Cancels are the router's own
+	// doing (hedge losers, departed clients) and say nothing about the
+	// replica, so they are excluded — like 5xx on the latency SLI.
+	if res.outcome != outcomeCanceled {
+		code := res.status
+		if code == 0 {
+			if res.outcome == outcomeTimeout {
+				code = http.StatusGatewayTimeout
+			} else {
+				code = http.StatusBadGateway
+			}
+		}
+		rt.slo.ObserveRequest(rep.id, code, dur)
+	}
 	span.SetAttr("outcome", res.outcome)
 	if res.status != 0 {
 		span.SetAttr("status", strconv.Itoa(res.status))
@@ -809,6 +853,10 @@ type HealthResponse struct {
 	Replicas     []ReplicaHealth `json:"replicas"`
 	RingMembers  int             `json:"ring_members"`
 	RingRebuilds uint64          `json:"ring_rebuilds"`
+	// SLO is the worst current fleet burn-rate verdict ("ok" / "warn" /
+	// "page"); anything past ok degrades Status while the response stays
+	// HTTP 200.
+	SLO string `json:"slo,omitempty"`
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -841,6 +889,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "down"
 		code = http.StatusServiceUnavailable
 	}
+	if worst := rt.slo.Worst(); worst != slo.StateOK {
+		resp.SLO = worst.String()
+		if resp.Status == "ok" {
+			resp.Status = "degraded"
+		}
+	}
 	writeJSON(w, code, resp)
 }
 
@@ -866,7 +920,13 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		d := time.Since(startAt)
-		rt.met.ObserveRequest(route, sw.code, d)
+		rt.met.ObserveRequestEx(route, sw.code, d, traceID)
+		// The aggregate scope sees the end-to-end outcome — what the
+		// client experienced after failover and hedging — so a recovered
+		// forward failure does not burn the fleet-wide SLO.
+		if route == "/v1/recommend" || route == "/v1/recommend/batch" {
+			rt.slo.ObserveRequest(slo.AggregateScope, sw.code, d)
+		}
 		if span != nil {
 			span.SetAttr("status", strconv.Itoa(sw.code))
 			span.End()

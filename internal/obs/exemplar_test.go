@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "Latency.", []float64{0.1, 1}, "route")
+	h.ObserveEx(0.05, "00000000000000aa", "/v1/recommend")
+	h.ObserveEx(0.5, "00000000000000bb", "/v1/recommend")
+	h.ObserveEx(7, "00000000000000cc", "/v1/recommend")
+	// A later observation into the same bucket replaces its exemplar.
+	h.ObserveEx(0.06, "00000000000000dd", "/v1/recommend")
+	// Untraced observations count but leave the exemplar alone.
+	h.Observe(0.07, "/v1/recommend")
+
+	out := r.Exposition()
+	for _, want := range []string{
+		`ex_seconds_bucket{route="/v1/recommend",le="0.1"} 3 # {trace_id="00000000000000dd"} 0.06`,
+		`ex_seconds_bucket{route="/v1/recommend",le="1"} 4 # {trace_id="00000000000000bb"} 0.5`,
+		`ex_seconds_bucket{route="/v1/recommend",le="+Inf"} 5 # {trace_id="00000000000000cc"} 7`,
+		`ex_seconds_count{route="/v1/recommend"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// The page with exemplars must still pass the strict format parser.
+	if err := parseExposition(out); err != nil {
+		t.Fatalf("exemplar page fails conformance: %v\n---\n%s", err, out)
+	}
+}
+
+func TestHistogramExemplarUntracedSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("plain_seconds", "Latency.", []float64{1})
+	h.Observe(0.5)
+	out := r.Exposition()
+	if strings.Contains(out, " # {") {
+		t.Fatalf("untraced series emitted an exemplar:\n%s", out)
+	}
+	if err := parseExposition(out); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+}
+
+func TestPruneSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pv_seconds", "Per-version latency.", []float64{1}, "route", "model_version")
+	c := r.Counter("pv_total", "Per-version totals.", "model_version")
+	for _, v := range []string{"v1", "v2", "v3"} {
+		h.Observe(0.5, "/v1/recommend", v)
+		c.Inc(v)
+	}
+	match := func(vals []string) bool { return vals[len(vals)-1] == "v2" }
+	if n := h.Prune(match); n != 1 {
+		t.Fatalf("histogram Prune removed %d series, want 1", n)
+	}
+	if n := c.Prune(match); n != 1 {
+		t.Fatalf("counter Prune removed %d series, want 1", n)
+	}
+	out := r.Exposition()
+	if strings.Contains(out, `model_version="v2"`) {
+		t.Fatalf("pruned version still exposed:\n%s", out)
+	}
+	for _, keep := range []string{`model_version="v1"`, `model_version="v3"`} {
+		if !strings.Contains(out, keep) {
+			t.Fatalf("prune dropped survivor %s:\n%s", keep, out)
+		}
+	}
+	// A fresh observation for the pruned version recreates the series.
+	c.Inc("v2")
+	if !strings.Contains(r.Exposition(), `pv_total{model_version="v2"} 1`) {
+		t.Fatal("pruned series did not restart from zero")
+	}
+}

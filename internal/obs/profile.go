@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"insightalign/internal/atomicfile"
+)
+
+// Continuous profiling. A Profiler periodically captures a short CPU
+// profile and a heap snapshot into a bounded on-disk ring
+// (cpu-<seq>.pprof / heap-<seq>.pprof under Dir), each written through
+// internal/atomicfile so a crash mid-capture never leaves a torn profile
+// where `go tool pprof` could choke on it. The ring keeps the newest
+// Keep samples per kind and deletes older ones, so a long-lived server
+// holds a rolling window of its own recent behavior — when a latency
+// regression pages, the profile covering the bad minutes is already on
+// disk. /debug/profiles serves the index and the raw profile bytes.
+
+// ProfilerConfig parameterizes StartProfiler; the zero value of every
+// field gets a sane default except Dir, which is required.
+type ProfilerConfig struct {
+	// Dir is the on-disk ring directory (created if missing).
+	Dir string
+	// Interval is the capture period (default 60s).
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 5s,
+	// clamped below Interval).
+	CPUDuration time.Duration
+	// Keep bounds the ring: newest Keep profiles per kind survive
+	// (default 8).
+	Keep int
+}
+
+// Profiler is a running background sampler over a bounded profile ring.
+type Profiler struct {
+	cfg  ProfilerConfig
+	seq  uint64
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// profileName matches ring entries: kind-seq.pprof. Anchored so the
+// HTTP file parameter can be validated against path traversal.
+var profileName = regexp.MustCompile(`^(cpu|heap)-(\d+)\.pprof$`)
+
+// StartProfiler creates the ring directory, resumes the sequence counter
+// from any profiles already on disk, and starts the capture loop.
+// Callers must Close it.
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profiler needs a directory")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 60 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 5 * time.Second
+	}
+	if cfg.CPUDuration >= cfg.Interval {
+		cfg.CPUDuration = cfg.Interval / 2
+	}
+	if cfg.Keep < 1 {
+		cfg.Keep = 8
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profiler dir: %w", err)
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	// Resume past the highest sequence already on disk so a restart keeps
+	// appending to the same ring instead of overwriting it.
+	for _, e := range p.list() {
+		if e.Seq >= p.seq {
+			p.seq = e.Seq + 1
+		}
+	}
+	go p.loop()
+	return p, nil
+}
+
+// Close stops the capture loop and waits for an in-flight capture to
+// finish. Safe on a nil receiver (profiling disabled).
+func (p *Profiler) Close() {
+	if p == nil {
+		return
+	}
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.cfg.Interval)
+	defer ticker.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-p.stop
+		cancel()
+	}()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			// Best-effort: a failed capture (disk full, a competing
+			// CPU profile via /debug/pprof/profile) skips the cycle.
+			_ = p.CaptureNow(ctx)
+		}
+	}
+}
+
+// CaptureNow runs one capture cycle synchronously — a CPU profile of
+// CPUDuration plus a heap snapshot — writing both into the ring and
+// pruning past Keep. Exposed for tests and operator tooling.
+func (p *Profiler) CaptureNow(ctx context.Context) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	seq := p.seq
+	p.seq++
+	p.mu.Unlock()
+
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(p.cfg.CPUDuration):
+	}
+	pprof.StopCPUProfile()
+	if err := p.writeProfile("cpu", seq, cpu.Bytes()); err != nil {
+		return err
+	}
+
+	var heap bytes.Buffer
+	runtime.GC() // up-to-date allocation stats, matching pprof's debug handler
+	if err := pprof.Lookup("heap").WriteTo(&heap, 0); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	if err := p.writeProfile("heap", seq, heap.Bytes()); err != nil {
+		return err
+	}
+	p.prune()
+	return ctx.Err()
+}
+
+func (p *Profiler) writeProfile(kind string, seq uint64, b []byte) error {
+	path := filepath.Join(p.cfg.Dir, fmt.Sprintf("%s-%d.pprof", kind, seq))
+	return atomicfile.Write(path, func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}
+
+// prune deletes ring entries older than the newest Keep per kind.
+func (p *Profiler) prune() {
+	byKind := map[string][]ProfileInfo{}
+	for _, e := range p.list() {
+		byKind[e.Kind] = append(byKind[e.Kind], e)
+	}
+	for _, entries := range byKind {
+		if over := len(entries) - p.cfg.Keep; over > 0 {
+			for _, e := range entries[:over] { // list() sorts oldest first
+				os.Remove(filepath.Join(p.cfg.Dir, e.Name))
+			}
+		}
+	}
+}
+
+// ProfileInfo is one ring entry in the /debug/profiles index.
+type ProfileInfo struct {
+	Name  string    `json:"name"` // cpu-12.pprof
+	Kind  string    `json:"kind"` // cpu | heap
+	Seq   uint64    `json:"seq"`
+	Bytes int64     `json:"bytes"`
+	MTime time.Time `json:"mtime"`
+}
+
+// list returns the ring's current entries, oldest first (by seq, then
+// kind for stability).
+func (p *Profiler) list() []ProfileInfo {
+	des, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var out []ProfileInfo
+	for _, de := range des {
+		m := profileName.FindStringSubmatch(de.Name())
+		if m == nil {
+			continue
+		}
+		seq, _ := strconv.ParseUint(m[2], 10, 64)
+		info := ProfileInfo{Name: de.Name(), Kind: m[1], Seq: seq}
+		if fi, err := de.Info(); err == nil {
+			info.Bytes = fi.Size()
+			info.MTime = fi.ModTime().UTC()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Index returns the ring's entries, newest first — the /debug/profiles
+// JSON body.
+func (p *Profiler) Index() []ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	asc := p.list()
+	out := make([]ProfileInfo, 0, len(asc))
+	for i := len(asc) - 1; i >= 0; i-- {
+		out = append(out, asc[i])
+	}
+	return out
+}
+
+// Handler serves the profile ring: GET /debug/profiles lists the index
+// as JSON, GET /debug/profiles?file=cpu-12.pprof streams that profile
+// (inspect with `go tool pprof <url>`). File names are validated against
+// the ring pattern, so the parameter cannot escape the ring directory.
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if name := r.URL.Query().Get("file"); name != "" {
+			if !profileName.MatchString(name) {
+				http.Error(w, "unknown profile name", http.StatusBadRequest)
+				return
+			}
+			b, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
+			if err != nil {
+				http.Error(w, "profile not in the ring (rotated out?)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", "attachment; filename="+name)
+			w.Write(b)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"dir":      p.cfg.Dir,
+			"keep":     p.cfg.Keep,
+			"interval": p.cfg.Interval.String(),
+			"profiles": p.Index(),
+		})
+	})
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestProfiler(t *testing.T, keep int) *Profiler {
+	t.Helper()
+	p, err := StartProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		Interval:    time.Hour, // captures driven explicitly
+		CPUDuration: 10 * time.Millisecond,
+		Keep:        keep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestProfilerRingBoundedAndIndexed(t *testing.T) {
+	p := newTestProfiler(t, 2)
+	for i := 0; i < 4; i++ {
+		if err := p.CaptureNow(context.Background()); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	idx := p.Index()
+	kinds := map[string]int{}
+	for _, e := range idx {
+		kinds[e.Kind]++
+		if e.Bytes <= 0 {
+			t.Fatalf("empty profile %s", e.Name)
+		}
+	}
+	if kinds["cpu"] != 2 || kinds["heap"] != 2 {
+		t.Fatalf("ring not pruned to keep=2: %+v", idx)
+	}
+	// Newest first, and the newest sequences survived.
+	if len(idx) == 0 || idx[0].Seq != 3 {
+		t.Fatalf("index not newest-first: %+v", idx)
+	}
+	// On-disk files match the index exactly.
+	des, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != len(idx) {
+		t.Fatalf("disk has %d files, index %d", len(des), len(idx))
+	}
+}
+
+func TestProfilerHandler(t *testing.T) {
+	p := newTestProfiler(t, 4)
+	if err := p.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index status %d", rec.Code)
+	}
+	var body struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Profiles) != 2 {
+		t.Fatalf("index has %d entries, want cpu+heap", len(body.Profiles))
+	}
+	// Fetch a real profile by name.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles?file="+body.Profiles[0].Name, nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("profile fetch: status %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	// Path traversal and junk names are rejected before touching the fs.
+	for _, evil := range []string{"../registry.go", "cpu-1.pprof/../../x", "..%2fsecret", "heap.pprof"} {
+		rec = httptest.NewRecorder()
+		p.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles?file="+evil, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("hostile name %q served status %d", evil, rec.Code)
+		}
+	}
+}
+
+func TestProfilerResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ProfilerConfig{Dir: dir, Interval: time.Hour, CPUDuration: 10 * time.Millisecond, Keep: 8}
+	p1, err := StartProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+	p2, err := StartProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if err := p2.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cpu-1.pprof")); err != nil {
+		t.Fatalf("restart did not resume the sequence: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cpu-0.pprof")); err != nil {
+		t.Fatalf("restart overwrote the prior ring: %v", err)
+	}
+}

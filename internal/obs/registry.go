@@ -71,6 +71,17 @@ type series struct {
 	counts    []uint64 // histogram buckets, len(bounds)+1
 	sum       float64
 	count     uint64
+	// exemplars holds, per histogram bucket (len(bounds)+1, the +Inf
+	// tail last), the most recent (value, trace ID) pair observed into
+	// that bucket via ObserveEx. Emitted OpenMetrics-style after the
+	// bucket's sample line so a scrape links straight to /debug/traces.
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's most recent traced observation.
+type exemplar struct {
+	val     float64
+	traceID string
 }
 
 // NewRegistry creates an empty registry.
@@ -220,14 +231,30 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 
 // Observe records one value in the series identified by labelVals.
 func (h *Histogram) Observe(v float64, labelVals ...string) {
+	h.ObserveEx(v, "", labelVals...)
+}
+
+// ObserveEx records one value and, when traceID is non-empty, retains
+// (v, traceID) as the landing bucket's exemplar — the most recent traced
+// observation per bucket, emitted OpenMetrics-style on scrape
+// (`... # {trace_id="..."} v`) so a hot bucket links to the trace that
+// fed it.
+func (h *Histogram) ObserveEx(v float64, traceID string, labelVals ...string) {
 	h.f.mu.Lock()
 	s := h.f.get(labelVals)
 	if s.counts == nil {
 		s.counts = make([]uint64, len(h.f.bounds)+1)
 	}
-	s.counts[sort.SearchFloat64s(h.f.bounds, v)]++
+	b := sort.SearchFloat64s(h.f.bounds, v)
+	s.counts[b]++
 	s.sum += v
 	s.count++
+	if traceID != "" {
+		if s.exemplars == nil {
+			s.exemplars = make([]exemplar, len(h.f.bounds)+1)
+		}
+		s.exemplars[b] = exemplar{val: v, traceID: traceID}
+	}
 	h.f.mu.Unlock()
 }
 
@@ -237,6 +264,35 @@ func (h *Histogram) Count(labelVals ...string) uint64 {
 	defer h.f.mu.Unlock()
 	return h.f.get(labelVals).count
 }
+
+// prune removes every series whose label values satisfy match, returning
+// how many were dropped. It is how bounded-cardinality labels stay
+// bounded: when the serve tier's model-version LRU evicts a version, the
+// per-version series are deleted instead of lingering forever.
+func (f *family) prune(match func(labelVals []string) bool) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for k, s := range f.series {
+		if match(s.labelVals) {
+			delete(f.series, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Prune removes series whose label values satisfy match; returns the
+// number of series dropped.
+func (c *Counter) Prune(match func(labelVals []string) bool) int { return c.f.prune(match) }
+
+// Prune removes series whose label values satisfy match; returns the
+// number of series dropped.
+func (g *Gauge) Prune(match func(labelVals []string) bool) int { return g.f.prune(match) }
+
+// Prune removes series whose label values satisfy match; returns the
+// number of series dropped.
+func (h *Histogram) Prune(match func(labelVals []string) bool) int { return h.f.prune(match) }
 
 // get resolves a series by label values; the caller holds f.mu.
 func (f *family) get(labelVals []string) *series {
@@ -325,16 +381,30 @@ func (f *family) writeHistogramSeries(w io.Writer, s *series) {
 		if s.counts != nil {
 			cum += s.counts[i]
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-			labelString(f.labels, s.labelVals, "le", strconv.FormatFloat(bound, 'g', -1, 64)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+			labelString(f.labels, s.labelVals, "le", strconv.FormatFloat(bound, 'g', -1, 64)), cum,
+			s.exemplarSuffix(i))
 	}
 	if s.counts != nil {
 		cum += s.counts[len(f.bounds)]
 	}
 	// The spec requires the +Inf bucket explicitly; it must equal _count.
-	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelVals, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, s.labelVals, "le", "+Inf"), cum,
+		s.exemplarSuffix(len(f.bounds)))
 	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelVals, "", ""), formatValue(s.sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelVals, "", ""), s.count)
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics form
+// ` # {trace_id="..."} v`, or "" when the bucket has none. Prometheus'
+// 0.0.4 text parser treats the suffix as a comment-free extension the
+// OpenMetrics format standardized; our own scrape parser (the fleet
+// roll-up and the conformance test) strips it before value parsing.
+func (s *series) exemplarSuffix(i int) string {
+	if s.exemplars == nil || i >= len(s.exemplars) || s.exemplars[i].traceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(s.exemplars[i].traceID), formatValue(s.exemplars[i].val))
 }
 
 // labelString renders {a="x",b="y"[,extra="v"]}, or "" when there are no

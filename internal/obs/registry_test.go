@@ -276,7 +276,31 @@ func parseSample(line string) (name string, labels map[string]string, value stri
 	if len(rest) < 2 || rest[0] != ' ' {
 		return "", nil, "", fmt.Errorf("missing value separator")
 	}
-	return name, labels, rest[1:], nil
+	value = rest[1:]
+	// OpenMetrics exemplar extension: `<value> # {labels} <exemplar-value>`.
+	// Only _bucket samples carry it in our exposition; the parser accepts
+	// it anywhere but insists on the full shape when the marker appears.
+	if base, ex, ok := strings.Cut(value, " # "); ok {
+		value = base
+		if !strings.HasPrefix(ex, "{") {
+			return "", nil, "", fmt.Errorf("exemplar without label block: %q", ex)
+		}
+		end := strings.LastIndex(ex, "} ")
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("exemplar missing value: %q", ex)
+		}
+		if _, err := strconv.ParseFloat(ex[end+2:], 64); err != nil {
+			return "", nil, "", fmt.Errorf("bad exemplar value %q", ex[end+2:])
+		}
+		// The exemplar label block reuses sample syntax; parse it by
+		// grafting it onto a dummy metric name.
+		if _, exLabels, _, err := parseSample("x" + ex[:end+1] + " 1"); err != nil {
+			return "", nil, "", fmt.Errorf("bad exemplar labels %q: %v", ex[:end+1], err)
+		} else if _, ok := exLabels["trace_id"]; !ok {
+			return "", nil, "", fmt.Errorf("exemplar without trace_id: %q", ex)
+		}
+	}
+	return name, labels, value, nil
 }
 
 // TestConcurrentScrape hammers one registry from 16 goroutines that

@@ -1,0 +1,568 @@
+// Package slo is the self-judging layer of the observability stack: a
+// declarative service-level-objective engine evaluating availability and
+// latency objectives with multi-window burn rates, in the style of the
+// SRE-workbook multiwindow/multi-burn-rate alerting policy.
+//
+// Each objective declares a target good-fraction (e.g. 99.9% of requests
+// non-5xx, 95% of requests under 500ms) and two sliding windows: a fast
+// one (default 5m) that makes paging responsive and de-pages quickly once
+// the burn stops, and a slow one (default 1h) that keeps a short blip
+// from paging at all. The burn rate is errRate / (1 - target) — burn 1.0
+// consumes exactly the error budget, burn 14.4 on a 99.9% objective eats
+// a 30-day budget in under two days. The state machine is:
+//
+//	page  when BOTH windows burn at >= PageBurn
+//	warn  when BOTH windows burn at >= WarnBurn (but not page)
+//	ok    otherwise
+//
+// Objectives are evaluated per scope — the serving tier feeds one scope
+// per live model version plus the "all" aggregate, the fleet router one
+// per replica — with bounded scope cardinality (LRU eviction past
+// MaxScopes, explicit EvictScope on model reload). Every state
+// transition is journaled as a "slo_alert" event through obs.Journal, so
+// alert history replays from disk like the rest of the run record.
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"insightalign/internal/obs"
+)
+
+// Kind selects an objective's service-level indicator.
+type Kind int
+
+const (
+	// Availability counts a request good when its status code is < 500.
+	Availability Kind = iota
+	// Latency counts a non-5xx request good when it finished within
+	// Threshold; 5xx requests are excluded from the latency SLI entirely
+	// (they already burn the availability objective, and a fast error
+	// must not count as a latency success).
+	Latency
+)
+
+func (k Kind) String() string {
+	if k == Latency {
+		return "latency"
+	}
+	return "availability"
+}
+
+// State is one (objective, scope) verdict.
+type State int
+
+const (
+	StateOK State = iota
+	StateWarn
+	StatePage
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePage:
+		return "page"
+	case StateWarn:
+		return "warn"
+	default:
+		return "ok"
+	}
+}
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective in reports and journal events.
+	Name string
+	Kind Kind
+	// Target is the good fraction the objective promises (0 < Target < 1).
+	Target float64
+	// Threshold is the latency bound for Kind == Latency.
+	Threshold time.Duration
+	// FastWindow / SlowWindow are the two burn-rate windows
+	// (defaults 5m / 1h).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// PageBurn / WarnBurn are the burn-rate thresholds (defaults 14.4 / 3,
+	// the SRE-workbook 5m/1h pair).
+	PageBurn float64
+	WarnBurn float64
+}
+
+// DefaultObjectives returns the serving tier's stock SLOs: 99.9%
+// availability and 95% of successful requests under 500ms, on 5m/1h
+// windows.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Name: "availability", Kind: Availability, Target: 0.999},
+		{Name: "latency", Kind: Latency, Target: 0.95, Threshold: 500 * time.Millisecond},
+	}
+}
+
+// AggregateScope is the reserved scope aggregating every request the
+// engine sees, never evicted by the scope LRU.
+const AggregateScope = "all"
+
+// EventSLOAlert is the journal event name for state transitions.
+const EventSLOAlert = "slo_alert"
+
+// AlertEvent is the journaled payload of one state transition.
+type AlertEvent struct {
+	Objective string  `json:"objective"`
+	Scope     string  `json:"scope"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Objectives to evaluate; nil means DefaultObjectives.
+	Objectives []Objective
+	// MaxScopes bounds non-aggregate scope cardinality (default 8);
+	// beyond it the least-recently-observed scope is evicted.
+	MaxScopes int
+	// Journal, when non-nil, receives EventSLOAlert entries on every
+	// state transition (a nil obs.Journal is also safe: Record no-ops).
+	Journal *obs.Journal
+	// OnTransition, when non-nil, observes every state transition after
+	// it is journaled. Called outside the engine lock.
+	OnTransition func(objective, scope string, from, to State)
+	// Now is the clock (test hook); nil means time.Now.
+	Now func() time.Time
+}
+
+// numBuckets is how many sliding buckets cover an objective's slow
+// window; the fast window reads a suffix of the same ring.
+const numBuckets = 60
+
+// bucket is one time slice of (good, total) counts.
+type bucket struct {
+	idx         int64 // absolute bucket index; a mismatched slot is stale
+	good, total uint64
+}
+
+// objWindow is one (objective, scope) sliding ring plus its alert state.
+type objWindow struct {
+	buckets [numBuckets]bucket
+	state   State
+}
+
+// scopeState is one scope's windows across every objective.
+type scopeState struct {
+	touched time.Time
+	windows []objWindow
+}
+
+// Engine evaluates objectives over scoped sliding windows.
+type Engine struct {
+	objectives []Objective
+	bucketDur  []time.Duration // per objective: SlowWindow / numBuckets
+	maxScopes  int
+	journal    *obs.Journal
+	onTrans    func(objective, scope string, from, to State)
+	now        func() time.Time
+	evalEvery  time.Duration
+
+	mu       sync.Mutex
+	scopes   map[string]*scopeState
+	lastEval time.Time
+}
+
+// transition is one pending state-change notification, emitted after the
+// engine lock is released.
+type transition struct {
+	objective, scope string
+	from, to         State
+	fast, slow       float64
+}
+
+// New builds an engine; a zero Config gets the default objectives.
+func New(cfg Config) *Engine {
+	objectives := cfg.Objectives
+	if len(objectives) == 0 {
+		objectives = DefaultObjectives()
+	}
+	e := &Engine{
+		objectives: make([]Objective, len(objectives)),
+		bucketDur:  make([]time.Duration, len(objectives)),
+		maxScopes:  cfg.MaxScopes,
+		journal:    cfg.Journal,
+		onTrans:    cfg.OnTransition,
+		now:        cfg.Now,
+		scopes:     map[string]*scopeState{},
+	}
+	if e.maxScopes < 1 {
+		e.maxScopes = 8
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	minFast := time.Duration(0)
+	for i, o := range objectives {
+		if o.Target <= 0 || o.Target >= 1 {
+			o.Target = 0.999
+		}
+		if o.FastWindow <= 0 {
+			o.FastWindow = 5 * time.Minute
+		}
+		if o.SlowWindow < o.FastWindow {
+			o.SlowWindow = 12 * o.FastWindow
+		}
+		if o.PageBurn <= 0 {
+			o.PageBurn = 14.4
+		}
+		if o.WarnBurn <= 0 || o.WarnBurn > o.PageBurn {
+			o.WarnBurn = o.PageBurn / 4.8
+		}
+		if o.Kind == Latency && o.Threshold <= 0 {
+			o.Threshold = 500 * time.Millisecond
+		}
+		if o.Name == "" {
+			o.Name = fmt.Sprintf("%s-%d", o.Kind, i)
+		}
+		e.objectives[i] = o
+		e.bucketDur[i] = o.SlowWindow / numBuckets
+		if minFast == 0 || o.FastWindow < minFast {
+			minFast = o.FastWindow
+		}
+	}
+	// Lazy evaluation cadence: often enough that a page or a de-page is
+	// never more than a fraction of the fastest window late, cheap enough
+	// to ride the observe path.
+	e.evalEvery = minFast / 8
+	if e.evalEvery <= 0 {
+		e.evalEvery = time.Second
+	}
+	return e
+}
+
+// Objectives returns the engine's resolved objectives.
+func (e *Engine) Objectives() []Objective {
+	out := make([]Objective, len(e.objectives))
+	copy(out, e.objectives)
+	return out
+}
+
+// ObserveRequest feeds one completed request into every objective under
+// the given scope (and only that scope — callers that also want the
+// "all" aggregate feed it explicitly, so per-forward and end-to-end
+// feeds cannot double-count each other). Nil-receiver safe.
+func (e *Engine) ObserveRequest(scope string, code int, d time.Duration) {
+	if e == nil {
+		return
+	}
+	if scope == "" {
+		scope = AggregateScope
+	}
+	now := e.now()
+	e.mu.Lock()
+	st := e.scopeLocked(scope, now)
+	for i, o := range e.objectives {
+		if o.Kind == Latency && code >= 500 {
+			continue
+		}
+		good := code < 500
+		if o.Kind == Latency {
+			good = d <= o.Threshold
+		}
+		b := &st.windows[i].buckets[int(now.UnixNano()/int64(e.bucketDur[i]))%numBuckets]
+		if idx := now.UnixNano() / int64(e.bucketDur[i]); b.idx != idx {
+			b.idx, b.good, b.total = idx, 0, 0
+		}
+		b.total++
+		if good {
+			b.good++
+		}
+	}
+	var pending []transition
+	if now.Sub(e.lastEval) >= e.evalEvery {
+		pending = e.evaluateLocked(now)
+	}
+	e.mu.Unlock()
+	e.emit(pending)
+}
+
+// scopeLocked resolves (or creates) a scope, touching it for the LRU and
+// evicting the stalest scope past MaxScopes. The aggregate scope never
+// counts against the bound and is never evicted.
+func (e *Engine) scopeLocked(scope string, now time.Time) *scopeState {
+	st, ok := e.scopes[scope]
+	if !ok {
+		st = &scopeState{windows: make([]objWindow, len(e.objectives))}
+		e.scopes[scope] = st
+		n := len(e.scopes)
+		if _, hasAgg := e.scopes[AggregateScope]; hasAgg {
+			n--
+		}
+		if n > e.maxScopes {
+			oldest, oldestAt := "", now
+			for name, s := range e.scopes {
+				if name == AggregateScope || name == scope {
+					continue
+				}
+				if s.touched.Before(oldestAt) {
+					oldest, oldestAt = name, s.touched
+				}
+			}
+			if oldest != "" {
+				delete(e.scopes, oldest)
+			}
+		}
+	}
+	st.touched = now
+	return st
+}
+
+// EvictScope drops one scope's windows and alert state — the model-reload
+// hook: a retired version's verdicts should not linger on /debug/slo.
+// Nil-receiver safe; evicting the aggregate or an unknown scope is a
+// no-op.
+func (e *Engine) EvictScope(scope string) {
+	if e == nil || scope == AggregateScope {
+		return
+	}
+	e.mu.Lock()
+	delete(e.scopes, scope)
+	e.mu.Unlock()
+}
+
+// windowRates sums the ring's live buckets over the trailing window.
+func windowRates(w *objWindow, now time.Time, bucketDur, window time.Duration) (good, total uint64) {
+	nowIdx := now.UnixNano() / int64(bucketDur)
+	span := int64(window / bucketDur)
+	if span < 1 {
+		span = 1
+	}
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.idx == 0 && b.total == 0 {
+			continue
+		}
+		if b.idx > nowIdx || b.idx <= nowIdx-span {
+			continue
+		}
+		good += b.good
+		total += b.total
+	}
+	return good, total
+}
+
+// burn converts (good, total) under a target into a burn rate.
+func burn(good, total uint64, target float64) (errRate, burnRate float64) {
+	if total == 0 {
+		return 0, 0
+	}
+	errRate = 1 - float64(good)/float64(total)
+	return errRate, errRate / (1 - target)
+}
+
+// evaluateLocked re-derives every (objective, scope) state, returning the
+// transitions to emit after unlock.
+func (e *Engine) evaluateLocked(now time.Time) []transition {
+	e.lastEval = now
+	var pending []transition
+	for scope, st := range e.scopes {
+		for i := range e.objectives {
+			o := &e.objectives[i]
+			w := &st.windows[i]
+			fg, ft := windowRates(w, now, e.bucketDur[i], o.FastWindow)
+			sg, stot := windowRates(w, now, e.bucketDur[i], o.SlowWindow)
+			_, fastBurn := burn(fg, ft, o.Target)
+			_, slowBurn := burn(sg, stot, o.Target)
+			next := StateOK
+			switch {
+			case fastBurn >= o.PageBurn && slowBurn >= o.PageBurn:
+				next = StatePage
+			case fastBurn >= o.WarnBurn && slowBurn >= o.WarnBurn:
+				next = StateWarn
+			}
+			if next != w.state {
+				pending = append(pending, transition{
+					objective: o.Name, scope: scope,
+					from: w.state, to: next,
+					fast: fastBurn, slow: slowBurn,
+				})
+				w.state = next
+			}
+		}
+	}
+	return pending
+}
+
+// emit journals and relays transitions; called without the lock.
+func (e *Engine) emit(pending []transition) {
+	for _, tr := range pending {
+		e.journal.Record(EventSLOAlert, AlertEvent{
+			Objective: tr.objective, Scope: tr.scope,
+			From: tr.from.String(), To: tr.to.String(),
+			FastBurn: tr.fast, SlowBurn: tr.slow,
+		})
+		if e.onTrans != nil {
+			e.onTrans(tr.objective, tr.scope, tr.from, tr.to)
+		}
+	}
+}
+
+// Verdict is one (objective, scope) row of a Report.
+type Verdict struct {
+	Objective string  `json:"objective"`
+	Kind      string  `json:"kind"`
+	Scope     string  `json:"scope"`
+	State     string  `json:"state"`
+	Target    float64 `json:"target"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	FastRate  float64 `json:"fast_error_rate"`
+	SlowRate  float64 `json:"slow_error_rate"`
+	SlowGood  uint64  `json:"slow_good"`
+	SlowTotal uint64  `json:"slow_total"`
+}
+
+// Report is the full /debug/slo body.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	Worst       string    `json:"worst"`
+	Verdicts    []Verdict `json:"verdicts"`
+}
+
+// Report forces an evaluation (emitting any due transitions) and
+// snapshots every verdict, the aggregate scope first. Nil-receiver safe.
+func (e *Engine) Report() Report {
+	if e == nil {
+		return Report{Worst: StateOK.String()}
+	}
+	now := e.now()
+	e.mu.Lock()
+	pending := e.evaluateLocked(now)
+	rep := Report{GeneratedAt: now.UTC()}
+	worst := StateOK
+	for scope, st := range e.scopes {
+		for i := range e.objectives {
+			o := &e.objectives[i]
+			w := &st.windows[i]
+			fg, ft := windowRates(w, now, e.bucketDur[i], o.FastWindow)
+			sg, stot := windowRates(w, now, e.bucketDur[i], o.SlowWindow)
+			fr, fb := burn(fg, ft, o.Target)
+			sr, sb := burn(sg, stot, o.Target)
+			rep.Verdicts = append(rep.Verdicts, Verdict{
+				Objective: o.Name, Kind: o.Kind.String(), Scope: scope,
+				State: w.state.String(), Target: o.Target,
+				FastBurn: fb, SlowBurn: sb, FastRate: fr, SlowRate: sr,
+				SlowGood: sg, SlowTotal: stot,
+			})
+			if w.state > worst {
+				worst = w.state
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.emit(pending)
+	sort.Slice(rep.Verdicts, func(i, j int) bool {
+		a, b := rep.Verdicts[i], rep.Verdicts[j]
+		if (a.Scope == AggregateScope) != (b.Scope == AggregateScope) {
+			return a.Scope == AggregateScope
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.Objective < b.Objective
+	})
+	rep.Worst = worst.String()
+	return rep
+}
+
+// Worst forces an evaluation and returns the worst current state across
+// every (objective, scope) — the /healthz degraded signal. Nil-receiver
+// safe (StateOK).
+func (e *Engine) Worst() State {
+	if e == nil {
+		return StateOK
+	}
+	now := e.now()
+	e.mu.Lock()
+	pending := e.evaluateLocked(now)
+	worst := StateOK
+	for _, st := range e.scopes {
+		for i := range st.windows {
+			if st.windows[i].state > worst {
+				worst = st.windows[i].state
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.emit(pending)
+	return worst
+}
+
+// Handler serves the report: JSON by default, a human-readable table
+// with ?format=text.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := e.Report()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, rep.Text())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+}
+
+// Text renders the report as an aligned operator-facing table. The
+// scope column sizes to its widest value (replica scopes are full base
+// URLs); ERR/TOTAL is the slow window's bad-request count over its
+// traffic.
+func (rep Report) Text() string {
+	scopeW := len("SCOPE")
+	for _, v := range rep.Verdicts {
+		if len(v.Scope) > scopeW {
+			scopeW = len(v.Scope)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO report @ %s — worst: %s\n", rep.GeneratedAt.Format(time.RFC3339), rep.Worst)
+	fmt.Fprintf(&b, "%-14s %-14s %-*s %-5s %8s %10s %10s %12s\n",
+		"OBJECTIVE", "KIND", scopeW, "SCOPE", "STATE", "TARGET", "FAST-BURN", "SLOW-BURN", "ERR/TOTAL")
+	for _, v := range rep.Verdicts {
+		fmt.Fprintf(&b, "%-14s %-14s %-*s %-5s %7.3f%% %10.2f %10.2f %9d/%d\n",
+			v.Objective, v.Kind, scopeW, v.Scope, v.State, v.Target*100, v.FastBurn, v.SlowBurn,
+			v.SlowTotal-v.SlowGood, v.SlowTotal)
+	}
+	return b.String()
+}
+
+// Run evaluates on a timer until ctx ends — the path that journals a
+// transition even when traffic (and with it the lazy observe-time
+// evaluation) has stopped entirely. interval <= 0 uses the engine's lazy
+// cadence.
+func (e *Engine) Run(ctx context.Context, interval time.Duration) {
+	if e == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = e.evalEvery
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			now := e.now()
+			e.mu.Lock()
+			pending := e.evaluateLocked(now)
+			e.mu.Unlock()
+			e.emit(pending)
+		}
+	}
+}

@@ -27,6 +27,12 @@ const maxSpansPerTrace = 512
 // defaultTraceRing is how many completed traces the ring retains.
 const defaultTraceRing = 128
 
+// maxEvictedIDs bounds the tracer's memory of trace IDs that have rotated
+// out of the ring. It exists so an exemplar link on /metrics that
+// outlives the ring fails legibly (410 Gone, "evicted") instead of
+// indistinguishably from an ID that never existed (404).
+const maxEvictedIDs = 1024
+
 // Tracer assigns IDs and retains completed traces.
 type Tracer struct {
 	nextTrace atomic.Uint64
@@ -35,6 +41,10 @@ type Tracer struct {
 	mu     sync.Mutex
 	ring   []*TraceRecord // newest last
 	ringSz int
+	// evicted remembers IDs pushed out of the ring (bounded FIFO): the
+	// set answers "did this trace exist?", evictedOrder ages it out.
+	evicted      map[string]struct{}
+	evictedOrder []string
 }
 
 // NewTracer creates a tracer retaining up to ringSize completed traces
@@ -265,9 +275,43 @@ func (t *Tracer) push(rec *TraceRecord) {
 	t.mu.Lock()
 	t.ring = append(t.ring, rec)
 	if over := len(t.ring) - t.ringSz; over > 0 {
+		for _, dropped := range t.ring[:over] {
+			t.rememberEvictedLocked(dropped.TraceID)
+		}
 		t.ring = append(t.ring[:0], t.ring[over:]...)
 	}
 	t.mu.Unlock()
+}
+
+// rememberEvictedLocked records a ring-evicted trace ID in the bounded
+// FIFO memory; the caller holds t.mu.
+func (t *Tracer) rememberEvictedLocked(id string) {
+	if t.evicted == nil {
+		t.evicted = make(map[string]struct{}, maxEvictedIDs)
+	}
+	if _, dup := t.evicted[id]; dup {
+		return
+	}
+	t.evicted[id] = struct{}{}
+	t.evictedOrder = append(t.evictedOrder, id)
+	if over := len(t.evictedOrder) - maxEvictedIDs; over > 0 {
+		for _, old := range t.evictedOrder[:over] {
+			delete(t.evicted, old)
+		}
+		t.evictedOrder = append(t.evictedOrder[:0], t.evictedOrder[over:]...)
+	}
+}
+
+// Evicted reports whether traceID once lived in the ring but has been
+// pushed out (within the bounded eviction memory). A cross-hop trace
+// counts as evicted only for its dropped records; while any record under
+// the ID survives, Lookup still succeeds and callers never reach for
+// this.
+func (t *Tracer) Evicted(traceID string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.evicted[traceID]
+	return ok
 }
 
 // Recent returns up to n completed traces, newest first (n <= 0: all).
@@ -371,6 +415,19 @@ func (t *Tracer) Handler() http.Handler {
 		if id := r.URL.Query().Get("id"); id != "" {
 			rec := t.LookupMerged(id)
 			if rec == nil {
+				// Distinguish "never existed" (404) from "existed but
+				// rotated out of the bounded ring" (410): exemplar links
+				// on /metrics outlive the ring routinely, and the hint
+				// tells the operator it was retention, not a bad ID.
+				if t.Evicted(id) {
+					w.WriteHeader(http.StatusGone)
+					json.NewEncoder(w).Encode(map[string]string{
+						"error":    "trace evicted from the ring",
+						"trace_id": id,
+						"hint":     "the bounded trace ring already rotated this trace out; scrape /debug/traces sooner or enlarge the ring (obs.NewTracer size)",
+					})
+					return
+				}
 				w.WriteHeader(http.StatusNotFound)
 				json.NewEncoder(w).Encode(map[string]string{"error": "trace not found", "trace_id": id})
 				return

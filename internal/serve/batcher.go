@@ -306,6 +306,13 @@ func (b *Batcher) run(batch []*batchRequest) {
 	}
 	if b.met != nil {
 		b.met.ObserveBatch(len(live))
+		// Each decode's top log-prob is the serving-side QoR proxy,
+		// attributed to the model version that produced it.
+		for i := range live {
+			if len(outs[i]) > 0 {
+				b.met.ObserveQoR(snap.Version, outs[i][0].LogProb)
+			}
+		}
 	}
 	if b.store != nil {
 		for i := range live {

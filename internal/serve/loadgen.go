@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"insightalign/internal/obs"
 )
 
 // LoadGenOptions parameterize the benchmarking load generator.
@@ -286,32 +288,17 @@ func RunLoadGen(ctx context.Context, opt LoadGenOptions) (LoadGenResult, error) 
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	res.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
 	res.MeanMS = ms(sum / time.Duration(len(all)))
-	res.P50MS = ms(percentile(all, 0.50))
-	res.P95MS = ms(percentile(all, 0.95))
-	res.P99MS = ms(percentile(all, 0.99))
+	res.P50MS = ms(obs.QuantileDur(all, 0.50))
+	res.P95MS = ms(obs.QuantileDur(all, 0.95))
+	res.P99MS = ms(obs.QuantileDur(all, 0.99))
 	res.MaxMS = ms(all[len(all)-1])
 	if len(cachedLat) > 0 {
-		res.CachedP50MS = ms(percentile(cachedLat, 0.50))
-		res.CachedP99MS = ms(percentile(cachedLat, 0.99))
+		res.CachedP50MS = ms(obs.QuantileDur(cachedLat, 0.50))
+		res.CachedP99MS = ms(obs.QuantileDur(cachedLat, 0.99))
 	}
 	if len(uncachedLat) > 0 {
-		res.UncachedP50MS = ms(percentile(uncachedLat, 0.50))
-		res.UncachedP99MS = ms(percentile(uncachedLat, 0.99))
+		res.UncachedP50MS = ms(obs.QuantileDur(uncachedLat, 0.50))
+		res.UncachedP99MS = ms(obs.QuantileDur(uncachedLat, 0.99))
 	}
 	return res, nil
-}
-
-// percentile returns the nearest-rank percentile of sorted durations.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

@@ -10,8 +10,13 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"insightalign/internal/obs"
 )
 
+// TestPercentileEdgeCases pins the loadgen's quantile behavior now that
+// it delegates to the shared obs.QuantileDur (the old private percentile
+// helper is gone); edge cases stay asserted at this call site.
 func TestPercentileEdgeCases(t *testing.T) {
 	ms := func(vals ...int) []time.Duration {
 		out := make([]time.Duration, len(vals))
@@ -42,8 +47,8 @@ func TestPercentileEdgeCases(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := percentile(tc.sorted, tc.q); got != tc.want {
-				t.Fatalf("percentile(%v, %g) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+			if got := obs.QuantileDur(tc.sorted, tc.q); got != tc.want {
+				t.Fatalf("QuantileDur(%v, %g) = %v, want %v", tc.sorted, tc.q, got, tc.want)
 			}
 		})
 	}

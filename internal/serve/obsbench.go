@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"insightalign/internal/core"
+	"insightalign/internal/nn"
+	"insightalign/internal/obs"
+	"insightalign/internal/obs/slo"
+)
+
+// Observability overhead bench: two identical in-process servers serve
+// the same deterministic workload, one with the full observability tier
+// (exemplar-carrying histograms, per-version attribution, burn-rate SLO
+// accounting) and one with exemplars off and no SLO engine at all. The
+// A/B p99 delta is reported honestly but is noisy at smoke scale, so the
+// headline bound is micro-derived: the observe path (per-version
+// histogram + exemplar capture + two SLO feeds) is timed in isolation
+// and expressed as a share of the baseline decoder-path p99. The bench
+// also closes the cross-link loop — an exemplar trace ID scraped off the
+// instrumented arm's /metrics must resolve at /debug/traces?id=.
+
+// ObsBenchOptions parameterize RunObsBench.
+type ObsBenchOptions struct {
+	// Model is the architecture both arms serve.
+	Model core.Config
+	// Designs is the insight pool size (every request decodes: no cache).
+	Designs int
+	// Clients / Requests shape each loadgen pass.
+	Clients  int
+	Requests int
+	// BeamWidth is the decode beam width for every request.
+	BeamWidth int
+	// Seed drives model init and the loadgen streams.
+	Seed int64
+	// MicroIters is the iteration count for the isolated observe-path
+	// timing loop.
+	MicroIters int
+}
+
+// DefaultObsBenchOptions returns the `make bench-obs` workload: a small
+// model so the smoke run finishes in seconds, enough requests for a
+// stable-ish p99.
+func DefaultObsBenchOptions() ObsBenchOptions {
+	mcfg := core.DefaultConfig()
+	mcfg.EmbedDim = 96
+	mcfg.FFHidden = 192
+	return ObsBenchOptions{
+		Model:      mcfg,
+		Designs:    32,
+		Clients:    8,
+		Requests:   600,
+		BeamWidth:  5,
+		Seed:       1,
+		MicroIters: 50_000,
+	}
+}
+
+// ObsBenchResult is the JSON payload behind BENCH_obs.json.
+type ObsBenchResult struct {
+	Designs   int `json:"designs"`
+	Clients   int `json:"clients"`
+	Requests  int `json:"requests"`
+	BeamWidth int `json:"beam_width"`
+
+	// Baseline: exemplars off, no SLO engine. Instrumented: exemplars on,
+	// default SLO objectives fed per request, per-version attribution.
+	Baseline     LoadGenResult `json:"baseline"`
+	Instrumented LoadGenResult `json:"instrumented"`
+
+	BaselineP99MS     float64 `json:"baseline_p99_ms"`
+	InstrumentedP99MS float64 `json:"instrumented_p99_ms"`
+	// DeltaP99Pct is the measured A/B p99 delta in percent (can be
+	// negative: at smoke scale scheduler noise exceeds the obs cost).
+	DeltaP99Pct float64 `json:"delta_p99_pct"`
+
+	// ObsCostPerRequestNS is the micro-measured cost of one request's
+	// full observability accounting: ObserveRequestEx with an exemplar
+	// (per-route + per-version histograms), one QoR observation, and two
+	// SLO feeds (aggregate + version scope).
+	ObsCostPerRequestNS float64 `json:"obs_cost_per_request_ns"`
+	// ObsCostShareOfP99Pct expresses that cost as a share of the
+	// baseline decoder-path p99 — the acceptance bound (< 5%).
+	ObsCostShareOfP99Pct float64 `json:"obs_cost_share_of_p99_pct"`
+
+	// ExemplarResolved reports whether a trace ID scraped from the
+	// instrumented arm's /metrics exemplars resolved at /debug/traces.
+	ExemplarResolved bool `json:"exemplar_resolved"`
+	// SLOWorst is the instrumented engine's worst verdict after the run
+	// ("ok" on a healthy bench box).
+	SLOWorst string `json:"slo_worst"`
+}
+
+// obsBenchArm boots one in-process server, applies prep (the arm's
+// toggle setup, before any traffic), runs the shared workload, then
+// hands the still-live server to probe for scrapes and verdict reads.
+func obsBenchArm(ctx context.Context, opt ObsBenchOptions, path string, cfg Config,
+	prep func(srv *Server), probe func(base string, srv *Server) error) (LoadGenResult, error) {
+	var res LoadGenResult
+	reg, err := NewRegistry(opt.Model)
+	if err != nil {
+		return res, err
+	}
+	if _, err := reg.LoadFile(path); err != nil {
+		return res, err
+	}
+	srv, err := New(cfg, reg)
+	if err != nil {
+		return res, err
+	}
+	if prep != nil {
+		prep(srv)
+	}
+	errc, err := srv.Start()
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+		<-errc
+	}()
+	base := "http://" + srv.Addr()
+
+	lg := DefaultLoadGenOptions()
+	lg.URL = base
+	lg.Clients = opt.Clients
+	lg.Requests = opt.Requests
+	lg.BeamWidth = opt.BeamWidth
+	lg.InsightDim = opt.Model.InsightDim
+	lg.Seed = opt.Seed
+	lg.Designs = opt.Designs
+	lg.ZipfS = 1.5
+
+	// Warm pass (JIT-free runtime, but page cache, scheduler, and decode
+	// state pools all settle), then the measured pass.
+	if _, err := RunLoadGen(ctx, lg); err != nil {
+		return res, fmt.Errorf("obs bench warm pass: %w", err)
+	}
+	res, err = RunLoadGen(ctx, lg)
+	if err != nil {
+		return res, fmt.Errorf("obs bench measured pass: %w", err)
+	}
+	if probe != nil {
+		if err := probe(base, srv); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+var obsBenchExemplarRe = regexp.MustCompile(`# \{trace_id="([0-9a-f]{16})"\}`)
+
+// measureObsCost times the full per-request observability accounting in
+// isolation: the exemplar-carrying per-route + per-version histogram
+// update, a QoR observation, and the two SLO scope feeds.
+func measureObsCost(iters int) float64 {
+	if iters < 1 {
+		iters = 1
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, func() int { return 0 }, func() string { return "v-bench" })
+	eng := slo.New(slo.Config{})
+	d := 3 * time.Millisecond
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		met.ObserveRequestEx("/v1/recommend", 200, d, "v-bench", "00ff00ff00ff00ff")
+		met.ObserveQoR("v-bench", -4.2)
+		eng.ObserveRequest(slo.AggregateScope, 200, d)
+		eng.ObserveRequest("v-bench", 200, d)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// RunObsBench runs both arms plus the isolated observe-path timing and
+// the exemplar cross-link check.
+func RunObsBench(ctx context.Context, opt ObsBenchOptions) (ObsBenchResult, error) {
+	d := DefaultObsBenchOptions()
+	if opt.Designs < 1 {
+		opt.Designs = d.Designs
+	}
+	if opt.Clients < 1 {
+		opt.Clients = d.Clients
+	}
+	if opt.Requests < 1 {
+		opt.Requests = d.Requests
+	}
+	if opt.BeamWidth < 1 {
+		opt.BeamWidth = d.BeamWidth
+	}
+	if opt.MicroIters < 1 {
+		opt.MicroIters = d.MicroIters
+	}
+	if opt.Model.NumRecipes == 0 {
+		opt.Model = d.Model
+	}
+	res := ObsBenchResult{Designs: opt.Designs, Clients: opt.Clients,
+		Requests: opt.Requests, BeamWidth: opt.BeamWidth}
+
+	// One model file shared by both arms, so they serve identical weights.
+	dir, err := os.MkdirTemp("", "obsbench")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	mcfg := opt.Model
+	mcfg.Seed = opt.Seed
+	opt.Model = mcfg
+	m, err := core.New(mcfg)
+	if err != nil {
+		return res, err
+	}
+	path := filepath.Join(dir, "model.bin")
+	if err := nn.SaveParamsFile(path, m.Params()); err != nil {
+		return res, err
+	}
+
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	mkCfg := func() Config {
+		cfg := DefaultConfig()
+		cfg.Addr = "127.0.0.1:0"
+		cfg.Model = mcfg
+		cfg.DefaultBeamWidth = opt.BeamWidth
+		cfg.Logger = quiet
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer(256)
+		return cfg
+	}
+
+	// Baseline arm: exemplars off before any traffic, no SLO engine.
+	baseCfg := mkCfg()
+	baseCfg.DisableSLO = true
+	res.Baseline, err = obsBenchArm(ctx, opt, path, baseCfg,
+		func(srv *Server) { srv.Metrics().SetExemplars(false) }, nil)
+	if err != nil {
+		return res, fmt.Errorf("baseline arm: %w", err)
+	}
+
+	// Instrumented arm: defaults — exemplars on, default SLO objectives.
+	instCfg := mkCfg()
+	res.Instrumented, err = obsBenchArm(ctx, opt, path, instCfg, nil, func(base string, srv *Server) error {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		m := obsBenchExemplarRe.FindSubmatch(body)
+		if m == nil {
+			return fmt.Errorf("instrumented arm emitted no exemplars")
+		}
+		tresp, err := http.Get(base + "/debug/traces?id=" + string(m[1]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, tresp.Body)
+		tresp.Body.Close()
+		res.ExemplarResolved = tresp.StatusCode == http.StatusOK
+		res.SLOWorst = srv.SLO().Worst().String()
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("instrumented arm: %w", err)
+	}
+
+	res.BaselineP99MS = res.Baseline.P99MS
+	res.InstrumentedP99MS = res.Instrumented.P99MS
+	if res.BaselineP99MS > 0 {
+		res.DeltaP99Pct = (res.InstrumentedP99MS - res.BaselineP99MS) / res.BaselineP99MS * 100
+	}
+
+	res.ObsCostPerRequestNS = measureObsCost(opt.MicroIters)
+	if res.BaselineP99MS > 0 {
+		p99ns := res.BaselineP99MS * 1e6
+		res.ObsCostShareOfP99Pct = res.ObsCostPerRequestNS / p99ns * 100
+	}
+	return res, nil
+}

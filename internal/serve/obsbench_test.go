@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunObsBenchSmoke runs a shrunken observability bench end to end
+// and asserts the acceptance invariants: the exemplar cross-link
+// resolves, the instrumented engine stays ok on a healthy box, and the
+// micro-derived observability cost is a small share of the decoder-path
+// p99 (the <5% bound `make bench-obs` asserts at full scale).
+func TestRunObsBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is seconds-long")
+	}
+	opt := DefaultObsBenchOptions()
+	opt.Requests = 80
+	opt.Clients = 4
+	opt.Designs = 16
+	opt.MicroIters = 5_000
+
+	res, err := RunObsBench(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Failures != 0 || res.Instrumented.Failures != 0 {
+		t.Fatalf("bench arms saw failures: baseline %d, instrumented %d",
+			res.Baseline.Failures, res.Instrumented.Failures)
+	}
+	if res.BaselineP99MS <= 0 || res.InstrumentedP99MS <= 0 {
+		t.Fatalf("degenerate p99s: %+v", res)
+	}
+	if !res.ExemplarResolved {
+		t.Fatal("instrumented arm's exemplar trace did not resolve at /debug/traces")
+	}
+	if res.SLOWorst != "ok" {
+		t.Fatalf("instrumented SLO worst = %q, want ok", res.SLOWorst)
+	}
+	if res.ObsCostPerRequestNS <= 0 {
+		t.Fatalf("no observe-path cost measured: %+v", res)
+	}
+	if res.ObsCostShareOfP99Pct >= 5 {
+		t.Fatalf("observability accounting is %.2f%% of decoder-path p99 (bound 5%%)",
+			res.ObsCostShareOfP99Pct)
+	}
+}

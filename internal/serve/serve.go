@@ -30,6 +30,7 @@ import (
 
 	"insightalign/internal/core"
 	"insightalign/internal/obs"
+	"insightalign/internal/obs/slo"
 	"insightalign/internal/qor"
 	"insightalign/internal/recipe"
 	"insightalign/internal/retrieve"
@@ -95,6 +96,23 @@ type Config struct {
 	// Tracer assigns and retains request traces; nil means the
 	// process-wide obs.DefaultTracer().
 	Tracer *obs.Tracer
+	// SLO is the burn-rate objective engine. Every /v1/ request feeds it
+	// twice: once under the "all" aggregate scope and once under the live
+	// model version's scope, so /debug/slo reports both fleet-wide and
+	// per-version verdicts. Its worst verdict folds into /healthz as
+	// status "degraded" (still HTTP 200 — a burning SLO is an alert, not
+	// a liveness failure, and must not make the fleet router eject the
+	// replica). nil builds a default engine (slo.DefaultObjectives).
+	SLO *slo.Engine
+	// DisableSLO leaves the engine nil instead of defaulting one in — the
+	// observability bench's baseline arm, where even the two bucket
+	// increments per request must not run. All engine call sites are
+	// nil-safe; /debug/slo then reports an empty ok verdict.
+	DisableSLO bool
+	// Profiler, if non-nil, is the continuous-profiling ring indexed at
+	// /debug/profiles. The server does not own its lifecycle; the caller
+	// that started it closes it.
+	Profiler *obs.Profiler
 }
 
 // DefaultConfig returns production-leaning defaults around the paper's
@@ -121,6 +139,8 @@ type Server struct {
 	bat    *Batcher
 	met    *Metrics
 	brk    *Breaker // nil when cfg.Breaker.Disabled
+	slo    *slo.Engine
+	prof   *obs.Profiler // nil when continuous profiling is off
 	tracer *obs.Tracer
 	log    *slog.Logger
 
@@ -158,7 +178,11 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	if cfg.WarmSeeds < 1 {
 		cfg.WarmSeeds = 4
 	}
-	s := &Server{cfg: cfg, reg: reg, tracer: cfg.Tracer, log: cfg.Logger, warmK: cfg.WarmSeeds}
+	if cfg.SLO == nil && !cfg.DisableSLO {
+		cfg.SLO = slo.New(slo.Config{})
+	}
+	s := &Server{cfg: cfg, reg: reg, slo: cfg.SLO, prof: cfg.Profiler,
+		tracer: cfg.Tracer, log: cfg.Logger, warmK: cfg.WarmSeeds}
 	s.bat = NewBatcher(reg, nil, cfg.QueueDepth, cfg.MaxBatch, cfg.MaxConcurrentBatches, cfg.BatchWindow)
 	s.met = NewMetrics(cfg.Metrics, s.bat.Depth, reg.Version)
 	s.bat.met = s.met
@@ -179,6 +203,9 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 // generator's in-process mode).
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// SLO exposes the server's burn-rate objective engine.
+func (s *Server) SLO() *slo.Engine { return s.slo }
+
 // Registry returns the model registry backing this server.
 func (s *Server) Registry() *Registry { return s.reg }
 
@@ -194,6 +221,10 @@ func (s *Server) Handler() http.Handler {
 	// observability layer, so one scrape of this listener also carries the
 	// decoder and training metrics registered in the same registry.
 	obs.RegisterDebug(mux, s.met.Registry(), s.tracer)
+	mux.Handle("/debug/slo", s.slo.Handler())
+	if s.prof != nil {
+		mux.Handle("/debug/profiles", s.prof.Handler())
+	}
 	return s.instrument(mux)
 }
 
@@ -333,6 +364,10 @@ type HealthResponse struct {
 	// Breaker is the circuit breaker state ("closed" / "open" /
 	// "half_open"); omitted when the breaker is disabled.
 	Breaker string `json:"breaker,omitempty"`
+	// SLO is the worst current burn-rate verdict ("ok" / "warn" /
+	// "page"); anything past ok flips Status to "degraded" while the
+	// response stays HTTP 200 (a burning SLO is not a liveness failure).
+	SLO string `json:"slo,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies; a 72-dim vector is ~2 KB, a full
@@ -487,6 +522,9 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 			}
 			sp.End()
 			s.met.ObserveBatch(1)
+			if len(res.cands) > 0 {
+				s.met.ObserveQoR(snap.Version, res.cands[0].LogProb)
+			}
 			if s.cfg.Store != nil && len(res.cands) > 0 {
 				s.cfg.Store.Add(req.Insight, res.cands[0].Set, res.cands[0].LogProb, snap.Version)
 			}
@@ -667,6 +705,13 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			s.log.Info("retrieval store invalidated", "version", prev, "outcomes", n)
 		}
 	}
+	// Retire the outgoing version's observability state: its per-version
+	// metric series leave the registry (bounded label cardinality across
+	// arbitrarily many hot reloads) and its SLO scope stops reporting.
+	if prev != "" && prev != snap.Version {
+		s.met.EvictVersion(prev)
+		s.slo.EvictScope(prev)
+	}
 	s.log.Info("model reloaded", "version", snap.Version, "source", snap.Source)
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		ModelVersion: snap.Version,
@@ -684,6 +729,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.brk != nil {
 		resp.Breaker = s.brk.State().String()
+	}
+	if worst := s.slo.Worst(); worst != slo.StateOK {
+		resp.SLO = worst.String()
+		resp.Status = "degraded"
 	}
 	code := http.StatusOK
 	if resp.ModelVersion == "" {
@@ -720,7 +769,26 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rw, r)
 		d := time.Since(startAt)
-		s.met.ObserveRequest(route, rw.code, d)
+		if strings.HasPrefix(route, "/v1/") {
+			// API requests carry full attribution: the live model version
+			// labels the by-version latency family (bounded by the version
+			// LRU), the trace ID becomes the bucket exemplar, and the SLO
+			// engine is fed under both the aggregate and the version scope.
+			version := s.reg.Version()
+			if version == "" {
+				version = "none"
+			}
+			s.met.ObserveRequestEx(route, rw.code, d, version, traceID)
+			// Only the recommendation path feeds the SLO: a failed admin
+			// reload is an operator error, not a burn on the serving
+			// objectives.
+			if route == "/v1/recommend" || route == "/v1/recommend/batch" {
+				s.slo.ObserveRequest(slo.AggregateScope, rw.code, d)
+				s.slo.ObserveRequest(version, rw.code, d)
+			}
+		} else {
+			s.met.ObserveRequest(route, rw.code, d)
+		}
 		if span != nil {
 			span.SetAttr("status", strconv.Itoa(rw.code))
 			span.End()

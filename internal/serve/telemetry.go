@@ -3,6 +3,7 @@ package serve
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insightalign/internal/obs"
@@ -13,7 +14,17 @@ import (
 var (
 	latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 	batchBounds   = []float64{1, 2, 4, 8, 16, 32, 64}
+	// qorBounds bucket the per-recommendation decoder log-probability — the
+	// serving tier's QoR proxy. Log-probs are ≤ 0, so the bounds ascend
+	// through the negative range toward the "confident" 0 bucket.
+	qorBounds = []float64{-64, -32, -16, -8, -4, -2, -1, -0.5, -0.25, 0}
 )
+
+// maxVersionLabels bounds the model_version label cardinality on the
+// per-version families: only this many live versions keep series at once,
+// and rolling past the bound prunes the least-recently-observed version's
+// series from the registry.
+const maxVersionLabels = 8
 
 // Metrics bridges the serving subsystem into an obs.Registry (the
 // process-wide one by default), keeping the historical insightalign_*
@@ -27,6 +38,8 @@ type Metrics struct {
 
 	requests     *obs.Counter   // insightalign_requests_total{route,code}
 	latency      *obs.Histogram // insightalign_request_duration_seconds{route}
+	latencyByVer *obs.Histogram // insightalign_request_duration_by_version_seconds{route,model_version}
+	qor          *obs.Histogram // insightalign_qor_logprob{model_version}
 	batch        *obs.Histogram // insightalign_batch_size
 	batchPeak    *obs.Gauge     // insightalign_batch_size_max
 	rejections   *obs.Counter   // insightalign_rejections_total{reason}
@@ -35,8 +48,11 @@ type Metrics struct {
 	breakerTrans *obs.Counter   // insightalign_breaker_transitions_total{to}
 	breakerState *obs.Gauge     // insightalign_breaker_state
 
+	exemplars atomic.Bool // attach trace-ID exemplars to latency buckets
+
 	mu       sync.Mutex
-	batchMax int // this server's high-watermark; the gauge is registry-wide
+	batchMax int      // this server's high-watermark; the gauge is registry-wide
+	versions []string // live model_version labels, least-recently-observed first
 }
 
 // NewMetrics binds the serving metric families in reg (nil: the
@@ -53,6 +69,12 @@ func NewMetrics(reg *obs.Registry, queueDepth func() int, modelVersion func() st
 			"Completed HTTP requests by route and status code.", "route", "code"),
 		latency: reg.Histogram("insightalign_request_duration_seconds",
 			"HTTP request latency by route.", latencyBounds, "route"),
+		latencyByVer: reg.Histogram("insightalign_request_duration_by_version_seconds",
+			"HTTP request latency by route and model version (bounded cardinality).",
+			latencyBounds, "route", "model_version"),
+		qor: reg.Histogram("insightalign_qor_logprob",
+			"Per-recommendation decoder log-probability (QoR proxy) by model version.",
+			qorBounds, "model_version"),
 		batch: reg.Histogram("insightalign_batch_size",
 			"Requests coalesced per decoder call by the micro-batcher.", batchBounds),
 		batchPeak: reg.Gauge("insightalign_batch_size_max",
@@ -81,16 +103,102 @@ func NewMetrics(reg *obs.Registry, queueDepth func() int, modelVersion func() st
 			"Currently served model version (value is always 1).",
 			"version", modelVersion)
 	}
+	m.exemplars.Store(true)
 	return m
 }
+
+// SetExemplars toggles trace-ID exemplar attachment on the latency
+// histograms (on by default). The bench harness switches it off for the
+// baseline arm of its overhead comparison.
+func (m *Metrics) SetExemplars(on bool) { m.exemplars.Store(on) }
 
 // Registry returns the obs registry this bridge writes into.
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one completed HTTP request.
 func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.ObserveRequestEx(route, code, d, "", "")
+}
+
+// ObserveRequestEx records one completed HTTP request with optional
+// per-version attribution and an optional exemplar trace ID. version ""
+// skips the by-version family; traceID "" (or exemplars toggled off)
+// records plain observations.
+func (m *Metrics) ObserveRequestEx(route string, code int, d time.Duration, version, traceID string) {
+	if !m.exemplars.Load() {
+		traceID = ""
+	}
 	m.requests.Inc(route, strconv.Itoa(code))
-	m.latency.Observe(d.Seconds(), route)
+	m.latency.ObserveEx(d.Seconds(), traceID, route)
+	if version != "" {
+		m.touchVersion(version)
+		m.latencyByVer.ObserveEx(d.Seconds(), traceID, route, version)
+	}
+}
+
+// ObserveQoR records one recommendation's decoder log-probability under
+// its model version — the serving tier's quality-of-result proxy.
+func (m *Metrics) ObserveQoR(version string, logProb float64) {
+	if version == "" {
+		return
+	}
+	m.touchVersion(version)
+	m.qor.Observe(logProb, version)
+}
+
+// touchVersion marks a model version live in the bounded label LRU; when
+// the LRU overflows, the stalest version's per-version series are pruned
+// from the registry so label cardinality cannot grow without bound across
+// many hot reloads.
+func (m *Metrics) touchVersion(version string) {
+	m.mu.Lock()
+	evicted := ""
+	for i, v := range m.versions {
+		if v == version {
+			m.versions = append(append(m.versions[:i:i], m.versions[i+1:]...), version)
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.versions = append(m.versions, version)
+	if len(m.versions) > maxVersionLabels {
+		evicted = m.versions[0]
+		m.versions = append([]string(nil), m.versions[1:]...)
+	}
+	m.mu.Unlock()
+	if evicted != "" {
+		m.pruneVersion(evicted)
+	}
+}
+
+// EvictVersion drops one model version from the label LRU and prunes its
+// per-version series — the hot-reload hook for the outgoing version.
+func (m *Metrics) EvictVersion(version string) {
+	if version == "" {
+		return
+	}
+	m.mu.Lock()
+	for i, v := range m.versions {
+		if v == version {
+			m.versions = append(m.versions[:i:i], m.versions[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	m.pruneVersion(version)
+}
+
+// LiveVersions returns the bounded set of model versions currently
+// holding per-version series, least-recently-observed first.
+func (m *Metrics) LiveVersions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.versions...)
+}
+
+func (m *Metrics) pruneVersion(version string) {
+	m.latencyByVer.Prune(func(lv []string) bool { return len(lv) == 2 && lv[1] == version })
+	m.qor.Prune(func(lv []string) bool { return len(lv) == 1 && lv[0] == version })
 }
 
 // ObserveBatch records the size of one coalesced decoder call.
