@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz bench bench-inference bench-train bench-router bench-retrieve bench-obs serve fleet loadtest profile
+.PHONY: check vet build test race chaos fuzz fuzz-merge bench bench-inference bench-train bench-router bench-retrieve bench-obs serve fleet canary loadtest profile
 
 check: vet build race
 
@@ -35,6 +35,13 @@ chaos:
 FUZZTIME ?= 60s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime $(FUZZTIME) ./internal/nn/
+
+# Coverage-guided corruption of the ChipAlign merge inputs: whatever the
+# fuzzer feeds it, Merge must never panic, never emit a non-finite
+# parameter, and reject malformed checkpoints cleanly (longer than CI's
+# 30s smoke; crashes land in internal/lifecycle/testdata/fuzz/).
+fuzz-merge:
+	$(GO) test -run '^$$' -fuzz 'FuzzMergeCheckpoints' -fuzztime $(FUZZTIME) ./internal/lifecycle/
 
 # Every benchmark (tables, figures, kernels); slow.
 bench:
@@ -104,6 +111,38 @@ fleet:
 	curl -s http://$(FLEET_ADDR)/healthz; echo; \
 	kill -TERM $$RT 2>/dev/null; wait $$RT 2>/dev/null; \
 	echo "fleet: router + $(FLEET_REPLICAS) replicas drove $(LOADTEST_REQUESTS) requests, shut down clean"
+
+# Checkpoint-lifecycle demo: boot a lifecycle-enabled server, drop a
+# jittered candidate checkpoint into the watched candidate directory,
+# and drive live traffic until the shadow → canary → promote pipeline
+# completes. Prints /debug/lifecycle before and after the traffic; the
+# journaled verdict trail survives in $(CANARY_DIR)/lifecycle.jsonl.
+# A behaviorally-regressing candidate dropped into the same directory
+# would instead be rolled back and quarantined — see DESIGN.md §16.
+CANARY_ADDR ?= 127.0.0.1:8085
+CANARY_DIR ?= /tmp/insightalign-canary
+canary:
+	@$(GO) build -o /tmp/insightalign-serve ./cmd/insightalign-serve
+	@$(GO) build -o /tmp/insightalign-ctl ./cmd/insightalign-ctl
+	@rm -rf $(CANARY_DIR) && mkdir -p $(CANARY_DIR)/candidates $(CANARY_DIR)/quarantine
+	@/tmp/insightalign-ctl mint -out $(CANARY_DIR)/live.bin -seed 7
+	@/tmp/insightalign-serve serve -addr $(CANARY_ADDR) -model $(CANARY_DIR)/live.bin \
+		-candidate-dir $(CANARY_DIR)/candidates -lifecycle-journal $(CANARY_DIR)/lifecycle.jsonl \
+		-quarantine-dir $(CANARY_DIR)/quarantine -poll 200ms \
+		-canary-weight 0.5 -shadow-samples 8 -shadow-every 1 \
+		-min-canary-samples 8 -promote-samples 32 2>$(CANARY_DIR)/serve.log & SRV=$$!; \
+	sleep 1.5; \
+	/tmp/insightalign-ctl mint -out $(CANARY_DIR)/candidates/cand-001.bin \
+		-from $(CANARY_DIR)/live.bin -jitter 0.01 -seed 11; \
+	sleep 1; \
+	echo "--- candidate submitted:"; \
+	/tmp/insightalign-ctl status -addr http://$(CANARY_ADDR); echo; \
+	$(GO) run ./cmd/insightalign-serve loadgen -url http://$(CANARY_ADDR) \
+		-clients 4 -requests 600 >/dev/null; \
+	echo "--- after 600 live requests:"; \
+	/tmp/insightalign-ctl status -addr http://$(CANARY_ADDR); echo; \
+	kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	echo "canary: verdict trail journaled in $(CANARY_DIR)/lifecycle.jsonl"
 
 # Fire the load generator at a running server (see BENCH_serve.json for
 # the recorded batched-vs-unbatched sweep).

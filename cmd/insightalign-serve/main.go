@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"insightalign/internal/core"
+	"insightalign/internal/lifecycle"
 	"insightalign/internal/obs"
 	"insightalign/internal/obs/slo"
 	"insightalign/internal/online"
@@ -118,6 +119,18 @@ func cmdServe(args []string) error {
 	profileEvery := fs.Duration("profile-interval", 60*time.Second, "profile capture period")
 	profileKeep := fs.Int("profile-keep", 8, "newest profiles kept per kind in the ring")
 	sloJournal := fs.String("slo-journal", "", "journal file for slo_alert state transitions (empty: not journaled)")
+	candDir := fs.String("candidate-dir", "", "candidate checkpoint dir: new files enter shadow→canary gating instead of hot-swapping (see -watch)")
+	lcJournal := fs.String("lifecycle-journal", "", "lifecycle event journal, opened append-mode so shadow/canary state survives restarts")
+	canaryWeight := fs.Float64("canary-weight", 0.05, "fraction of fingerprints routed to the candidate during canary")
+	shadowSamples := fs.Int("shadow-samples", 32, "shadow comparisons required before the shadow verdict")
+	minCanarySamples := fs.Int("min-canary-samples", 32, "candidate requests required before any rollback trigger")
+	promoteSamples := fs.Int("promote-samples", 200, "healthy candidate requests that trigger promotion")
+	maxQoRRegression := fs.Float64("max-qor-regression", 1.0, "mean live−candidate log-prob gap that rolls a canary back")
+	maxLatencyRatio := fs.Float64("max-latency-ratio", 3.0, "candidate/live p95 latency ratio that rolls a canary back")
+	maxErrorRatio := fs.Float64("max-error-ratio", 0.10, "candidate error fraction that rolls a canary back")
+	shadowEvery := fs.Int("shadow-every", 4, "mirror every Nth live request to the shadow candidate")
+	shadowReplay := fs.String("shadow-replay", "", "online-tuner journal replay-scored at candidate submit (shadow evidence without live traffic)")
+	quarantineDir := fs.String("quarantine-dir", "", "rolled-back candidate files are moved here (empty: left in place, hash still blacklisted)")
 	fs.Parse(args)
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -203,14 +216,88 @@ func cmdServe(args []string) error {
 		logger.Warn("serving a fresh untrained model (no -model given)", "version", snap.Version)
 	}
 
+	// Checkpoint lifecycle: with -candidate-dir (or -lifecycle-journal for
+	// resume-only setups), new checkpoints are gated through shadow
+	// evaluation and canary instead of hot-swapped on sight. The
+	// controller and the server share one metrics registry so lifecycle
+	// gauges ride the same /metrics scrape.
+	var ctl *lifecycle.Controller
+	var srvForHooks *serve.Server
+	if *candDir != "" || *lcJournal != "" {
+		if *watch != "" {
+			logger.Warn("-watch hot-swaps checkpoints ungated while -candidate-dir gates them; use one or the other")
+		}
+		met := obs.NewRegistry()
+		cfg.Metrics = met
+		var lj *obs.Journal
+		if *lcJournal != "" {
+			var err error
+			lj, err = obs.OpenJournal(*lcJournal)
+			if err != nil {
+				return fmt.Errorf("lifecycle journal: %w", err)
+			}
+		}
+		var err error
+		ctl, err = lifecycle.New(lifecycle.Config{
+			Registry: reg,
+			Journal:  lj,
+			Thresholds: lifecycle.Thresholds{
+				MinShadowSamples: *shadowSamples,
+				MinCanarySamples: *minCanarySamples,
+				PromoteSamples:   *promoteSamples,
+				MaxErrorRatio:    *maxErrorRatio,
+				MaxLatencyRatio:  *maxLatencyRatio,
+				MaxQoRRegression: *maxQoRRegression,
+			},
+			CanaryWeight:      *canaryWeight,
+			ShadowSampleEvery: *shadowEvery,
+			ShadowReplay:      *shadowReplay,
+			QuarantineDir:     *quarantineDir,
+			Metrics:           met,
+			Logger:            logger,
+			OnPromote: func(prev, promoted *serve.Snapshot) {
+				logger.Info("candidate promoted", "version", promoted.Version, "source", promoted.Source)
+				if srvForHooks != nil {
+					// Retire both stale measurement scopes: the replaced
+					// live version and the candidate's canary-time tag.
+					if prev != nil {
+						srvForHooks.Metrics().EvictVersion(prev.Version)
+						srvForHooks.SLO().EvictScope(prev.Version)
+					}
+					srvForHooks.Metrics().EvictVersion("cand-" + promoted.Hash)
+					srvForHooks.SLO().EvictScope("cand-" + promoted.Hash)
+				}
+			},
+			OnRollback: func(version, reason string) {
+				logger.Warn("candidate rolled back", "version", version, "reason", reason)
+				if srvForHooks != nil {
+					srvForHooks.Metrics().EvictVersion(version)
+					srvForHooks.SLO().EvictScope(version)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		if err := ctl.Resume(); err != nil {
+			return err
+		}
+		cfg.Canary = ctl
+	}
+
 	srv, err := serve.New(cfg, reg)
 	if err != nil {
 		return err
 	}
+	srvForHooks = srv
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *watch != "" {
 		go reg.WatchDir(ctx, *watch, *poll, logger)
+	}
+	if ctl != nil && *candDir != "" {
+		go ctl.WatchDir(ctx, *candDir, *poll, logger)
 	}
 	errc, err := srv.Start()
 	if err != nil {

@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFanoutReloadConvergesFleet: FanoutReload POSTs /v1/models/reload to
+// every configured replica — healthy, failing, and dead alike — and
+// reports one verdict per replica. This is the promotion hook's path for
+// converging the fleet onto a freshly promoted checkpoint.
+func TestFanoutReloadConvergesFleet(t *testing.T) {
+	var okBody atomic.Value
+	ok := newStubReplica(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/models/reload" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		okBody.Store(string(raw))
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"model_version":"v2-deadbeef"}`)
+	})
+	defer ok.srv.Close()
+	failing := newStubReplica(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "load failed", http.StatusInternalServerError)
+	})
+	defer failing.srv.Close()
+	dead := newStubReplica(func(w http.ResponseWriter, r *http.Request) {})
+	deadURL := dead.srv.URL
+	dead.srv.Close() // connection refused from here on
+
+	rt := testRouter(t, Config{}, ok.srv.URL, failing.srv.URL, deadURL)
+	payload := `{"path":"ckpt-promoted.bin"}`
+	verdicts := rt.FanoutReload(context.Background(), []byte(payload))
+	if len(verdicts) != 3 {
+		t.Fatalf("verdicts = %d, want one per replica", len(verdicts))
+	}
+	byReplica := make(map[string]ReloadVerdict, len(verdicts))
+	for _, v := range verdicts {
+		byReplica[v.Replica] = v
+	}
+	vOK, found := byReplica[ok.srv.URL]
+	if !found || vOK.Status != http.StatusOK {
+		t.Fatalf("healthy replica verdict %+v", vOK)
+	}
+	if !strings.Contains(string(vOK.Body), "v2-deadbeef") {
+		t.Fatalf("healthy replica body %s, want reload response echoed", vOK.Body)
+	}
+	if got := okBody.Load(); got != payload {
+		t.Fatalf("healthy replica received body %q, want %q", got, payload)
+	}
+	if v := byReplica[failing.srv.URL]; v.Status != http.StatusInternalServerError {
+		t.Fatalf("failing replica verdict %+v, want 500", v)
+	}
+	if v := byReplica[deadURL]; v.Error == "" || v.Status != 0 {
+		t.Fatalf("dead replica verdict %+v, want transport error", v)
+	}
+}

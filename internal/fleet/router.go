@@ -777,33 +777,28 @@ func (a attemptResult) outcomeIsRelayable() bool {
 	return a.outcome == outcomeOK || a.outcome == outcomeClientError
 }
 
-// handleReload fans POST /v1/models/reload out to every configured
-// replica (regardless of health — an operator reloading weights wants the
-// whole fleet to converge) and reports each replica's verdict.
-func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		rt.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		rt.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
-		return
-	}
-	type reloadVerdict struct {
-		Replica string          `json:"replica"`
-		Status  int             `json:"status"`
-		Body    json.RawMessage `json:"body,omitempty"`
-		Error   string          `json:"error,omitempty"`
-	}
-	verdicts := make([]reloadVerdict, len(rt.ids))
+// ReloadVerdict is one replica's outcome of a fleet-wide reload fan-out.
+type ReloadVerdict struct {
+	Replica string          `json:"replica"`
+	Status  int             `json:"status"`
+	Body    json.RawMessage `json:"body,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// FanoutReload POSTs /v1/models/reload to every configured replica
+// (regardless of health — an operator reloading weights wants the whole
+// fleet to converge) and reports each replica's verdict. Exported so the
+// checkpoint lifecycle's promotion hook can converge the fleet onto a
+// freshly promoted checkpoint through the same path operators use.
+func (rt *Router) FanoutReload(ctx context.Context, body []byte) []ReloadVerdict {
+	verdicts := make([]ReloadVerdict, len(rt.ids))
 	var wg sync.WaitGroup
 	for i, id := range rt.ids {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			v := reloadVerdict{Replica: id}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, id+"/v1/models/reload", bytes.NewReader(body))
+			v := ReloadVerdict{Replica: id}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, id+"/v1/models/reload", bytes.NewReader(body))
 			if err != nil {
 				v.Error = err.Error()
 				verdicts[i] = v
@@ -828,6 +823,21 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 		}(i, id)
 	}
 	wg.Wait()
+	return verdicts
+}
+
+// handleReload is the HTTP face of FanoutReload.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	verdicts := rt.FanoutReload(r.Context(), body)
 	code := http.StatusOK
 	for _, v := range verdicts {
 		if v.Error != "" || v.Status != http.StatusOK {

@@ -1,0 +1,142 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"time"
+)
+
+// Status is the GET /debug/lifecycle payload: the full state machine as
+// JSON, enough for an operator (or the E2E harness) to confirm the
+// in-memory state matches the journaled transition sequence.
+type Status struct {
+	State     string `json:"state"`
+	Live      string `json:"live_version"`
+	Candidate string `json:"candidate_version,omitempty"`
+	Path      string `json:"candidate_path,omitempty"`
+	StartedAt string `json:"started_at,omitempty"`
+
+	Shadow struct {
+		Samples   int     `json:"samples"`
+		Errors    int     `json:"errors"`
+		MeanDelta float64 `json:"mean_delta"`
+		MinGate   int     `json:"min_samples"`
+	} `json:"shadow"`
+	Canary struct {
+		Weight      float64 `json:"weight"`
+		CandSamples int     `json:"candidate_samples"`
+		CandErrors  int     `json:"candidate_errors"`
+		CandMeanLP  float64 `json:"candidate_mean_logprob"`
+		CandP95Ms   float64 `json:"candidate_p95_ms"`
+		LiveSamples int     `json:"live_samples"`
+		LiveErrors  int     `json:"live_errors"`
+		LiveMeanLP  float64 `json:"live_mean_logprob"`
+		LiveP95Ms   float64 `json:"live_p95_ms"`
+		PromoteGate int     `json:"promote_samples"`
+		MinGate     int     `json:"min_samples"`
+	} `json:"canary"`
+	Thresholds  Thresholds        `json:"thresholds"`
+	Quarantined map[string]string `json:"quarantined,omitempty"`
+	Events      []EventData       `json:"events"`
+}
+
+// ServeHTTP mounts the controller at /debug/lifecycle: GET reports
+// Status; POST takes {"action": "submit"|"promote"|"rollback", "path":
+// ..., "reason": ...} and drives the state machine — the transport
+// insightalign-ctl speaks.
+func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, c.Snapshot())
+	case http.MethodPost:
+		var req struct {
+			Action string `json:"action"`
+			Path   string `json:"path"`
+			Reason string `json:"reason"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		var err error
+		switch req.Action {
+		case "submit":
+			if req.Path == "" {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "submit requires path"})
+				return
+			}
+			_, err = c.Submit(req.Path)
+		case "promote":
+			err = c.Promote()
+		case "rollback":
+			err = c.Rollback(req.Reason)
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown action " + req.Action})
+			return
+		}
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Snapshot())
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Snapshot captures the state machine for /debug/lifecycle and tests.
+func (c *Controller) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var st Status
+	st.State = State(c.state.Load()).String()
+	st.Live = c.cfg.Registry.Version()
+	if c.cand != nil {
+		st.Candidate = c.cand.Version
+		st.Path = c.candPath
+		st.StartedAt = c.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	st.Shadow.Samples = c.shadow.samples
+	st.Shadow.Errors = c.shadow.errors
+	st.Shadow.MeanDelta = c.shadow.meanDelta()
+	st.Shadow.MinGate = c.thr.MinShadowSamples
+	st.Canary.Weight = c.cfg.CanaryWeight
+	st.Canary.CandSamples = c.canaryCand.samples
+	st.Canary.CandErrors = c.canaryCand.errors
+	st.Canary.CandMeanLP = finiteOrZero(c.canaryCand.meanLP())
+	st.Canary.CandP95Ms = float64(c.canaryCand.p95()) / float64(time.Millisecond)
+	st.Canary.LiveSamples = c.canaryLive.samples
+	st.Canary.LiveErrors = c.canaryLive.errors
+	st.Canary.LiveMeanLP = finiteOrZero(c.canaryLive.meanLP())
+	st.Canary.LiveP95Ms = float64(c.canaryLive.p95()) / float64(time.Millisecond)
+	st.Canary.PromoteGate = c.thr.PromoteSamples
+	st.Canary.MinGate = c.thr.MinCanarySamples
+	st.Thresholds = c.thr
+	if len(c.quarantined) > 0 {
+		st.Quarantined = make(map[string]string, len(c.quarantined))
+		for h, reason := range c.quarantined {
+			st.Quarantined[h] = reason
+		}
+	}
+	st.Events = append([]EventData(nil), c.history...)
+	return st
+}
+
+// finiteOrZero keeps NaN (no samples yet) out of the JSON encoder,
+// which rejects non-finite floats.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,167 @@
+package lifecycle
+
+import (
+	"io"
+	"log/slog"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"insightalign/internal/core"
+	"insightalign/internal/nn"
+	"insightalign/internal/obs"
+	"insightalign/internal/serve"
+)
+
+// testCfg is the shared reduced architecture: real decodes, fast tests.
+func testCfg() core.Config {
+	return core.Config{NumRecipes: 12, EmbedDim: 8, InsightDim: 16, FFHidden: 16, Seed: 3}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// boostOutProj scales the probabilistic output layer, saturating the
+// per-recipe selection probabilities — a stand-in for a well-trained,
+// confident model whose top-1 log-prob is near zero.
+func boostOutProj(m *core.Model, factor float64) {
+	for _, t := range []*[]float64{&m.OutProj.W.Data, &m.OutProj.B.Data} {
+		for i := range *t {
+			(*t)[i] *= factor
+		}
+	}
+}
+
+// zeroOutProj produces the maximally unconfident model: logits 0, every
+// selection a coin flip, top-1 log-prob = NumRecipes·ln(½) — the
+// QoR-regressing candidate of the test matrix.
+func zeroOutProj(m *core.Model) {
+	for i := range m.OutProj.W.Data {
+		m.OutProj.W.Data[i] = 0
+	}
+	for i := range m.OutProj.B.Data {
+		m.OutProj.B.Data[i] = 0
+	}
+}
+
+// jitterParams perturbs every parameter by ±eps — a candidate that is
+// behaviorally identical to its source but hashes differently.
+func jitterParams(m *core.Model, eps float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range m.Params() {
+		for i := range p.Data {
+			p.Data[i] += (rng.Float64()*2 - 1) * eps
+		}
+	}
+}
+
+func saveModel(t testing.TB, path string, m *core.Model) {
+	t.Helper()
+	if err := nn.SaveParamsFile(path, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, dim int) []float64 {
+	iv := make([]float64, dim)
+	for i := range iv {
+		iv[i] = rng.NormFloat64()
+	}
+	return iv
+}
+
+// liveRegistry builds a boosted "confident" live model, saves it, and
+// loads it into a fresh registry. Returns the registry, the live model,
+// and the model file path.
+func liveRegistry(t testing.TB, dir string) (*serve.Registry, *core.Model, string) {
+	t.Helper()
+	cfg := testCfg()
+	live, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boostOutProj(live, 5)
+	path := filepath.Join(dir, "live.bin")
+	saveModel(t, path, live)
+	reg, err := serve.NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return reg, live, path
+}
+
+// writeReplayJournal journals n online_iteration entries whose best-QoR
+// set is the live model's own top-1 recommendation for a random insight —
+// recipe sets the live model maximally endorses, so a candidate's replay
+// delta directly measures how much less it agrees with the live policy.
+func writeReplayJournal(t testing.TB, path string, live *core.Model, n int, seed int64) {
+	t.Helper()
+	j, err := obs.NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		iv := randVec(rng, live.Cfg.InsightDim)
+		cands := live.BeamSearch(iv, 1)
+		err := j.Record("online_iteration", map[string]any{
+			"iteration": i,
+			"sets":      []string{cands[0].Set.String()},
+			"qors":      []float64{1.0},
+			"best_qor":  1.0,
+			"insight":   iv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// journalEvents reads the lifecycle_event payloads recorded at path, in
+// sequence order.
+func journalEvents(t testing.TB, path string) []EventData {
+	t.Helper()
+	entries, err := obs.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []EventData
+	for _, e := range entries {
+		if e.Event != lifecycleEvent {
+			continue
+		}
+		var ev EventData
+		if err := unmarshalEvent(e.Data, &ev); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// journalActions reduces journalEvents to the action names — what the
+// E2E matrix asserts exactly.
+func journalActions(t testing.TB, path string) []string {
+	t.Helper()
+	var out []string
+	for _, ev := range journalEvents(t, path) {
+		out = append(out, ev.Action)
+	}
+	return out
+}
+
+func expectActions(t testing.TB, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("journal actions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("journal actions = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lifecycle
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// WatchDir polls dir every interval and submits the newest checkpoint
+// file as a lifecycle candidate whenever it changes — the gated
+// counterpart of serve.Registry.WatchDir: instead of hot-swapping on
+// sight, a new file enters shadow evaluation and only reaches serving
+// through promotion. Hidden files (atomicfile temps) are skipped;
+// submissions that fail (candidate in flight, quarantined hash, corrupt
+// file) are logged and the file is not retried until it changes again.
+// Blocks until ctx is done; run it in its own goroutine.
+func (c *Controller) WatchDir(ctx context.Context, dir string, interval time.Duration, logger *slog.Logger) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var lastPath string
+	var lastMod time.Time
+	var lastSize int64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		path, info, err := newestCandidate(dir)
+		if err != nil {
+			logger.Warn("candidate poll failed", "dir", dir, "err", err)
+		} else if path != "" && (path != lastPath || !info.ModTime().Equal(lastMod) || info.Size() != lastSize) {
+			if cand, err := c.Submit(path); err != nil {
+				logger.Warn("candidate submit failed", "path", path, "err", err)
+			} else {
+				logger.Info("candidate submitted", "path", path, "version", cand.Version)
+			}
+			// Record the attempt either way so an unsubmittable file is
+			// not retried every tick.
+			lastPath, lastMod, lastSize = path, info.ModTime(), info.Size()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// newestCandidate returns the most recently modified regular, non-hidden
+// file in dir ("" if the directory is empty or missing — a candidate dir
+// may be created later by the first tuner checkpoint).
+func newestCandidate(dir string) (string, os.FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, nil
+		}
+		return "", nil, err
+	}
+	var bestPath string
+	var best os.FileInfo
+	for _, e := range entries {
+		if !e.Type().IsRegular() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if best == nil || info.ModTime().After(best.ModTime()) {
+			best = info
+			bestPath = filepath.Join(dir, e.Name())
+		}
+	}
+	return bestPath, best, nil
+}

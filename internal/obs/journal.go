@@ -60,6 +60,35 @@ func NewJournal(path string) (*Journal, error) {
 	return j, nil
 }
 
+// OpenJournal opens a journal at path, appending to any previous run's
+// entries instead of truncating them: the existing active segment is kept
+// (and kept being rewritten on Record) and sequence numbers continue past
+// the highest one on disk, rotated segment included. This is the durable
+// variant for state machines that must survive restarts — the checkpoint
+// lifecycle journal replays these entries to restore a shadow or canary
+// that was in flight when the process died. A missing file behaves like
+// NewJournal.
+func OpenJournal(path string) (*Journal, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewJournal(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	j := &Journal{path: path, buf: raw, maxBytes: defaultJournalMaxBytes, now: time.Now}
+	for _, e := range entries {
+		if e.Seq > j.seq {
+			j.seq = e.Seq
+		}
+	}
+	return j, nil
+}
+
 // Path returns the journal's active file path.
 func (j *Journal) Path() string { return j.path }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenJournalContinuesSequence: reopening a journal in append mode
+// keeps every prior entry and continues the sequence numbering — the
+// durability contract the checkpoint lifecycle's crash resume relies on.
+func TestOpenJournalContinuesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j1, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j1.Record("step", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Record("step", map[string]int{"i": 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries after reopen = %d, want 4", len(entries))
+	}
+	for k, e := range entries {
+		if e.Seq != uint64(k+1) {
+			t.Fatalf("entry %d has seq %d, want %d (sequence must continue across reopen)", k, e.Seq, k+1)
+		}
+		var data struct {
+			I int `json:"i"`
+		}
+		if err := json.Unmarshal(e.Data, &data); err != nil {
+			t.Fatal(err)
+		}
+		if data.I != k {
+			t.Fatalf("entry %d payload i=%d, want %d (pre-reopen entries must survive)", k, data.I, k)
+		}
+	}
+}
+
+// TestOpenJournalMissingFile: opening a path that does not exist behaves
+// like NewJournal — a fresh journal starting at seq 1.
+func TestOpenJournalMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("first", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Seq != 1 || entries[0].Event != "first" {
+		t.Fatalf("fresh OpenJournal entries %+v", entries)
+	}
+}
+
+// TestNewJournalTruncatesExisting: the contrast case — NewJournal on an
+// existing path describes exactly one run, wiping the previous one. A
+// state machine that must survive restarts therefore MUST use OpenJournal.
+func TestNewJournalTruncatesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j1, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Record("old", nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Record("new", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Event != "new" || entries[0].Seq != 1 {
+		t.Fatalf("NewJournal should truncate: %+v", entries)
+	}
+}

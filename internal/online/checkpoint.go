@@ -30,10 +30,37 @@ func (t *Tuner) SaveCheckpoint(w io.Writer) error {
 	return nil
 }
 
-// checkpointEvent is the "data" payload of checkpoint journal records.
-type checkpointEvent struct {
-	Path       string `json:"path"`
-	Iterations int    `json:"iterations"`
+// CheckpointEvent is the "data" payload of "checkpoint_saved" /
+// "checkpoint_loaded" journal records. Beyond the path, it carries the
+// candidate-submission metadata the checkpoint lifecycle wants without
+// opening the file: which design the checkpoint was tuned for, the best
+// QoR the campaign has reached, and the model version the tuner started
+// from — enough for an operator (or an automated submitter) to rank
+// checkpoints before gating them through shadow evaluation.
+type CheckpointEvent struct {
+	Path       string  `json:"path"`
+	Iterations int     `json:"iterations"`
+	Design     string  `json:"design,omitempty"`
+	BestQoR    float64 `json:"best_qor,omitempty"`
+	// ModelVersion is the serving version the campaign tuned from
+	// (Options.ModelVersion), linking the checkpoint to its lineage.
+	ModelVersion string `json:"model_version,omitempty"`
+}
+
+// checkpointEvent builds the journal payload for this tuner's state.
+func (t *Tuner) checkpointEvent(path string) CheckpointEvent {
+	ev := CheckpointEvent{
+		Path:         path,
+		Iterations:   len(t.records),
+		Design:       t.opt.Design,
+		ModelVersion: t.opt.ModelVersion,
+	}
+	for _, e := range t.history {
+		if e.QoR > ev.BestQoR {
+			ev.BestQoR = e.QoR
+		}
+	}
+	return ev
 }
 
 // SaveCheckpointFile persists the checkpoint crash-safely: the stream is
@@ -46,8 +73,7 @@ func (t *Tuner) SaveCheckpointFile(path string) error {
 	if err := atomicfile.Write(path, t.SaveCheckpoint); err != nil {
 		return err
 	}
-	return t.opt.Journal.Record("checkpoint_saved",
-		checkpointEvent{Path: path, Iterations: len(t.records)})
+	return t.opt.Journal.Record("checkpoint_saved", t.checkpointEvent(path))
 }
 
 // LoadCheckpointFile restores a checkpoint written by SaveCheckpointFile.
@@ -55,8 +81,7 @@ func (t *Tuner) LoadCheckpointFile(path string) error {
 	if err := atomicfile.Read(path, t.LoadCheckpoint); err != nil {
 		return err
 	}
-	return t.opt.Journal.Record("checkpoint_loaded",
-		checkpointEvent{Path: path, Iterations: len(t.records)})
+	return t.opt.Journal.Record("checkpoint_loaded", t.checkpointEvent(path))
 }
 
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint into this

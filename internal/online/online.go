@@ -87,6 +87,11 @@ type Options struct {
 	// serve-side invalidation can tell score-proxy entries from
 	// flow-measured ones. Optional.
 	ModelVersion string
+	// Design names the design this campaign tunes for. It rides along in
+	// checkpoint journal metadata (CheckpointEvent) so the promotion
+	// pipeline can tell per-design specialists apart when merging them
+	// back into the base model. Optional.
+	Design string
 }
 
 // DefaultOptions returns the paper's setup (K = 5) with practical

@@ -24,6 +24,7 @@ import (
 type Snapshot struct {
 	Model    *core.Model
 	Version  string // "v<generation>-<sha256[:8] of the parameter stream>"
+	Hash     string // sha256[:8] of the raw parameter stream alone
 	Source   string // file path or "memory"
 	LoadedAt time.Time
 }
@@ -106,6 +107,50 @@ func (r *Registry) LoadFile(path string) (*Snapshot, error) {
 	return r.install(m, paramsHash(raw), path), nil
 }
 
+// LoadCandidate builds a model from path without installing it: the
+// returned snapshot is NOT live and carries a "cand-<hash>" version tag.
+// This is the checkpoint lifecycle's entry point — a candidate is shadow-
+// evaluated and canaried under this tag and only becomes the live model
+// through Adopt (promotion), never through mere existence of the file.
+func (r *Registry) LoadCandidate(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read candidate: %w", err)
+	}
+	m, err := core.New(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadParams(bytes.NewReader(raw), m.Params()); err != nil {
+		return nil, fmt.Errorf("serve: load candidate %s: %w", path, err)
+	}
+	hash := paramsHash(raw)
+	return &Snapshot{
+		Model:    m,
+		Version:  "cand-" + hash,
+		Hash:     hash,
+		Source:   path,
+		LoadedAt: time.Now(),
+	}, nil
+}
+
+// Adopt installs an externally loaded model (a promoted canary candidate)
+// as the live snapshot, assigning it the next version generation — the
+// full-cutover half of the promotion pipeline, reusing the same atomic
+// hot-swap every reload takes. The candidate's source file becomes the
+// Reload target so a later operator reload re-reads the promoted weights.
+func (r *Registry) Adopt(c *Snapshot) (*Snapshot, error) {
+	if c == nil || c.Model == nil {
+		return nil, fmt.Errorf("serve: Adopt with nil candidate")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.Source != "" && c.Source != "memory" {
+		r.defaultPath = c.Source
+	}
+	return r.install(c.Model, c.Hash, c.Source), nil
+}
+
 // Reload re-reads the most recently loaded file. It fails if the registry
 // has only ever held in-memory models.
 func (r *Registry) Reload() (*Snapshot, error) {
@@ -122,6 +167,7 @@ func (r *Registry) install(m *core.Model, hash, source string) *Snapshot {
 	s := &Snapshot{
 		Model:    m,
 		Version:  fmt.Sprintf("v%d-%s", r.gen.Add(1), hash),
+		Hash:     hash,
 		Source:   source,
 		LoadedAt: time.Now(),
 	}

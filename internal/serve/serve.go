@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -113,6 +114,45 @@ type Config struct {
 	// /debug/profiles. The server does not own its lifecycle; the caller
 	// that started it closes it.
 	Profiler *obs.Profiler
+	// Canary, if non-nil, is the checkpoint-lifecycle seam (implemented by
+	// internal/lifecycle.Controller): per-request sticky candidate routing
+	// during a canary, shadow mirroring of sampled live traffic, and the
+	// live/candidate outcome feed its verdict engine consumes. When it also
+	// implements http.Handler it is mounted at /debug/lifecycle.
+	Canary CandidateRouter
+}
+
+// CandidateRouter is the serving-side contract of the checkpoint
+// lifecycle. The server holds it as an interface so internal/lifecycle can
+// depend on serve (registry, snapshots) without a cycle.
+//
+// Candidate-routed requests deliberately bypass both the admission-queue
+// batcher (a canary decode must not coalesce with live-version decodes in
+// one BeamSearchBatch call) and the version-stamped response cache in BOTH
+// directions: a cache hit stamped with the live version would silently
+// mask the candidate, and a candidate-stamped Put would evict the live
+// entry for that fingerprint. Candidate traffic always decodes.
+type CandidateRouter interface {
+	// Route returns the candidate snapshot that must serve the request
+	// with this insight fingerprint, or nil for the live model. The
+	// assignment is deterministic per fingerprint and sticky for the
+	// candidate's whole canary, so repeat queries land on the same arm
+	// and the retrieval cache stays coherent.
+	Route(fp uint64) *Snapshot
+	// CandidateHook is the candidate-decode fault seam (nil: healthy) —
+	// the lifecycle test harness injects 502s and latency here without
+	// touching the live path's BackendHook.
+	CandidateHook() func(ctx context.Context) error
+	// Mirror offers one validated live request for off-response-path
+	// shadow decoding. The implementation samples and never blocks.
+	Mirror(iv []float64, k int)
+	// ObserveCandidate records a candidate-routed outcome (HTTP code,
+	// decode latency, top-candidate log-prob; NaN when no decode
+	// happened) for the canary verdict engine.
+	ObserveCandidate(code int, d time.Duration, logProb float64)
+	// ObserveLive records a live-path decode outcome — the canary
+	// comparison baseline. Cache hits are not reported (no decode).
+	ObserveLive(code int, d time.Duration, logProb float64)
 }
 
 // DefaultConfig returns production-leaning defaults around the paper's
@@ -225,6 +265,9 @@ func (s *Server) Handler() http.Handler {
 	if s.prof != nil {
 		mux.Handle("/debug/profiles", s.prof.Handler())
 	}
+	if h, ok := s.cfg.Canary.(http.Handler); ok {
+		mux.Handle("/debug/lifecycle", h)
+	}
 	return s.instrument(mux)
 }
 
@@ -330,6 +373,12 @@ type RecommendResponse struct {
 	// Error is set per-item in batch responses instead of failing the
 	// whole batch.
 	Error string `json:"error,omitempty"`
+
+	// canary marks a candidate-routed response (canary arm of the
+	// checkpoint lifecycle). Candidate outcomes are the lifecycle verdict
+	// engine's signal, not the live breaker's: the handlers release the
+	// admission instead of recording it.
+	canary bool
 }
 
 // BatchRequest is the body of POST /v1/recommend/batch.
@@ -399,11 +448,19 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	resp, code, err := s.recommend(ctx, &req)
-	if resp.Cached {
-		// A cache hit never touched the backend: neutral for the breaker.
+	if resp.Cached || resp.canary {
+		// A cache hit never touched the backend, and a candidate-routed
+		// outcome is the lifecycle verdict engine's signal, not the live
+		// breaker's: both resolve the admission neutrally.
 		s.releaseAdmission(adm)
 	} else {
 		s.recordOutcome(adm, err)
+	}
+	// The served version rides a response header so the instrumentation
+	// middleware attributes the request to the model that actually decoded
+	// it — during a canary that is the candidate version, not the live one.
+	if resp.ModelVersion != "" {
+		w.Header().Set("X-Model-Version", resp.ModelVersion)
 	}
 	if code != http.StatusOK {
 		s.writeError(w, r, code, resp.Error)
@@ -483,6 +540,19 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	if k > s.cfg.MaxBeamWidth {
 		k = s.cfg.MaxBeamWidth
 	}
+	// Checkpoint lifecycle seam. The canary routing decision comes BEFORE
+	// the cache lookup: a candidate-routed request must always decode on
+	// the candidate — a hit stamped with the live version would silently
+	// mask the candidate and starve the verdict engine of samples.
+	// Non-finite vectors never route (their fingerprint sentinels alias
+	// distinct inputs, which would break sticky assignment).
+	if lc := s.cfg.Canary; lc != nil && retrieve.FiniteVector(req.Insight) {
+		lc.Mirror(req.Insight, k)
+		if cand := lc.Route(retrieve.Fingerprint(req.Insight)); cand != nil {
+			return s.recommendCandidate(ctx, req, cand, k)
+		}
+	}
+	startAt := time.Now()
 	var key uint64
 	cacheable := false
 	if s.cfg.Cache != nil {
@@ -532,6 +602,19 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 	} else {
 		res = s.bat.Submit(ctx, req.Insight, k)
 	}
+	// Feed the lifecycle's live baseline: every live decode outcome
+	// (queue wait + decode, matching what a client experiences), with the
+	// top candidate's log-prob as the QoR proxy. Cache hits returned
+	// above never reach here — no decode, no baseline sample.
+	if lc := s.cfg.Canary; lc != nil {
+		code, lp := http.StatusOK, math.NaN()
+		if res.err != nil {
+			code = errStatus(res.err)
+		} else if len(res.cands) > 0 {
+			lp = res.cands[0].LogProb
+		}
+		lc.ObserveLive(code, time.Since(startAt), lp)
+	}
 	if res.err != nil {
 		return RecommendResponse{Error: res.err.Error()}, errStatus(res.err), res.err
 	}
@@ -553,6 +636,49 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (Recommen
 		cached.TraceID = ""
 		cached.BatchSize = 0
 		s.cfg.Cache.Put(key, res.version, cached)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// recommendCandidate serves one canary-assigned request on the candidate
+// snapshot: an inline decode (never the shared batcher — a candidate
+// decode must not coalesce with live-version decodes) with the lifecycle's
+// own fault seam, bypassing the response cache in both directions. The
+// outcome feeds the canary verdict engine; the response is stamped with
+// the candidate version so the per-version measurement plane (latency
+// histograms, SLO scopes) attributes it correctly.
+func (s *Server) recommendCandidate(ctx context.Context, req *RecommendRequest, cand *Snapshot, k int) (RecommendResponse, int, error) {
+	lc := s.cfg.Canary
+	startAt := time.Now()
+	if err := runBackendHook(ctx, lc.CandidateHook()); err != nil {
+		code := errStatus(err)
+		lc.ObserveCandidate(code, time.Since(startAt), math.NaN())
+		return RecommendResponse{Error: err.Error(), ModelVersion: cand.Version, canary: true}, code, err
+	}
+	_, sp := obs.StartSpan(ctx, "decoder_session")
+	sp.SetAttr("batch_size", "1")
+	sp.SetAttr("canary", "true")
+	sp.SetAttr("model_version", cand.Version)
+	cands := cand.Model.NewDecoder(req.Insight).BeamSearch(k)
+	sp.End()
+	d := time.Since(startAt)
+	s.met.ObserveBatch(1)
+	resp := RecommendResponse{
+		ModelVersion: cand.Version,
+		BeamWidth:    k,
+		BatchSize:    1,
+		Candidates:   make([]CandidateJSON, 0, len(cands)),
+		TraceID:      obs.TraceIDFrom(ctx),
+		canary:       true,
+	}
+	lp := math.NaN()
+	if len(cands) > 0 {
+		lp = cands[0].LogProb
+		s.met.ObserveQoR(cand.Version, lp)
+	}
+	lc.ObserveCandidate(http.StatusOK, d, lp)
+	for _, c := range cands {
+		resp.Candidates = append(resp.Candidates, toCandidateJSON(c))
 	}
 	return resp, http.StatusOK, nil
 }
@@ -634,6 +760,12 @@ func (s *Server) recordBatchOutcome(adm Admission, errs []error, results []Recom
 	}
 	sawSuccess := false
 	for i, err := range errs {
+		if results[i].canary {
+			// Candidate-routed elements are neutral either way: their
+			// failures roll the canary back, they must not open (or hold
+			// closed) the live breaker.
+			continue
+		}
 		switch {
 		case err == nil:
 			if !results[i].Cached {
@@ -770,11 +902,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(rw, r)
 		d := time.Since(startAt)
 		if strings.HasPrefix(route, "/v1/") {
-			// API requests carry full attribution: the live model version
+			// API requests carry full attribution: the served model version
 			// labels the by-version latency family (bounded by the version
 			// LRU), the trace ID becomes the bucket exemplar, and the SLO
 			// engine is fed under both the aggregate and the version scope.
-			version := s.reg.Version()
+			// The handler reports which version actually decoded via the
+			// X-Model-Version response header — during a canary that is the
+			// candidate, so the per-version plane measures both arms; the
+			// live registry version is only the fallback (errors before a
+			// model was chosen, batch responses mixing versions).
+			version := rw.Header().Get("X-Model-Version")
+			if version == "" {
+				version = s.reg.Version()
+			}
 			if version == "" {
 				version = "none"
 			}
@@ -860,7 +1000,13 @@ type errorResponse struct {
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
 	traceID := obs.TraceIDFrom(r.Context())
-	version := s.reg.Version()
+	// Honor a version the handler already attributed (X-Model-Version) so
+	// a candidate-routed failure is reported against the candidate, not
+	// the live model it never touched.
+	version := w.Header().Get("X-Model-Version")
+	if version == "" {
+		version = s.reg.Version()
+	}
 	if code >= http.StatusInternalServerError || code == http.StatusTooManyRequests {
 		s.log.Warn("request rejected",
 			"route", normalizeRoute(r.URL.Path), "status", code, "err", msg,

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startWatcher runs WatchDir with a fast poll and returns a waiter for
+// version prefixes.
+func startWatcher(t *testing.T, reg *Registry, dir string) func(prefix string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	go func() {
+		defer close(done)
+		reg.WatchDir(ctx, dir, 5*time.Millisecond, logger)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return func(prefix string) string {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if v := reg.Version(); strings.HasPrefix(v, prefix) {
+				return v
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("watcher never installed a %s* model (at %q)", prefix, reg.Version())
+		return ""
+	}
+}
+
+// bumpMtime pushes a file's mtime past every previously written file so
+// coarse filesystem timestamps cannot tie.
+func bumpMtime(t *testing.T, path string, ahead time.Duration) {
+	t.Helper()
+	ts := time.Now().Add(ahead)
+	if err := os.Chtimes(path, ts, ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchDirCorruptFileNeverSwaps: a truncated/garbage checkpoint
+// arriving in the watch directory must not replace the serving model —
+// and must not wedge the watcher, which still picks up the next good file.
+func TestWatchDirCorruptFileNeverSwaps(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startWatcher(t, reg, dir)
+
+	saveModelFile(t, filepath.Join(dir, "ckpt-001.bin"), 7, cfg)
+	v1 := wait("v1-")
+
+	// Garbage, newer than the good checkpoint.
+	corrupt := filepath.Join(dir, "ckpt-002.bin")
+	if err := os.WriteFile(corrupt, []byte("not a parameter stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bumpMtime(t, corrupt, time.Second)
+	// Give the watcher many poll cycles to (wrongly) load it.
+	time.Sleep(100 * time.Millisecond)
+	if got := reg.Version(); got != v1 {
+		t.Fatalf("corrupt checkpoint swapped the model: %q -> %q", v1, got)
+	}
+
+	// The watcher recorded the corrupt attempt and moves on to the next
+	// good checkpoint.
+	good := filepath.Join(dir, "ckpt-003.bin")
+	saveModelFile(t, good, 8, cfg)
+	bumpMtime(t, good, 2*time.Second)
+	v2 := wait("v2-")
+	if strings.TrimPrefix(v1, "v1-") == strings.TrimPrefix(v2, "v2-") {
+		t.Fatal("recovery checkpoint has identical hash; expected different weights")
+	}
+}
+
+// TestWatchDirVersionMonotonic: every hot-swap strictly increases the
+// version generation — versions never repeat or go backwards, which the
+// per-version metric/SLO planes rely on.
+func TestWatchDirVersionMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startWatcher(t, reg, dir)
+
+	gen := func(version string) int {
+		t.Helper()
+		rest := strings.TrimPrefix(version, "v")
+		dash := strings.IndexByte(rest, '-')
+		if dash < 0 {
+			t.Fatalf("unparseable version %q", version)
+		}
+		n, err := strconv.Atoi(rest[:dash])
+		if err != nil {
+			t.Fatalf("unparseable generation in %q", version)
+		}
+		return n
+	}
+
+	last := 0
+	for i := 0; i < 5; i++ {
+		path := filepath.Join(dir, "ckpt-"+strconv.Itoa(i)+".bin")
+		saveModelFile(t, path, int64(7+i%2), cfg) // alternating weights
+		bumpMtime(t, path, time.Duration(i+1)*time.Second)
+		v := wait("v" + strconv.Itoa(i+1) + "-")
+		g := gen(v)
+		if g <= last {
+			t.Fatalf("generation went backwards: %d after %d (%q)", g, last, v)
+		}
+		last = g
+	}
+}
+
+// TestWatchDirConcurrentManualReload races the directory watcher against
+// operator-triggered Reload() calls — the exact interleaving the -race
+// run must prove safe: swaps serialize, reads never block, and the final
+// snapshot is a valid model.
+func TestWatchDirConcurrentManualReload(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startWatcher(t, reg, dir)
+	saveModelFile(t, filepath.Join(dir, "ckpt-000.bin"), 7, cfg)
+	wait("v1-") // Reload() needs a defaultPath
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Operator reloads hammering the registry...
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := reg.Reload(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// ...while the watcher keeps discovering new checkpoints and readers
+	// keep grabbing snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 8; i++ {
+			path := filepath.Join(dir, "ckpt-"+strconv.Itoa(i)+".bin")
+			saveModelFile(t, path, int64(7+i%2), cfg)
+			bumpMtime(t, path, time.Duration(i)*time.Second)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if snap := reg.Current(); snap != nil && snap.Model == nil {
+			t.Fatal("snapshot with nil model observed")
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	snap := reg.Current()
+	if snap == nil || snap.Model == nil || !strings.HasPrefix(snap.Version, "v") {
+		t.Fatalf("final snapshot %+v", snap)
+	}
+}
